@@ -1,0 +1,612 @@
+(* The experiment harness: regenerates every table and figure in the paper.
+
+   Each function prints the same rows/series the paper reports (see
+   EXPERIMENTS.md for the paper-vs-measured record).  Everything is
+   deterministic; no state is shared between experiments. *)
+
+open Rpki_core
+open Rpki_repo
+open Rpki_bgp
+open Rpki_attack
+open Rpki_ip
+module Table = Rpki_util.Table
+
+let header title =
+  Printf.printf "\n==== %s ====\n\n" title
+
+(* ------------------------------------------------------------------ *)
+(* Figure 2: the model RPKI                                            *)
+(* ------------------------------------------------------------------ *)
+
+let fig2 () =
+  header "Figure 2: model RPKI (reconstructed from the paper's text)";
+  let m = Model.build () in
+  print_string (Model.render m);
+  let rp = Model.relying_party m in
+  let r = Relying_party.sync rp ~now:1 ~universe:m.Model.universe () in
+  Printf.printf "\nrelying party sync: %d valid ROAs (VRPs), %d issues, CAs: %s\n"
+    (List.length r.Relying_party.vrps)
+    (List.length r.Relying_party.issues)
+    (String.concat ", " r.Relying_party.cas_validated);
+  List.iter (fun v -> Printf.printf "  %s\n" (Vrp.to_string v)) r.Relying_party.vrps
+
+(* ------------------------------------------------------------------ *)
+(* Figure 3: targeted whacking                                         *)
+(* ------------------------------------------------------------------ *)
+
+let run_whack ~label ~target_filename ~target_vrps =
+  Printf.printf "--- %s ---\n" label;
+  let m = Model.build () in
+  let rp = Model.relying_party m in
+  let plan =
+    Whack.plan_targeted ~manipulator:m.Model.sprint ~target_issuer:"Continental" ~target_filename
+  in
+  print_string (Whack.describe plan);
+  let d, collateral =
+    Assess.measure ~rp ~universe:m.Model.universe ~now:1 ~target:target_vrps (fun () ->
+        ignore (Whack.execute ~manipulator:m.Model.sprint plan ~now:1))
+  in
+  Printf.printf "  VRPs whacked : %s\n"
+    (String.concat ", " (List.map Vrp.to_string d.Assess.net_lost));
+  Printf.printf "  collateral   : %d%s\n\n" (List.length collateral)
+    (if collateral = [] then " (zero, as the paper claims)" else "")
+
+let fig3 () =
+  header "Figure 3 / Section 3.1: ROAs whacked by their grandparent (Sprint)";
+  run_whack ~label:"clean whack of (63.174.16.0/20, AS 17054)"
+    ~target_filename:(Model.build ()).Model.roa_target20
+    ~target_vrps:[ Vrp.make ~max_len:20 (V4.p "63.174.16.0/20") 17054 ];
+  run_whack ~label:"make-before-break whack of (63.174.16.0/22, AS 7341)"
+    ~target_filename:(Model.build ()).Model.roa_target22
+    ~target_vrps:[ Vrp.make ~max_len:22 (V4.p "63.174.16.0/22") 7341 ];
+  (* the blunt alternative the paper contrasts with *)
+  Printf.printf "--- blunt alternative: revoke Continental's RC outright ---\n";
+  let m = Model.build () in
+  let rp = Model.relying_party m in
+  let d, collateral =
+    Assess.measure ~rp ~universe:m.Model.universe ~now:1
+      ~target:[ Vrp.make ~max_len:20 (V4.p "63.174.16.0/20") 17054 ]
+      (fun () -> Authority.revoke_child m.Model.sprint m.Model.continental ~now:1)
+  in
+  Printf.printf "  VRPs whacked : %d (target + %d collateral)\n"
+    (List.length d.Assess.net_lost) (List.length collateral);
+  List.iter (fun v -> Printf.printf "    %s\n" (Vrp.to_string v)) d.Assess.net_lost
+
+(* ------------------------------------------------------------------ *)
+(* Table 4: cross-jurisdiction certification                           *)
+(* ------------------------------------------------------------------ *)
+
+let tab4 () =
+  header "Table 4: RCs covering countries outside their parent RIR's jurisdiction";
+  let records = Rpki_juris.Dataset.paper_fixture () in
+  let t = Table.create [ "Holder"; "RC"; "RIR"; "Countries (out of jurisdiction)" ] in
+  List.iter
+    (fun (e : Rpki_juris.Analysis.rc_exposure) ->
+      Table.add_row t
+        [ e.Rpki_juris.Analysis.record.Rpki_juris.Dataset.holder;
+          V4.Prefix.to_string e.Rpki_juris.Analysis.record.Rpki_juris.Dataset.rc_prefix;
+          Rpki_juris.Country.rir_to_string
+            e.Rpki_juris.Analysis.record.Rpki_juris.Dataset.parent_rir;
+          String.concat "," e.Rpki_juris.Analysis.foreign_countries ])
+    (Rpki_juris.Analysis.cross_jurisdiction_rcs records);
+  Table.print t;
+  Printf.printf "\nRIR reach beyond its own jurisdiction:\n";
+  List.iter
+    (fun (rir, reach) ->
+      if reach <> [] then
+        Printf.printf "  %-8s can whack ROAs in: %s\n"
+          (Rpki_juris.Country.rir_to_string rir)
+          (String.concat "," reach))
+    (Rpki_juris.Analysis.rir_reach records);
+  Printf.printf "\nSynthetic deployment sweep (cross-border certification frequency):\n";
+  let t2 =
+    Table.create ~aligns:[ Table.Left; Table.Right; Table.Right; Table.Right ]
+      [ "cross-border customer frac"; "RCs"; "crossing"; "mean foreign countries" ]
+  in
+  List.iter
+    (fun f ->
+      let s =
+        Rpki_juris.Analysis.stats
+          (Rpki_juris.Dataset.synthetic
+             { Rpki_juris.Dataset.default_synthetic with Rpki_juris.Dataset.cross_border_fraction = f })
+      in
+      Table.add_row t2
+        [ Printf.sprintf "%.2f" f; string_of_int s.Rpki_juris.Analysis.total_rcs;
+          string_of_int s.Rpki_juris.Analysis.cross_border_rcs;
+          Printf.sprintf "%.2f" s.Rpki_juris.Analysis.mean_foreign_countries ])
+    [ 0.0; 0.05; 0.15; 0.3; 0.5 ];
+  Table.print t2
+
+(* ------------------------------------------------------------------ *)
+(* Figure 5: route validity for 63.160.0.0/12 and its subprefixes      *)
+(* ------------------------------------------------------------------ *)
+
+let fig5_samples idx label =
+  Printf.printf "%s\n" label;
+  let routes =
+    [ Route.make (V4.p "63.160.0.0/12") 1239;
+      Route.make (V4.p "63.160.0.0/13") 1239;
+      Route.make (V4.p "63.161.0.0/16") 1239;
+      Route.make (V4.p "63.161.5.0/24") 1239;
+      Route.make (V4.p "63.168.0.0/16") 1239;
+      Route.make (V4.p "63.170.0.0/16") 19429;
+      Route.make (V4.p "63.174.16.0/20") 17054;
+      Route.make (V4.p "63.174.16.0/22") 7341;
+      Route.make (V4.p "63.174.17.0/24") 17054;
+      Route.make (V4.p "63.174.25.0/24") 17054;
+      Route.make (V4.p "63.172.0.0/16") 7018 ]
+  in
+  let t = Table.create [ "route"; "state"; "why" ] in
+  List.iter
+    (fun (route, state, why) ->
+      Table.add_row t [ Route.to_string route; Origin_validation.state_to_string state; why ])
+    (Validity_grid.sample_rows idx routes);
+  Table.print t
+
+(* The figure itself: the subtree of 63.160.0.0/12 down to /18, one row per
+   length, one character per subprefix (V valid, i invalid, . unknown) for
+   the given origin. *)
+let fig5_tree idx ~origin label =
+  Printf.printf "\n%s — validity tree for origin AS%d (V=valid, i=invalid, .=unknown):\n" label origin;
+  let root = V4.p "63.160.0.0/12" in
+  for len = 12 to 18 do
+    let n = 1 lsl (len - 12) in
+    let row =
+      String.init n (fun i ->
+          let prefix = V4.Prefix.make (V4.Prefix.addr root + (i lsl (32 - len))) len in
+          match Origin_validation.classify idx (Route.make prefix origin) with
+          | Origin_validation.Valid -> 'V'
+          | Origin_validation.Invalid -> 'i'
+          | Origin_validation.Unknown -> '.')
+    in
+    Printf.printf "  /%d %s%s\n" len (String.make (64 - n) ' ') row
+  done
+
+let fig5_grid idx ~origin label =
+  Printf.printf "\n%s (origin AS%d): subprefix counts by length\n" label origin;
+  let t =
+    Table.create
+      ~aligns:[ Table.Right; Table.Right; Table.Right; Table.Right ]
+      [ "len"; "valid"; "invalid"; "unknown" ]
+  in
+  List.iter
+    (fun (s : Validity_grid.length_summary) ->
+      Table.add_row t
+        [ Printf.sprintf "/%d" s.Validity_grid.len; string_of_int s.Validity_grid.valid;
+          string_of_int s.Validity_grid.invalid; string_of_int s.Validity_grid.unknown ])
+    (Validity_grid.grid idx ~root:(V4.p "63.160.0.0/12") ~min_len:12 ~max_len:24 ~origin);
+  Table.print t
+
+let fig5 () =
+  header "Figure 5: route validity for 63.160.0.0/12 and its subprefixes";
+  let m = Model.build () in
+  let rp = Model.relying_party m in
+  let _, left = Relying_party.sync_index rp ~now:1 ~universe:m.Model.universe () in
+  fig5_samples left "LEFT: the RPKI of Figure 2";
+  fig5_tree left ~origin:17054 "LEFT";
+  fig5_grid left ~origin:1239 "LEFT";
+  (* add the covering ROA and recompute *)
+  let _ = Model.add_fig5_right_roa m ~now:1 in
+  let _, right = Relying_party.sync_index rp ~now:1 ~universe:m.Model.universe () in
+  Printf.printf "\n";
+  fig5_samples right "RIGHT: after Sprint issues (63.160.0.0/12-13, AS 1239)";
+  fig5_tree right ~origin:17054 "RIGHT";
+  fig5_grid right ~origin:1239 "RIGHT";
+  (* Side Effect 5 on the figure itself: how many /16..24 routes flipped *)
+  let flips origin =
+    let rec count len acc =
+      if len > 24 then acc
+      else begin
+        let l =
+          Validity_grid.summarize_length left ~root:(V4.p "63.160.0.0/12") ~len ~origin
+        in
+        let r =
+          Validity_grid.summarize_length right ~root:(V4.p "63.160.0.0/12") ~len ~origin
+        in
+        count (len + 1) (acc + (r.Validity_grid.invalid - l.Validity_grid.invalid))
+      end
+    in
+    count 13 0
+  in
+  Printf.printf
+    "\nSide Effect 5 on this figure: %d subprefix routes (len 13..24, foreign origin)\n\
+     flipped unknown->invalid when the /12 ROA appeared.\n"
+    (flips 64999)
+
+(* ------------------------------------------------------------------ *)
+(* Table 6: local policies vs the two attack classes                   *)
+(* ------------------------------------------------------------------ *)
+
+let tab6 () =
+  header "Table 6: impact of relying-party local policies";
+  let s = Topo_gen.small_scenario () in
+  let victim_prefix = V4.p "63.174.16.0/20" in
+  let dst = V4.addr_of_string_exn "63.174.23.7" in
+  let healthy_idx =
+    Origin_validation.build [ Vrp.make ~max_len:20 victim_prefix s.Topo_gen.victim ]
+  in
+  (* ROA whacked while Sprint's covering ROA exists: route invalid *)
+  let whacked_idx = Origin_validation.build [ Vrp.make ~max_len:13 (V4.p "63.160.0.0/12") 1239 ] in
+  let legit = [ { Propagation.prefix = victim_prefix; origin = s.Topo_gen.victim } ] in
+  let hijack =
+    Hijack.announcements ~victim_prefix ~victim_as:s.Topo_gen.victim
+      ~attacker_as:s.Topo_gen.attacker
+      (Hijack.Subprefix_hijack (Hijack.subprefix_containing ~victim_prefix ~addr:dst ~len:24))
+  in
+  let cell policy idx anns ~attack =
+    let net =
+      Data_plane.build ~topo:s.Topo_gen.small_topo ~policy_of:(fun _ -> policy)
+        ~validity_of:(Origin_validation.classify idx) anns
+    in
+    let ok = Data_plane.reaches net ~src:s.Topo_gen.source ~addr:dst ~expected:s.Topo_gen.victim in
+    match (ok, attack) with
+    | true, _ -> "YES"
+    | false, `Hijack -> "NO (subprefix hijack succeeds)"
+    | false, `Manipulation -> "NO (prefix offline)"
+  in
+  let t =
+    Table.create
+      [ "relying-party policy"; "prefix reachable: routing attack"; "RPKI manipulation" ]
+  in
+  List.iter
+    (fun policy ->
+      Table.add_row t
+        [ Policy.to_string policy;
+          cell policy healthy_idx hijack ~attack:`Hijack;
+          cell policy whacked_idx legit ~attack:`Manipulation ])
+    [ Policy.Drop_invalid; Policy.Depref_invalid; Policy.Ignore_rpki ];
+  Table.print t;
+  (* the same table measured as reachability fractions on a 124-AS topology *)
+  Printf.printf "\nFractions of ASes still reaching the victim (124-AS synthetic topology):\n";
+  let g = Topo_gen.generate Topo_gen.default_spec in
+  let victim = List.hd g.Topo_gen.stub_asns and attacker = List.nth g.Topo_gen.stub_asns 7 in
+  let healthy_idx = Origin_validation.build [ Vrp.make ~max_len:20 victim_prefix victim ] in
+  let hijack =
+    Hijack.announcements ~victim_prefix ~victim_as:victim ~attacker_as:attacker
+      (Hijack.Subprefix_hijack (Hijack.subprefix_containing ~victim_prefix ~addr:dst ~len:24))
+  in
+  let legit = [ { Propagation.prefix = victim_prefix; origin = victim } ] in
+  let frac policy idx anns =
+    let net =
+      Data_plane.build ~topo:g.Topo_gen.topo ~policy_of:(fun _ -> policy)
+        ~validity_of:(Origin_validation.classify idx) anns
+    in
+    Data_plane.reachability_fraction net ~addr:dst ~expected:victim
+  in
+  let t2 =
+    Table.create ~aligns:[ Table.Left; Table.Right; Table.Right ]
+      [ "policy"; "subprefix hijack"; "RPKI manipulation" ]
+  in
+  List.iter
+    (fun policy ->
+      Table.add_row t2
+        [ Policy.to_string policy;
+          Printf.sprintf "%.2f" (frac policy healthy_idx hijack);
+          Printf.sprintf "%.2f" (frac policy whacked_idx legit) ])
+    [ Policy.Drop_invalid; Policy.Depref_invalid; Policy.Ignore_rpki ];
+  Table.print t2
+
+(* ------------------------------------------------------------------ *)
+(* Side Effect 5: partial deployment sweep                             *)
+(* ------------------------------------------------------------------ *)
+
+let se5 () =
+  header "Side Effect 5: a new covering ROA invalidates unprotected subprefix routes";
+  let t =
+    Table.create
+      ~aligns:[ Table.Right; Table.Right; Table.Right; Table.Right; Table.Right ]
+      [ "customer ROA adoption"; "routes"; "invalid before"; "invalid after"; "unknown->invalid flips" ]
+  in
+  List.iter
+    (fun (r : Rpki_sim.Deployment.row) ->
+      Table.add_row t
+        [ Printf.sprintf "%.2f" r.Rpki_sim.Deployment.adoption;
+          string_of_int r.Rpki_sim.Deployment.total_routes;
+          string_of_int r.Rpki_sim.Deployment.before.Rpki_sim.Deployment.invalid;
+          string_of_int r.Rpki_sim.Deployment.after.Rpki_sim.Deployment.invalid;
+          string_of_int r.Rpki_sim.Deployment.flips ])
+    (Rpki_sim.Deployment.sweep ());
+  Table.print t;
+  let cover =
+    Rpki_sim.Deployment.invalid_window ~spec:Rpki_sim.Deployment.default_spec
+      Rpki_sim.Deployment.Cover_first
+  in
+  let sub =
+    Rpki_sim.Deployment.invalid_window ~spec:Rpki_sim.Deployment.default_spec
+      Rpki_sim.Deployment.Subprefixes_first
+  in
+  Printf.printf
+    "\nOrdering ablation (the paper's deployment rule): issuing the covering ROA first\n\
+     leaves %d routes invalid mid-deployment; issuing subprefix ROAs first leaves %d.\n"
+    cover sub
+
+(* ------------------------------------------------------------------ *)
+(* Side Effect 6: missing information                                  *)
+(* ------------------------------------------------------------------ *)
+
+let se6 () =
+  header "Side Effect 6: a missing ROA makes a route invalid, not unknown";
+  let t = Table.create [ "scenario"; "route"; "state"; "validation issues" ] in
+  let classify (m : Model.t) rp route =
+    let r, idx = Relying_party.sync_index rp ~now:1 ~universe:m.Model.universe () in
+    ( Origin_validation.state_to_string (Origin_validation.classify idx route),
+      string_of_int (List.length r.Relying_party.issues) )
+  in
+  let route22 = Route.make (V4.p "63.174.16.0/22") 7341 in
+  let route20 = Route.make (V4.p "63.174.16.0/20") 17054 in
+  let m = Model.build () in
+  let rp = Model.relying_party m in
+  let st, issues = classify m rp route22 in
+  Table.add_row t [ "healthy RPKI"; Route.to_string route22; st; issues ];
+  let _ = Fault.delete_object m.Model.continental.Authority.pub ~filename:m.Model.roa_target22 in
+  let st, issues = classify m rp route22 in
+  Table.add_row t
+    [ "ROA (63.174.16.0/22, AS7341) missing"; Route.to_string route22; st; issues ];
+  let m2 = Model.build () in
+  let rp2 = Model.relying_party m2 in
+  let _ = Fault.corrupt_object m2.Model.continental.Authority.pub ~filename:m2.Model.roa_target22 () in
+  let st, issues = classify m2 rp2 route22 in
+  Table.add_row t [ "same ROA corrupted on disk"; Route.to_string route22; st; issues ];
+  let m3 = Model.build () in
+  let rp3 = Model.relying_party m3 in
+  let _ = Fault.delete_object m3.Model.continental.Authority.pub ~filename:m3.Model.roa_target20 in
+  let st, issues = classify m3 rp3 route20 in
+  Table.add_row t
+    [ "ROA (63.174.16.0/20, AS17054) missing (no covering ROA)"; Route.to_string route20; st;
+      issues ];
+  Table.print t;
+  Printf.printf
+    "\nThe /22 goes INVALID when its ROA is missing (the /20 ROA covers it), while the /20\n\
+     merely goes UNKNOWN — the asymmetry the paper calls 'easily misunderstood'.\n"
+
+(* ------------------------------------------------------------------ *)
+(* Side Effect 7 / Section 6: the circular dependency                  *)
+(* ------------------------------------------------------------------ *)
+
+let se7 () =
+  header "Side Effect 7 / Section 6: transient fault -> persistent failure";
+  let timeline policy label =
+    let _, hist = Rpki_sim.Loop.run_section6 ~policy () in
+    Printf.printf "\npolicy: %s\n" label;
+    let t =
+      Table.create
+        [ "tick"; "event"; "VRPs"; "issues"; "continental repo"; "sprint repo" ]
+    in
+    let event = function
+      | 3 -> "RP fetches CORRUPTED copy of the /20 ROA"
+      | 4 -> "repository repaired"
+      | _ -> ""
+    in
+    List.iter
+      (fun (r : Rpki_sim.Loop.tick_record) ->
+        let probe label = if List.assoc label r.Rpki_sim.Loop.probe_results then "up" else "DOWN" in
+        Table.add_row t
+          [ Rtime.to_string r.Rpki_sim.Loop.time; event r.Rpki_sim.Loop.time;
+            string_of_int r.Rpki_sim.Loop.vrp_count;
+            string_of_int r.Rpki_sim.Loop.issue_count; probe "continental-repo";
+            probe "sprint-repo" ])
+      hist;
+    Table.print t
+  in
+  timeline Policy.Drop_invalid "drop invalid (the failure persists after repair)";
+  timeline Policy.Depref_invalid "depref invalid (recovers at the next sync)";
+  timeline Policy.Ignore_rpki "ignore RPKI (control: never affected)";
+  (* ablation: the two mitigations from the paper's open problems / the
+     concurrent IETF work it cites *)
+  Printf.printf "\nMitigation ablation (drop-invalid relying party):\n";
+  let summarize label hist =
+    let probe t =
+      List.assoc "continental-repo" (List.nth hist (t - 1)).Rpki_sim.Loop.probe_results
+    in
+    Printf.printf "  %-42s t3 %-4s t4 %-4s t7 %s\n" label
+      (if probe 3 then "up" else "DOWN")
+      (if probe 4 then "up" else "DOWN")
+      (if probe 7 then "up" else "DOWN")
+  in
+  let _, plain = Rpki_sim.Loop.run_section6 ~policy:Policy.Drop_invalid () in
+  let _, mirrored = Rpki_sim.Loop.run_section6 ~policy:Policy.Drop_invalid ~mirrored:true () in
+  let _, graced = Rpki_sim.Loop.run_section6 ~policy:Policy.Drop_invalid ~grace:10 () in
+  summarize "no mitigation" plain;
+  summarize "mirrored publication point (ref [16])" mirrored;
+  summarize "Suspenders-style 10-tick grace (ref [25])" graced;
+  Printf.printf
+    "  (mirroring confines the outage to the fault window; the grace hold\n\
+    \   prevents it entirely but delays legitimate revocations by the window)\n"
+
+(* ------------------------------------------------------------------ *)
+(* Extension: censorship campaigns on the Table 4 hierarchy            *)
+(* ------------------------------------------------------------------ *)
+
+let campaign () =
+  header "Extension: a coerced RIR silences a country (Section 3.2, executed)";
+  let records = Rpki_juris.Dataset.paper_fixture () in
+  let universe, rir_tas, _ = Campaign.hierarchy_of_dataset records in
+  let arin = List.assoc Rpki_juris.Country.ARIN rir_tas in
+  let rp =
+    Relying_party.create ~name:"rp" ~asn:1
+      ~tals:(List.map (fun (_, ta) -> Relying_party.tal_of_authority ta) rir_tas)
+      ()
+  in
+  let t =
+    Table.create
+      ~aligns:[ Table.Left; Table.Right; Table.Right; Table.Right; Table.Right ]
+      [ "country (via coerced ARIN)"; "target ROAs"; "reissues needed"; "silenced";
+        "collateral" ]
+  in
+  List.iter
+    (fun country ->
+      let universe, rir_tas, _ = Campaign.hierarchy_of_dataset records in
+      let arin = List.assoc Rpki_juris.Country.ARIN rir_tas in
+      let rp =
+        Relying_party.create ~name:"rp" ~asn:1
+          ~tals:(List.map (fun (_, ta) -> Relying_party.tal_of_authority ta) rir_tas)
+          ()
+      in
+      let asns = Campaign.asns_of_country records country in
+      let c = Campaign.plan ~manipulator:arin ~objective:(Campaign.Target_asns asns) in
+      let before = (Relying_party.sync rp ~now:1 ~universe ()).Relying_party.vrps in
+      let executed, _ = Campaign.execute ~manipulator:arin c ~now:1 in
+      let after = (Relying_party.sync rp ~now:1 ~universe ()).Relying_party.vrps in
+      let d = Assess.diff ~before ~after in
+      let collateral =
+        List.filter (fun (v : Vrp.t) -> not (List.mem v.Vrp.asn asns)) d.Assess.net_lost
+      in
+      Table.add_row t
+        [ country; string_of_int (List.length c.Campaign.steps);
+          string_of_int (Campaign.reissue_count c); string_of_int executed;
+          string_of_int (List.length collateral) ])
+    [ "CO"; "FR"; "GB"; "MX" ];
+  Table.print t;
+  ignore (universe, arin, rp);
+  Printf.printf
+    "\nEach row is out-of-jurisdiction coercion: none of these countries is in ARIN's\n\
+     service region, yet every one of their ROAs is whackable with zero collateral.\n"
+
+(* ------------------------------------------------------------------ *)
+(* Extension: partial adoption of drop-invalid (cf. the paper's [29])  *)
+(* ------------------------------------------------------------------ *)
+
+let adoption () =
+  header "Extension: security benefit of partially deployed drop-invalid";
+  let g = Topo_gen.generate Topo_gen.default_spec in
+  let victim = List.hd g.Topo_gen.stub_asns in
+  let attacker = List.nth g.Topo_gen.stub_asns 42 in
+  let victim_prefix = V4.p "203.0.112.0/20" in
+  let dst = V4.addr_of_string_exn "203.0.119.80" in
+  let idx = Origin_validation.build [ Vrp.make ~max_len:20 victim_prefix victim ] in
+  let anns =
+    Hijack.announcements ~victim_prefix ~victim_as:victim ~attacker_as:attacker
+      (Hijack.Subprefix_hijack (Hijack.subprefix_containing ~victim_prefix ~addr:dst ~len:24))
+  in
+  let all_asns = Topology.asns g.Topo_gen.topo in
+  let t =
+    Table.create
+      ~aligns:[ Table.Right; Table.Right; Table.Right ]
+      [ "fraction dropping invalid"; "everyone else ignores"; "tier-1+tier-2 adopt first" ]
+  in
+  let frac_with policy_of =
+    let net = Data_plane.build ~topo:g.Topo_gen.topo ~policy_of ~validity_of:(Origin_validation.classify idx) anns in
+    Data_plane.reachability_fraction net ~addr:dst ~expected:victim
+  in
+  List.iter
+    (fun f ->
+      (* random adoption at fraction f *)
+      let rng = Rpki_util.Rng.create 23 in
+      let adopters =
+        List.filter (fun _ -> Rpki_util.Rng.float rng < f) all_asns
+      in
+      let random_frac =
+        frac_with (fun asn ->
+            if List.mem asn adopters then Policy.Drop_invalid else Policy.Ignore_rpki)
+      in
+      (* core-first adoption: tier-1 and tier-2 adopt before stubs *)
+      let core = g.Topo_gen.tier1_asns @ g.Topo_gen.tier2_asns in
+      let n_core = List.length core and n_all = List.length all_asns in
+      let want = int_of_float (f *. float_of_int n_all) in
+      let core_adopters =
+        if want <= n_core then List.filteri (fun i _ -> i < want) core
+        else core @ List.filteri (fun i _ -> i < want - n_core) g.Topo_gen.stub_asns
+      in
+      let core_frac =
+        frac_with (fun asn ->
+            if List.mem asn core_adopters then Policy.Drop_invalid else Policy.Ignore_rpki)
+      in
+      Table.add_row t
+        [ Printf.sprintf "%.2f" f; Printf.sprintf "%.2f" random_frac;
+          Printf.sprintf "%.2f" core_frac ])
+    [ 0.0; 0.1; 0.25; 0.5; 0.75; 1.0 ];
+  Table.print t;
+  Printf.printf
+    "\nValues are the fraction of ASes still reaching the victim during a subprefix\n\
+     hijack.  Placement matters more than volume — the 'is the juice worth the\n\
+     squeeze' observation of the paper's ref [29].\n"
+
+(* ------------------------------------------------------------------ *)
+(* Extension: Side Effect 4 quantified — reissue cost vs target depth  *)
+(* ------------------------------------------------------------------ *)
+
+(* A straight chain TA -> A1 -> ... -> A[depth], every level holding one
+   bystander ROA, the target ROA at the bottom. *)
+let build_chain depth =
+  let universe = Universe.create () in
+  let ta =
+    Authority.create_trust_anchor ~name:(Printf.sprintf "CTA%d" depth)
+      ~resources:(Resources.of_v4_strings [ "40.0.0.0/8" ])
+      ~uri:(Printf.sprintf "rsync://cta%d/repo" depth)
+      ~addr:(V4.addr_of_string_exn "198.51.100.40") ~host_asn:1 ~now:0 ~universe ()
+  in
+  let rec extend parent level =
+    (* each level keeps half of its parent's space and a bystander ROA *)
+    let len = 8 + (2 * level) in
+    let prefix = V4.Prefix.make (40 lsl 24) len in
+    let a =
+      Authority.create_child parent
+        ~name:(Printf.sprintf "chain%d-%d" depth level)
+        ~resources:(Resources.make ~v4:(V4.Set.of_prefix prefix) ())
+        ~uri:(Printf.sprintf "rsync://chain%d-%d/repo" depth level)
+        ~addr:((40 lsl 24) + level) ~host_asn:(100 + level) ~now:0 ~universe ()
+    in
+    let bystander = V4.Prefix.make ((40 lsl 24) lor (1 lsl (31 - len))) (len + 2) in
+    ignore (Authority.issue_simple_roa a ~asid:(500 + level) ~prefix:bystander ~now:0 ());
+    if level = depth then begin
+      let target, _ =
+        Authority.issue_simple_roa a ~asid:999 ~prefix:(V4.Prefix.make (40 lsl 24) (len + 2))
+          ~now:0 ()
+      in
+      (universe, ta, a.Authority.name, target)
+    end
+    else extend a (level + 1)
+  in
+  extend ta 1
+
+let depth () =
+  header "Extension: Side Effect 4 quantified — reissued objects vs target depth";
+  let t =
+    Table.create
+      ~aligns:[ Table.Left; Table.Right; Table.Right; Table.Right; Table.Right ]
+      [ "target is the manipulator's..."; "depth"; "reissued RCs"; "reissued ROAs";
+        "net collateral" ]
+  in
+  List.iter
+    (fun d ->
+      let universe, ta, issuer, target = build_chain d in
+      let plan = Whack.plan_targeted ~manipulator:ta ~target_issuer:issuer ~target_filename:target in
+      let rcs =
+        List.length
+          (List.filter (function Whack.Reissue_rc _ -> true | _ -> false) plan.Whack.reissues)
+      in
+      let roas =
+        List.length
+          (List.filter (function Whack.Reissue_roa _ -> true | _ -> false) plan.Whack.reissues)
+      in
+      let rp =
+        Relying_party.create ~name:"rp" ~asn:1 ~tals:[ Relying_party.tal_of_authority ta ] ()
+      in
+      let before = (Relying_party.sync rp ~now:1 ~universe ()).Relying_party.vrps in
+      ignore (Whack.execute ~manipulator:ta plan ~now:1);
+      let after = (Relying_party.sync rp ~now:1 ~universe ()).Relying_party.vrps in
+      let d' = Assess.diff ~before ~after in
+      let collateral =
+        List.filter (fun (v : Vrp.t) -> v.Vrp.asn <> 999) d'.Assess.net_lost
+      in
+      (* the ROA is one generation below its issuer: issuer depth d means
+         the ROA is the manipulator's (d+1)-generation descendant *)
+      let name =
+        match d + 1 with
+        | 2 -> "grandchild ROA (Side Effect 3)"
+        | 3 -> "great-grandchild ROA (Side Effect 4)"
+        | n -> Printf.sprintf "%d generations down" n
+      in
+      Table.add_row t
+        [ name; string_of_int (d + 1); string_of_int rcs; string_of_int roas;
+          string_of_int (List.length collateral) ])
+    [ 1; 2; 3; 4 ];
+  Table.print t;
+  Printf.printf
+    "\nEach extra level of depth costs one more suspiciously-reissued RC — the paper's\n\
+     Side Effect 4: deeper whacking stays feasible but gets easier to detect.\n"
+
+let all : (string * (unit -> unit)) list =
+  [ ("fig2", fig2); ("fig3", fig3); ("tab4", tab4); ("fig5", fig5); ("tab6", tab6);
+    ("se5", se5); ("se6", se6); ("se7", se7); ("campaign", campaign); ("adoption", adoption);
+    ("depth", depth) ]

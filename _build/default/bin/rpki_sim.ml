@@ -1,0 +1,212 @@
+(* rpki-sim: command-line driver for the misbehaving-authorities toolkit.
+
+   Subcommands:
+     show     — print the model RPKI hierarchy (Figure 2)
+     validate — sync a relying party and list VRPs and issues
+     ov       — classify a route against the model RPKI
+     whack    — plan (and optionally execute) a targeted whack
+     monitor  — run a manipulation and show what a monitor would report
+     sim      — run the Section 6 closed-loop timeline
+     grid     — print the Figure 5 validity grid *)
+
+open Cmdliner
+open Rpki_core
+open Rpki_repo
+open Rpki_ip
+
+(* --- shared arguments --- *)
+
+let fig5_right =
+  let doc = "Include Sprint's covering ROA (63.160.0.0/12-13, AS 1239), i.e. Figure 5 right." in
+  Arg.(value & flag & info [ "fig5-right" ] ~doc)
+
+let build_model ~right =
+  let m = Model.build () in
+  if right then ignore (Model.add_fig5_right_roa m ~now:1);
+  m
+
+let sync_model m =
+  let rp = Model.relying_party m in
+  Relying_party.sync_index rp ~now:1 ~universe:m.Model.universe ()
+
+(* --- show --- *)
+
+let show_cmd =
+  let run right =
+    let m = build_model ~right in
+    print_string (Model.render m)
+  in
+  Cmd.v (Cmd.info "show" ~doc:"Print the model RPKI hierarchy (Figure 2)")
+    Term.(const run $ fig5_right)
+
+(* --- validate --- *)
+
+let validate_cmd =
+  let run right =
+    let m = build_model ~right in
+    let result, _ = sync_model m in
+    Printf.printf "VRPs (%d):\n" (List.length result.Relying_party.vrps);
+    List.iter (fun v -> Printf.printf "  %s\n" (Vrp.to_string v)) result.Relying_party.vrps;
+    Printf.printf "issues (%d):\n" (List.length result.Relying_party.issues);
+    List.iter
+      (fun (i : Relying_party.issue) ->
+        Printf.printf "  %s %s: %s\n" i.Relying_party.uri
+          (Option.value i.Relying_party.filename ~default:"-")
+          i.Relying_party.reason)
+      result.Relying_party.issues
+  in
+  Cmd.v (Cmd.info "validate" ~doc:"Sync a relying party against the model RPKI")
+    Term.(const run $ fig5_right)
+
+(* --- ov --- *)
+
+let prefix_arg =
+  let parse s =
+    match V4.Prefix.of_string s with
+    | Some p -> Ok p
+    | None -> Error (`Msg (Printf.sprintf "bad prefix %S (want e.g. 63.174.16.0/20)" s))
+  in
+  Arg.conv (parse, fun fmt p -> Format.pp_print_string fmt (V4.Prefix.to_string p))
+
+let ov_cmd =
+  let prefix =
+    Arg.(required & pos 0 (some prefix_arg) None & info [] ~docv:"PREFIX" ~doc:"Route prefix.")
+  in
+  let origin =
+    Arg.(required & pos 1 (some int) None & info [] ~docv:"ORIGIN-AS" ~doc:"Origin AS number.")
+  in
+  let run right prefix origin =
+    let m = build_model ~right in
+    let _, idx = sync_model m in
+    let route = Route.make prefix origin in
+    let state, matching, covering = Origin_validation.explain idx route in
+    Printf.printf "%s -> %s\n" (Route.to_string route)
+      (Origin_validation.state_to_string state);
+    List.iter (fun v -> Printf.printf "  matching: %s\n" (Vrp.to_string v)) matching;
+    List.iter (fun v -> Printf.printf "  covering: %s\n" (Vrp.to_string v)) covering
+  in
+  Cmd.v
+    (Cmd.info "ov" ~doc:"Classify a route (origin validation) against the model RPKI")
+    Term.(const run $ fig5_right $ prefix $ origin)
+
+(* --- whack --- *)
+
+let whack_cmd =
+  let target =
+    let doc = "Target: 20 = ROA (63.174.16.0/20, AS 17054); 22 = ROA (63.174.16.0/22, AS 7341)." in
+    Arg.(value & opt int 20 & info [ "target" ] ~doc)
+  in
+  let execute =
+    Arg.(value & flag & info [ "execute" ] ~doc:"Execute the plan and report collateral.")
+  in
+  let run target execute =
+    let m = Model.build () in
+    let target_filename, target_vrps =
+      match target with
+      | 20 -> (m.Model.roa_target20, [ Vrp.make ~max_len:20 (V4.p "63.174.16.0/20") 17054 ])
+      | 22 -> (m.Model.roa_target22, [ Vrp.make ~max_len:22 (V4.p "63.174.16.0/22") 7341 ])
+      | _ -> failwith "--target must be 20 or 22"
+    in
+    let plan =
+      Rpki_attack.Whack.plan_targeted ~manipulator:m.Model.sprint ~target_issuer:"Continental"
+        ~target_filename
+    in
+    print_string (Rpki_attack.Whack.describe plan);
+    if execute then begin
+      let rp = Model.relying_party m in
+      let d, collateral =
+        Rpki_attack.Assess.measure ~rp ~universe:m.Model.universe ~now:1 ~target:target_vrps
+          (fun () -> ignore (Rpki_attack.Whack.execute ~manipulator:m.Model.sprint plan ~now:1))
+      in
+      Printf.printf "whacked: %s\ncollateral: %d\n"
+        (String.concat ", " (List.map Vrp.to_string d.Rpki_attack.Assess.net_lost))
+        (List.length collateral)
+    end
+  in
+  Cmd.v
+    (Cmd.info "whack" ~doc:"Plan a targeted grandchild whack (Section 3.1)")
+    Term.(const run $ target $ execute)
+
+(* --- monitor --- *)
+
+let monitor_cmd =
+  let action =
+    let doc = "Manipulation to observe: stealth-delete, revoke, shrink, mbb." in
+    Arg.(value & opt string "mbb" & info [ "action" ] ~doc)
+  in
+  let run action =
+    let m = Model.build () in
+    let before = Rpki_monitor.Monitor.take ~now:1 m.Model.universe in
+    (match action with
+    | "stealth-delete" ->
+      Authority.stealth_delete_roa m.Model.continental ~filename:m.Model.roa_cb_25 ~now:2
+    | "revoke" -> Authority.revoke_roa m.Model.continental ~filename:m.Model.roa_cb_25 ~now:2
+    | "shrink" | "mbb" ->
+      let target_filename =
+        if action = "shrink" then m.Model.roa_target20 else m.Model.roa_target22
+      in
+      let plan =
+        Rpki_attack.Whack.plan_targeted ~manipulator:m.Model.sprint ~target_issuer:"Continental"
+          ~target_filename
+      in
+      ignore (Rpki_attack.Whack.execute ~manipulator:m.Model.sprint plan ~now:2)
+    | other -> failwith (Printf.sprintf "unknown action %S" other));
+    let after = Rpki_monitor.Monitor.take ~now:2 m.Model.universe in
+    List.iter
+      (fun a -> Format.printf "%a@." Rpki_monitor.Monitor.pp_alert a)
+      (Rpki_monitor.Monitor.diff ~before ~after)
+  in
+  Cmd.v
+    (Cmd.info "monitor" ~doc:"Run a manipulation and print the monitor's alerts")
+    Term.(const run $ action)
+
+(* --- sim --- *)
+
+let policy_arg =
+  let parse = function
+    | "drop" -> Ok Rpki_bgp.Policy.Drop_invalid
+    | "depref" -> Ok Rpki_bgp.Policy.Depref_invalid
+    | "ignore" -> Ok Rpki_bgp.Policy.Ignore_rpki
+    | s -> Error (`Msg (Printf.sprintf "unknown policy %S (want drop|depref|ignore)" s))
+  in
+  Arg.conv (parse, fun fmt p -> Format.pp_print_string fmt (Rpki_bgp.Policy.to_string p))
+
+let sim_cmd =
+  let policy =
+    Arg.(value & opt policy_arg Rpki_bgp.Policy.Drop_invalid
+         & info [ "policy" ] ~doc:"Relying-party policy: drop, depref or ignore.")
+  in
+  let run policy =
+    let _, hist = Rpki_sim.Loop.run_section6 ~policy () in
+    List.iter (fun r -> Format.printf "%a@." Rpki_sim.Loop.pp_record r) hist
+  in
+  Cmd.v
+    (Cmd.info "sim" ~doc:"Run the Section 6 transient-fault timeline")
+    Term.(const run $ policy)
+
+(* --- grid --- *)
+
+let grid_cmd =
+  let origin =
+    Arg.(value & opt int 1239 & info [ "origin" ] ~doc:"Origin AS for the grid.")
+  in
+  let run right origin =
+    let m = build_model ~right in
+    let _, idx = sync_model m in
+    List.iter
+      (fun (s : Validity_grid.length_summary) ->
+        Printf.printf "/%d: valid=%d invalid=%d unknown=%d\n" s.Validity_grid.len
+          s.Validity_grid.valid s.Validity_grid.invalid s.Validity_grid.unknown)
+      (Validity_grid.grid idx ~root:(V4.p "63.160.0.0/12") ~min_len:12 ~max_len:24 ~origin)
+  in
+  Cmd.v
+    (Cmd.info "grid" ~doc:"Print the Figure 5 validity grid for an origin AS")
+    Term.(const run $ fig5_right $ origin)
+
+let () =
+  let doc = "the misbehaving-RPKI-authorities toolkit (HotNets'13 reproduction)" in
+  let info = Cmd.info "rpki-sim" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ show_cmd; validate_cmd; ov_cmd; whack_cmd; monitor_cmd; sim_cmd; grid_cmd ]))

@@ -1,0 +1,1 @@
+examples/circular_failure.ml: Format List Loop Policy Printf Rpki_bgp Rpki_sim

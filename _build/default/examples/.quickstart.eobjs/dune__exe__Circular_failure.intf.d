@@ -1,0 +1,1 @@
+examples/circular_failure.mli:

@@ -1,0 +1,1 @@
+examples/hijack_lab.ml: Data_plane Hijack List Origin_validation Policy Printf Propagation Rpki_bgp Rpki_core Rpki_ip Rpki_util Topo_gen Topology V4 Vrp

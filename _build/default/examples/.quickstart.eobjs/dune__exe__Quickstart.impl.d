@@ -1,0 +1,1 @@
+examples/quickstart.ml: Authority List Origin_validation Printf Relying_party Resources Roa Route Rpki_core Rpki_ip Rpki_repo Rpki_rtr Rtime Universe V4 Vrp

@@ -1,0 +1,1 @@
+examples/whack_demo.ml: Format List Model Origin_validation Printf Relying_party Route Rpki_attack Rpki_core Rpki_ip Rpki_monitor Rpki_repo V4 Whack

@@ -1,0 +1,1 @@
+examples/whack_demo.mli:

@@ -1,0 +1,1 @@
+lib/asn/der.ml: Buffer Char Format List Nat Printf Rpki_bignum Rpki_util String

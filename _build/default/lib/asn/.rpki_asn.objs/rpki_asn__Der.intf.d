@@ -1,0 +1,1 @@
+lib/asn/der.mli: Format Nat Rpki_bignum

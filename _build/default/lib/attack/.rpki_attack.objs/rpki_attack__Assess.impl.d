@@ -1,0 +1,1 @@
+lib/attack/assess.ml: List Origin_validation Rpki_core Rpki_ip Rpki_repo Vrp

@@ -1,0 +1,1 @@
+lib/attack/assess.mli: Origin_validation Route Rpki_core Rpki_repo Rtime Vrp

@@ -1,0 +1,1 @@
+lib/attack/campaign.ml: Authority Buffer Int List Printf Resources Roa Rpki_core Rpki_ip Rpki_juris Rpki_repo Rtime String Universe V4 Whack

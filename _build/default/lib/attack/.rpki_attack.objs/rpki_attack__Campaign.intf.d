@@ -1,0 +1,1 @@
+lib/attack/campaign.mli: Authority Roa Rpki_core Rpki_ip Rpki_juris Rpki_repo Rtime Universe V4 Whack

@@ -1,0 +1,1 @@
+lib/attack/whack.ml: Authority Buffer Cert List Option Printf Pub_point Resources Roa Rpki_core Rpki_crypto Rpki_ip Rpki_repo String V4

@@ -1,0 +1,1 @@
+lib/attack/whack.mli: Authority Resources Roa Rpki_core Rpki_ip Rpki_repo Rtime V4

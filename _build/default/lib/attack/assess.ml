@@ -1,0 +1,46 @@
+(* Collateral-damage assessment: the difference between the VRP sets a
+   relying party computes before and after a manipulation.
+
+   The paper argues overt revocation is deterred by "the outcry from this
+   collateral damage"; this module is the outcry's ledger. *)
+
+open Rpki_core
+
+type delta = {
+  lost : Vrp.t list;     (* VRPs that disappeared *)
+  gained : Vrp.t list;   (* VRPs that appeared (e.g. make-before-break reissues) *)
+  net_lost : Vrp.t list; (* lost and not re-provided under any guise *)
+}
+
+let vrp_covers_same (a : Vrp.t) (b : Vrp.t) =
+  (* same routing meaning regardless of issuer *)
+  Rpki_ip.V4.Prefix.equal a.Vrp.prefix b.Vrp.prefix
+  && a.Vrp.max_len = b.Vrp.max_len && a.Vrp.asn = b.Vrp.asn
+
+let diff ~before ~after =
+  let lost = List.filter (fun v -> not (List.exists (Vrp.equal v) after)) before in
+  let gained = List.filter (fun v -> not (List.exists (Vrp.equal v) before)) after in
+  let net_lost = List.filter (fun v -> not (List.exists (vrp_covers_same v) after)) lost in
+  { lost; gained; net_lost }
+
+(* Routes whose validity state changed between two VRP sets. *)
+let validity_changes ~before ~after routes =
+  let ib = Origin_validation.build before and ia = Origin_validation.build after in
+  List.filter_map
+    (fun route ->
+      let sb = Origin_validation.classify ib route and sa = Origin_validation.classify ia route in
+      if Origin_validation.equal_state sb sa then None else Some (route, sb, sa))
+    routes
+
+(* Collateral of a plan, measured end to end: sync a relying party against
+   the live universe, run [mutate], sync again, and report net VRP loss
+   other than the intended target. *)
+let measure ~(rp : Rpki_repo.Relying_party.t) ~universe ~now ~(target : Vrp.t list) mutate =
+  let before = (Rpki_repo.Relying_party.sync rp ~now ~universe ()).Rpki_repo.Relying_party.vrps in
+  mutate ();
+  let after = (Rpki_repo.Relying_party.sync rp ~now ~universe ()).Rpki_repo.Relying_party.vrps in
+  let d = diff ~before ~after in
+  let collateral =
+    List.filter (fun v -> not (List.exists (vrp_covers_same v) target)) d.net_lost
+  in
+  (d, collateral)

@@ -1,0 +1,35 @@
+(** Collateral-damage assessment: the difference between the VRP sets a
+    relying party computes before and after a manipulation.
+
+    The paper argues overt revocation is deterred by "the outcry from this
+    collateral damage"; this module is the outcry's ledger. *)
+
+open Rpki_core
+
+type delta = {
+  lost : Vrp.t list;     (** VRPs that disappeared *)
+  gained : Vrp.t list;   (** VRPs that appeared (e.g. make-before-break reissues) *)
+  net_lost : Vrp.t list; (** lost and not re-provided under any guise *)
+}
+
+val vrp_covers_same : Vrp.t -> Vrp.t -> bool
+(** Same routing meaning (prefix, maxLength, origin) regardless of issuer. *)
+
+val diff : before:Vrp.t list -> after:Vrp.t list -> delta
+
+val validity_changes :
+  before:Vrp.t list ->
+  after:Vrp.t list ->
+  Route.t list ->
+  (Route.t * Origin_validation.state * Origin_validation.state) list
+(** Routes whose validity state changed between two VRP sets. *)
+
+val measure :
+  rp:Rpki_repo.Relying_party.t ->
+  universe:Rpki_repo.Universe.t ->
+  now:Rtime.t ->
+  target:Vrp.t list ->
+  (unit -> unit) ->
+  delta * Vrp.t list
+(** Sync, run the mutation, sync again; returns the delta and the net VRP
+    losses other than the intended target (the collateral). *)

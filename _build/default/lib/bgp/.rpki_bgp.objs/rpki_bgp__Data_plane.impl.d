@@ -1,0 +1,1 @@
+lib/bgp/data_plane.ml: List Option Propagation Rpki_ip Topology V4

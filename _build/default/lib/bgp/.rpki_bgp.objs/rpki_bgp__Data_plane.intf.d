@@ -1,0 +1,1 @@
+lib/bgp/data_plane.mli: Addr Origin_validation Policy Propagation Route Rpki_core Rpki_ip Topology V4

@@ -1,0 +1,1 @@
+lib/bgp/hijack.ml: Printf Propagation Rpki_ip V4

@@ -1,0 +1,1 @@
+lib/bgp/hijack.mli: Addr Propagation Rpki_ip V4

@@ -1,0 +1,1 @@
+lib/bgp/policy.ml: Format Rpki_core

@@ -1,0 +1,1 @@
+lib/bgp/propagation.ml: Hashtbl List Origin_validation Policy Route Rpki_core Rpki_ip Topology

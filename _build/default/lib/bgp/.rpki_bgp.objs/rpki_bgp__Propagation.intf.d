@@ -1,0 +1,1 @@
+lib/bgp/propagation.mli: Hashtbl Origin_validation Policy Route Rpki_core Rpki_ip Topology

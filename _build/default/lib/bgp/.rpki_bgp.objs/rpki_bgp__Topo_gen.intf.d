@@ -1,0 +1,1 @@
+lib/bgp/topo_gen.mli: Topology

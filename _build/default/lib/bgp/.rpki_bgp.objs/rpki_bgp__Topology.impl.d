@@ -1,0 +1,1 @@
+lib/bgp/topology.ml: Hashtbl Int List Option Printf

@@ -1,0 +1,86 @@
+(* The data plane: longest-prefix-match forwarding over per-prefix RIBs.
+
+   This is where subprefix hijacks bite ("when a router is offered BGP
+   routes for a prefix and its subprefix, it always chooses the subprefix
+   route") and where the paper's reachability questions (Table 6, Section 6)
+   are answered. *)
+
+open Rpki_ip
+
+type network = {
+  topo : Topology.t;
+  ribs : (V4.Prefix.t * Propagation.rib) list; (* one rib per announced prefix *)
+}
+
+(* Compute RIBs for every distinct announced prefix. *)
+let build ~topo ~policy_of ~validity_of (anns : Propagation.announcement list) =
+  let prefixes =
+    List.sort_uniq V4.Prefix.compare (List.map (fun a -> a.Propagation.prefix) anns)
+  in
+  let ribs =
+    List.map
+      (fun prefix ->
+        let relevant = List.filter (fun a -> V4.Prefix.equal a.Propagation.prefix prefix) anns in
+        (prefix, Propagation.compute ~topo ~policy_of ~validity_of relevant))
+      prefixes
+  in
+  { topo; ribs }
+
+(* The forwarding decision of [asn] for destination [addr]: the entry of the
+   longest prefix covering [addr] for which the AS holds a route. *)
+let forwarding_entry net ~asn ~addr =
+  let candidates =
+    List.filter_map
+      (fun (prefix, rib) ->
+        if V4.Prefix.contains_addr prefix addr then
+          Option.map (fun e -> (prefix, e)) (Propagation.route rib asn)
+        else None)
+      net.ribs
+  in
+  match candidates with
+  | [] -> None
+  | _ ->
+    Some
+      (List.fold_left
+         (fun best c ->
+           let (bp, _) = best and (cp, _) = c in
+           if V4.Prefix.len cp > V4.Prefix.len bp then c else best)
+         (List.hd candidates) (List.tl candidates))
+
+type delivery =
+  | Delivered of { origin : int; hops : int list } (* reached the origin AS *)
+  | No_route of int                                (* AS with no route *)
+  | Loop of int list
+
+(* Trace a packet from [src] AS toward [addr], hop by hop.  Each hop
+   re-evaluates LPM with its own RIB, so a subprefix hijack diverts traffic
+   even at ASes that still hold the victim's covering route. *)
+let trace net ~src ~addr =
+  let rec go asn visited =
+    if List.mem asn visited then Loop (List.rev (asn :: visited))
+    else begin
+      match forwarding_entry net ~asn ~addr with
+      | None -> No_route asn
+      | Some (_, e) -> (
+        if e.Propagation.ann.Propagation.origin = asn then
+          Delivered { origin = asn; hops = List.rev (asn :: visited) }
+        else
+          match Propagation.next_hop e with
+          | None -> Delivered { origin = asn; hops = List.rev (asn :: visited) }
+          | Some nh -> go nh (asn :: visited))
+    end
+  in
+  go src []
+
+(* Does traffic from [src] to [addr] reach [expected] (the legitimate
+   origin)? *)
+let reaches net ~src ~addr ~expected =
+  match trace net ~src ~addr with
+  | Delivered { origin; _ } -> origin = expected
+  | No_route _ | Loop _ -> false
+
+(* Fraction of ASes whose traffic to [addr] reaches [expected]. *)
+let reachability_fraction net ~addr ~expected =
+  let asns = Topology.asns net.topo in
+  let ok = List.length (List.filter (fun a -> reaches net ~src:a ~addr ~expected) asns) in
+  float_of_int ok /. float_of_int (List.length asns)

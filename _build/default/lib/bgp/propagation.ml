@@ -1,0 +1,139 @@
+(* BGP route propagation under Gao-Rexford export rules, with RPKI-aware
+   route selection.
+
+   For one prefix at a time: every announcement (origin) is flooded through
+   the topology; each AS repeatedly selects its best route among what its
+   neighbours export to it, until a fixpoint.  Validity-aware policies
+   filter (drop) or rank (depref) routes by their origin-validation state.
+
+   Export rule (Gao-Rexford): a route learned from a customer (or
+   self-originated) is exported to everyone; a route learned from a peer or
+   provider is exported only to customers.
+
+   Selection order:
+     1. (drop-invalid) invalid routes are not even candidates
+     2. (depref-invalid) validity: valid > unknown > invalid
+     3. relationship preference: customer > peer > provider
+     4. shorter AS path
+     5. lower next-hop ASN (determinism) *)
+
+open Rpki_core
+
+type announcement = {
+  prefix : Rpki_ip.V4.Prefix.t;
+  origin : int; (* the AS number placed in the origin position *)
+}
+
+type learned = From_customer | From_peer | From_provider | Self_originated
+
+type entry = {
+  ann : announcement;
+  path : int list;     (* this AS first, origin last *)
+  learned : learned;
+  validity : Origin_validation.state;
+}
+
+let rel_rank = function
+  | Self_originated -> 3
+  | From_customer -> 2
+  | From_peer -> 1
+  | From_provider -> 0
+
+(* Total preference order for routes at an AS with policy [policy]; bigger
+   is better.  Returns a comparable key. *)
+let preference_key ~(policy : Policy.t) (e : entry) =
+  let validity_component =
+    match policy with
+    | Policy.Depref_invalid | Policy.Drop_invalid -> Policy.validity_rank e.validity
+    | Policy.Ignore_rpki -> 0
+  in
+  (validity_component, rel_rank e.learned, -List.length e.path,
+   -(match e.path with _ :: next :: _ -> next | _ -> 0))
+
+let admissible ~(policy : Policy.t) (e : entry) =
+  match policy with
+  | Policy.Drop_invalid -> not (Origin_validation.equal_state e.validity Invalid)
+  | Policy.Depref_invalid | Policy.Ignore_rpki -> true
+
+let better ~policy a b = compare (preference_key ~policy a) (preference_key ~policy b) > 0
+
+(* Would [holder] export its current entry to neighbour [rel_of_neighbour]?
+   [rel_of_neighbour] is the neighbour's relationship to the holder. *)
+let exports (e : entry) ~(to_ : Topology.rel) =
+  match (e.learned, to_) with
+  | (Self_originated | From_customer), _ -> true
+  | (From_peer | From_provider), Topology.Customer -> true
+  | (From_peer | From_provider), (Topology.Peer | Topology.Provider) -> false
+
+type rib = (int, entry) Hashtbl.t (* asn -> best route for the prefix *)
+
+(* Compute every AS's best route for one prefix. *)
+let compute ~(topo : Topology.t) ~(policy_of : int -> Policy.t)
+    ~(validity_of : Route.t -> Origin_validation.state) (anns : announcement list) : rib =
+  let rib : rib = Hashtbl.create 64 in
+  let all_asns = Topology.asns topo in
+  (* seed self-originations *)
+  List.iter
+    (fun ann ->
+      if Topology.mem topo ann.origin then begin
+        let e =
+          { ann; path = [ ann.origin ]; learned = Self_originated;
+            validity = validity_of (Route.make ann.prefix ann.origin) }
+        in
+        if admissible ~policy:(policy_of ann.origin) e then begin
+          match Hashtbl.find_opt rib ann.origin with
+          | Some cur when not (better ~policy:(policy_of ann.origin) e cur) -> ()
+          | _ -> Hashtbl.replace rib ann.origin e
+        end
+      end)
+    anns;
+  (* iterate to fixpoint *)
+  let changed = ref true in
+  let rounds = ref 0 in
+  while !changed do
+    changed := false;
+    incr rounds;
+    if !rounds > 4 * (List.length all_asns + 2) then failwith "Propagation.compute: no convergence";
+    List.iter
+      (fun asn ->
+        let policy = policy_of asn in
+        let consider (candidate : entry) =
+          if admissible ~policy candidate && not (List.mem asn candidate.path) then begin
+            let candidate = { candidate with path = asn :: candidate.path } in
+            match Hashtbl.find_opt rib asn with
+            | Some cur when not (better ~policy candidate cur) -> ()
+            | _ ->
+              Hashtbl.replace rib asn candidate;
+              changed := true
+          end
+        in
+        List.iter
+          (fun (n, rel) ->
+            (* [rel] is n's relationship to asn; the exporter n sees asn with
+               the converse relationship *)
+            let to_ : Topology.rel =
+              match rel with
+              | Topology.Customer -> Topology.Provider
+              | Topology.Provider -> Topology.Customer
+              | Topology.Peer -> Topology.Peer
+            in
+            match Hashtbl.find_opt rib n with
+            | None -> ()
+            | Some e ->
+              if exports e ~to_ then begin
+                let learned =
+                  match rel with
+                  | Topology.Customer -> From_customer
+                  | Topology.Provider -> From_provider
+                  | Topology.Peer -> From_peer
+                in
+                consider { e with learned }
+              end)
+          (Topology.neighbours topo asn))
+      all_asns
+  done;
+  rib
+
+let route rib asn = Hashtbl.find_opt rib asn
+
+let next_hop (e : entry) = match e.path with _ :: n :: _ -> Some n | _ -> None

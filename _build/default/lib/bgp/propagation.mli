@@ -1,0 +1,53 @@
+(** BGP route propagation under Gao-Rexford export rules, with RPKI-aware
+    route selection.
+
+    Export rule: a route learned from a customer (or self-originated) is
+    exported to everyone; a route learned from a peer or provider is
+    exported only to customers.  Selection: (drop-invalid filters, then)
+    validity > relationship preference > path length > lowest next hop. *)
+
+open Rpki_core
+
+type announcement = {
+  prefix : Rpki_ip.V4.Prefix.t;
+  origin : int; (** the AS in the origin position *)
+}
+
+type learned = From_customer | From_peer | From_provider | Self_originated
+
+type entry = {
+  ann : announcement;
+  path : int list;   (** this AS first, origin last *)
+  learned : learned;
+  validity : Origin_validation.state;
+}
+
+val rel_rank : learned -> int
+
+val preference_key : policy:Policy.t -> entry -> int * int * int * int
+(** Total preference order at an AS (bigger wins). *)
+
+val admissible : policy:Policy.t -> entry -> bool
+(** Drop-invalid refuses invalid candidates outright. *)
+
+val better : policy:Policy.t -> entry -> entry -> bool
+
+val exports : entry -> to_:Topology.rel -> bool
+(** Gao-Rexford export predicate; [to_] is the neighbour's relationship as
+    seen by the route holder. *)
+
+type rib = (int, entry) Hashtbl.t
+(** Best route per AS, for one prefix. *)
+
+val compute :
+  topo:Topology.t ->
+  policy_of:(int -> Policy.t) ->
+  validity_of:(Route.t -> Origin_validation.state) ->
+  announcement list ->
+  rib
+(** Fixpoint propagation of one prefix's announcements through the
+    topology.  Raises [Failure] if no convergence (cannot happen on
+    valley-free topologies). *)
+
+val route : rib -> int -> entry option
+val next_hop : entry -> int option

@@ -1,0 +1,102 @@
+(* Synthetic Internet-like AS topologies.
+
+   Real AS-relationship data (CAIDA) is not available offline, so we
+   generate hierarchical topologies with the familiar structure: a clique of
+   tier-1 providers peering with each other, tier-2 ISPs multihomed to
+   tier-1s and peering laterally, and stub ASes homed to tier-2s.  The
+   experiments only need shape (who wins a hijack, how far routes spread),
+   which this preserves. *)
+
+type spec = {
+  tier1 : int;            (* size of the top clique *)
+  tier2 : int;
+  stubs : int;
+  providers_per_tier2 : int;
+  providers_per_stub : int;
+  peer_fraction : float;  (* probability of lateral tier-2 peering *)
+  seed : int;
+}
+
+let default_spec =
+  { tier1 = 4; tier2 = 20; stubs = 100; providers_per_tier2 = 2; providers_per_stub = 2;
+    peer_fraction = 0.1; seed = 7 }
+
+type generated = {
+  topo : Topology.t;
+  tier1_asns : int list;
+  tier2_asns : int list;
+  stub_asns : int list;
+}
+
+let generate (spec : spec) =
+  let rng = Rpki_util.Rng.create spec.seed in
+  let topo = Topology.create () in
+  let tier1_asns = List.init spec.tier1 (fun i -> 100 + i) in
+  let tier2_asns = List.init spec.tier2 (fun i -> 1000 + i) in
+  let stub_asns = List.init spec.stubs (fun i -> 10000 + i) in
+  List.iter (Topology.add_as topo) tier1_asns;
+  (* tier-1 full mesh of peerings *)
+  List.iteri
+    (fun i a -> List.iteri (fun j b -> if i < j then Topology.peer topo a b) tier1_asns)
+    tier1_asns;
+  (* tier-2: multihome to distinct tier-1s *)
+  List.iter
+    (fun t2 ->
+      let providers =
+        Rpki_util.Rng.shuffle rng tier1_asns
+        |> List.filteri (fun i _ -> i < spec.providers_per_tier2)
+      in
+      List.iter (fun p -> Topology.link topo ~provider:p ~customer:t2) providers)
+    tier2_asns;
+  (* lateral tier-2 peerings *)
+  List.iteri
+    (fun i a ->
+      List.iteri
+        (fun j b ->
+          if i < j && Rpki_util.Rng.float rng < spec.peer_fraction then Topology.peer topo a b)
+        tier2_asns)
+    tier2_asns;
+  (* stubs: homed to tier-2s *)
+  List.iter
+    (fun s ->
+      let providers =
+        Rpki_util.Rng.shuffle rng tier2_asns
+        |> List.filteri (fun i _ -> i < spec.providers_per_stub)
+      in
+      List.iter (fun p -> Topology.link topo ~provider:p ~customer:s) providers)
+    stub_asns;
+  { topo; tier1_asns; tier2_asns; stub_asns }
+
+(* The small fixed topology used by the Table 6 and Section 6 narratives:
+
+              T1a ===== T1b          (tier-1 peers)
+             /   \      /  \
+          Mid1   Mid2 Mid3  Attacker(AS 666)
+           |       \   /
+         Victim    Source
+
+   Victim originates the protected prefix; Source is a typical relying
+   party; Attacker is multihomed high in the hierarchy, the hard case. *)
+type small = {
+  small_topo : Topology.t;
+  t1a : int; t1b : int;
+  mid1 : int; mid2 : int; mid3 : int;
+  victim : int;
+  source : int;
+  attacker : int;
+}
+
+let small_scenario () =
+  let topo = Topology.create () in
+  let t1a = 100 and t1b = 101 in
+  let mid1 = 1001 and mid2 = 1002 and mid3 = 1003 in
+  let victim = 17054 and source = 7018 and attacker = 666 in
+  Topology.peer topo t1a t1b;
+  Topology.link topo ~provider:t1a ~customer:mid1;
+  Topology.link topo ~provider:t1a ~customer:mid2;
+  Topology.link topo ~provider:t1b ~customer:mid3;
+  Topology.link topo ~provider:t1b ~customer:attacker;
+  Topology.link topo ~provider:mid1 ~customer:victim;
+  Topology.link topo ~provider:mid2 ~customer:source;
+  Topology.link topo ~provider:mid3 ~customer:source;
+  { small_topo = topo; t1a; t1b; mid1; mid2; mid3; victim; source; attacker }

@@ -1,0 +1,47 @@
+(** Synthetic Internet-like AS topologies.
+
+    Real AS-relationship data (CAIDA) is not available offline, so these
+    generators produce the familiar hierarchy: a tier-1 clique, multihomed
+    tier-2 ISPs with lateral peerings, and stub ASes.  The experiments need
+    only shape (who wins a hijack, how far routes spread), which this
+    preserves. *)
+
+type spec = {
+  tier1 : int;
+  tier2 : int;
+  stubs : int;
+  providers_per_tier2 : int;
+  providers_per_stub : int;
+  peer_fraction : float;
+  seed : int;
+}
+
+val default_spec : spec
+(** 4 tier-1s, 20 tier-2s, 100 stubs. *)
+
+type generated = {
+  topo : Topology.t;
+  tier1_asns : int list;
+  tier2_asns : int list;
+  stub_asns : int list;
+}
+
+val generate : spec -> generated
+(** Deterministic in [spec.seed]. *)
+
+(** The small fixed topology used by the Table 6 and Section 6 narratives:
+    two peered tier-1s, three mid ISPs, a victim, a multihomed source, and
+    an attacker homed high in the hierarchy. *)
+type small = {
+  small_topo : Topology.t;
+  t1a : int;
+  t1b : int;
+  mid1 : int;
+  mid2 : int;
+  mid3 : int;
+  victim : int;   (** AS 17054 *)
+  source : int;   (** AS 7018, the observing relying party *)
+  attacker : int; (** AS 666 *)
+}
+
+val small_scenario : unit -> small

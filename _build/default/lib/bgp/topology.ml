@@ -1,0 +1,66 @@
+(* AS-level topology with Gao-Rexford business relationships.
+
+   Customer-provider links form a DAG (enforced at insertion); peering links
+   are symmetric.  This is the standard model used by the BGP security
+   literature the paper builds on (e.g. Goldberg et al., SIGCOMM'10). *)
+
+type rel = Customer | Provider | Peer
+
+type t = {
+  mutable asns : int list;
+  providers : (int, int list) Hashtbl.t; (* asn -> its providers *)
+  customers : (int, int list) Hashtbl.t; (* asn -> its customers *)
+  peers : (int, int list) Hashtbl.t;     (* asn -> its peers *)
+}
+
+let create () =
+  { asns = []; providers = Hashtbl.create 64; customers = Hashtbl.create 64;
+    peers = Hashtbl.create 64 }
+
+let mem t asn = List.mem asn t.asns
+
+let add_as t asn = if not (mem t asn) then t.asns <- asn :: t.asns
+
+let get tbl asn = Option.value (Hashtbl.find_opt tbl asn) ~default:[]
+
+let providers t asn = get t.providers asn
+let customers t asn = get t.customers asn
+let peers t asn = get t.peers asn
+
+let asns t = List.sort Int.compare t.asns
+
+(* True when [ancestor] is reachable from [asn] by walking provider links —
+   used to reject provider cycles. *)
+let rec reaches_via_providers t ~from ~target =
+  from = target
+  || List.exists (fun p -> reaches_via_providers t ~from:p ~target) (providers t from)
+
+let link t ~provider ~customer =
+  if provider = customer then invalid_arg "Topology.link: self link";
+  if reaches_via_providers t ~from:provider ~target:customer then
+    invalid_arg
+      (Printf.sprintf "Topology.link: AS%d->AS%d would create a provider cycle" provider customer);
+  add_as t provider;
+  add_as t customer;
+  if not (List.mem provider (providers t customer)) then begin
+    Hashtbl.replace t.providers customer (provider :: providers t customer);
+    Hashtbl.replace t.customers provider (customer :: customers t provider)
+  end
+
+let peer t a b =
+  if a = b then invalid_arg "Topology.peer: self peering";
+  add_as t a;
+  add_as t b;
+  if not (List.mem b (peers t a)) then begin
+    Hashtbl.replace t.peers a (b :: peers t a);
+    Hashtbl.replace t.peers b (a :: peers t b)
+  end
+
+(* Neighbours with the relationship *of the neighbour to [asn]*:
+   (n, Customer) means n is a customer of asn. *)
+let neighbours t asn =
+  List.map (fun n -> (n, Customer)) (customers t asn)
+  @ List.map (fun n -> (n, Peer)) (peers t asn)
+  @ List.map (fun n -> (n, Provider)) (providers t asn)
+
+let rel_to_string = function Customer -> "customer" | Provider -> "provider" | Peer -> "peer"

@@ -1,0 +1,1 @@
+lib/core/cert.ml: Der Format Resources Rpki_asn Rpki_crypto Rsa Rtime

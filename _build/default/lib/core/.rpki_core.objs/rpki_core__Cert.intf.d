@@ -1,0 +1,1 @@
+lib/core/cert.mli: Format Resources Rpki_asn Rpki_crypto Rsa Rtime

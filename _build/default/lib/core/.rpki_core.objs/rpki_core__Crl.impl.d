@@ -1,0 +1,1 @@
+lib/core/crl.ml: Der Format Int List Rpki_asn Rpki_crypto Rsa Rtime String

@@ -1,0 +1,1 @@
+lib/core/crl.mli: Format Rpki_asn Rpki_crypto Rsa Rtime

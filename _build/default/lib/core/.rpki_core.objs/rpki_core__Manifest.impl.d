@@ -1,0 +1,1 @@
+lib/core/manifest.ml: Cert Der Format List Printf Resources Rpki_asn Rpki_crypto Rsa Rtime Sha256 String

@@ -1,0 +1,1 @@
+lib/core/manifest.mli: Cert Format Rpki_asn Rpki_crypto Rpki_util Rsa Rtime

@@ -1,0 +1,1 @@
+lib/core/obj.ml: Cert Crl Manifest Printf Result Roa String

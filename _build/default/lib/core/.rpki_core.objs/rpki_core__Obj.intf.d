@@ -1,0 +1,1 @@
+lib/core/obj.mli: Cert Crl Format Manifest Roa

@@ -1,0 +1,1 @@
+lib/core/origin_validation.ml: Format List Route Rpki_ip V4 Vrp

@@ -1,0 +1,1 @@
+lib/core/origin_validation.mli: Format Route Rpki_ip V4 Vrp

@@ -1,0 +1,1 @@
+lib/core/resources.ml: As_res Der Format Int64 List Nat Rpki_asn Rpki_bignum Rpki_ip String V4 V6

@@ -1,0 +1,1 @@
+lib/core/resources.mli: Addr As_res Format Rpki_asn Rpki_bignum Rpki_ip V4 V6

@@ -1,0 +1,1 @@
+lib/core/roa.ml: Cert Der Format List Option Printf Resources Rpki_asn Rpki_crypto Rpki_ip Rsa String V4 V6

@@ -1,0 +1,1 @@
+lib/core/roa.mli: Cert Format Resources Rpki_asn Rpki_crypto Rpki_ip Rpki_util Rsa Rtime V4 V6

@@ -1,0 +1,1 @@
+lib/core/route.ml: Format Int Printf Rpki_ip V4

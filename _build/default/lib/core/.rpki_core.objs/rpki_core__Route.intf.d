@@ -1,0 +1,1 @@
+lib/core/route.mli: Format Rpki_ip V4

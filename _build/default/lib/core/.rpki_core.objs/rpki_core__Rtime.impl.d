@@ -1,0 +1,1 @@
+lib/core/rtime.ml: Format Int Printf Stdlib

@@ -1,0 +1,1 @@
+lib/core/rtime.mli: Format

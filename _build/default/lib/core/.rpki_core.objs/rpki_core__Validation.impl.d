@@ -1,0 +1,1 @@
+lib/core/validation.ml: Cert Crl Format List Manifest Printf Resources Result Roa Rpki_crypto Rpki_ip Rsa Rtime Vrp

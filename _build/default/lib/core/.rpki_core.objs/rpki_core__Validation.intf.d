@@ -1,0 +1,1 @@
+lib/core/validation.mli: Cert Crl Format Manifest Resources Roa Rpki_crypto Rsa Rtime Vrp

@@ -1,0 +1,1 @@
+lib/core/validity_grid.ml: List Origin_validation Printf Route Rpki_ip V4 Vrp

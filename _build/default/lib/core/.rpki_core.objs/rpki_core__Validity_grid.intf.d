@@ -1,0 +1,1 @@
+lib/core/validity_grid.mli: Origin_validation Route Rpki_ip V4

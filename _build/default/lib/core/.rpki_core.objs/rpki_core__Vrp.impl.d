@@ -1,0 +1,1 @@
+lib/core/vrp.ml: Format Int List Option Printf Roa Rpki_ip V4

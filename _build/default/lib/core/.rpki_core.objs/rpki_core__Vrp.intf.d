@@ -1,0 +1,1 @@
+lib/core/vrp.mli: Format Roa Rpki_ip V4

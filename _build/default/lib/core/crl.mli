@@ -1,0 +1,35 @@
+(** Certificate revocation lists (RFC 5280 profile, simplified), signed
+    directly by the issuing CA.
+
+    Side Effect 1 of the paper: revocation doubles as unilateral reclamation
+    of address space.  Side Effect 2: deletion from the repository achieves
+    the same end {e without} leaving a CRL trace — the monitor library keys
+    on exactly this distinction. *)
+
+open Rpki_crypto
+
+type t = {
+  issuer : string;
+  this_update : Rtime.t;
+  next_update : Rtime.t;
+  revoked_serials : int list; (** sorted ascending, deduplicated *)
+  signature : string;
+}
+
+val tbs_der : t -> Rpki_asn.Der.t
+val tbs_bytes : t -> string
+val to_der : t -> Rpki_asn.Der.t
+val encode : t -> string
+val of_der : Rpki_asn.Der.t -> t
+val decode : string -> (t, string) result
+
+val issue :
+  ca_key:Rsa.private_ ->
+  issuer:string ->
+  this_update:Rtime.t ->
+  next_update:Rtime.t ->
+  revoked_serials:int list ->
+  t
+
+val revokes : t -> int -> bool
+val pp : Format.formatter -> t -> unit

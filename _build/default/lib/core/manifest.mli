@@ -1,0 +1,53 @@
+(** Manifests (RFC 6486 profile, simplified): a signed listing of every file
+    at a publication point with its SHA-256 hash.
+
+    Manifests let a relying party detect deletions and corruptions — which
+    is what makes the paper's "stealthy" manipulations a matter of policy
+    rather than detectability: the RFCs do not say what to do when the
+    manifest check fails (Section 4's "difficult tradeoff"). *)
+
+open Rpki_crypto
+
+type entry = { filename : string; hash : string (** SHA-256, raw bytes *) }
+
+type t = {
+  manifest_number : int;
+  this_update : Rtime.t;
+  next_update : Rtime.t;
+  entries : entry list; (** sorted by filename *)
+  ee : Cert.t;
+  signature : string;
+}
+
+val content_der :
+  manifest_number:int ->
+  this_update:Rtime.t ->
+  next_update:Rtime.t ->
+  entries:entry list ->
+  Rpki_asn.Der.t
+
+val content_bytes : t -> string
+val to_der : t -> Rpki_asn.Der.t
+val encode : t -> string
+val of_der : Rpki_asn.Der.t -> t
+val decode : string -> (t, string) result
+
+val entry_of_file : filename:string -> contents:string -> entry
+
+val issue :
+  ca_key:Rsa.private_ ->
+  ca_subject:string ->
+  serial:int ->
+  rng:Rpki_util.Rng.t ->
+  ?ee_bits:int ->
+  ?ee_key:Rsa.keypair ->
+  manifest_number:int ->
+  this_update:Rtime.t ->
+  next_update:Rtime.t ->
+  files:(string * string) list ->
+  unit ->
+  t
+(** Issue a manifest over (filename, bytes) pairs; EE-signed like a ROA. *)
+
+val find : t -> string -> entry option
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,17 @@
+(** The sum of object kinds stored at a publication point, with RFC 6481
+    filename conventions (.cer / .roa / .crl / .mft). *)
+
+type t =
+  | Cert of Cert.t
+  | Roa of Roa.t
+  | Crl of Crl.t
+  | Manifest of Manifest.t
+
+val encode : t -> string
+
+val kind_of_filename : string -> [ `Cert | `Roa | `Crl | `Manifest ] option
+
+val decode : filename:string -> string -> (t, string) result
+(** Dispatch on the filename extension, then parse. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,62 @@
+(* Route-origin validation (RFC 6811 / RFC 6483), the semantics at the heart
+   of Section 4 of the paper.
+
+   Given the relying party's set of validated ROA payloads, each BGP route is
+   classified:
+
+   - [Valid]   — some VRP matches: same origin AS, VRP prefix covers the
+                 route's prefix, and the route's length <= maxLength;
+   - [Unknown] — no VRP even covers the route's prefix (the RFC's NotFound);
+   - [Invalid] — some VRP covers the prefix, but none matches.
+
+   The index is a prefix trie so classification of a route needs only the
+   VRPs on its covering path. *)
+
+open Rpki_ip
+
+type state = Valid | Invalid | Unknown
+
+let state_to_string = function Valid -> "valid" | Invalid -> "invalid" | Unknown -> "unknown"
+let pp_state fmt s = Format.pp_print_string fmt (state_to_string s)
+let equal_state (a : state) b = a = b
+
+type index = { trie : Vrp.t list V4.Trie.t; count : int }
+
+let empty_index = { trie = V4.Trie.empty; count = 0 }
+
+let build vrps =
+  let trie =
+    List.fold_left
+      (fun t (vrp : Vrp.t) ->
+        V4.Trie.insert_with ~combine:(fun old v -> v @ old) t vrp.Vrp.prefix [ vrp ])
+      V4.Trie.empty vrps
+  in
+  { trie; count = List.length vrps }
+
+let vrp_count idx = idx.count
+
+let vrps idx = List.concat_map snd (V4.Trie.to_list idx.trie)
+
+let trie_of idx = idx.trie
+
+(* All VRPs whose prefix covers [prefix]. *)
+let covering_vrps idx prefix = List.concat_map snd (V4.Trie.covering idx.trie prefix)
+
+let matches (vrp : Vrp.t) (route : Route.t) =
+  vrp.Vrp.asn = route.Route.origin
+  && vrp.Vrp.asn <> 0 (* AS0 ROAs authorize no one, RFC 6483 section 4 *)
+  && V4.Prefix.covers vrp.Vrp.prefix route.Route.prefix
+  && V4.Prefix.len route.Route.prefix <= vrp.Vrp.max_len
+
+let classify idx (route : Route.t) =
+  let covering = covering_vrps idx route.Route.prefix in
+  match covering with
+  | [] -> Unknown
+  | _ -> if List.exists (fun vrp -> matches vrp route) covering then Valid else Invalid
+
+(* The matching VRPs (evidence for a Valid answer) and covering VRPs
+   (evidence for an Invalid answer). *)
+let explain idx (route : Route.t) =
+  let covering = covering_vrps idx route.Route.prefix in
+  let matching = List.filter (fun vrp -> matches vrp route) covering in
+  (classify idx route, matching, covering)

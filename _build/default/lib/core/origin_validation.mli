@@ -1,0 +1,41 @@
+(** Route-origin validation (RFC 6811 / RFC 6483) — the semantics at the
+    heart of the paper's Section 4.
+
+    Given the relying party's validated ROA payloads, each route is:
+    - [Valid] — some VRP matches (same origin, covering prefix, length
+      within maxLength);
+    - [Unknown] — no VRP even covers the prefix (the RFC's NotFound);
+    - [Invalid] — some VRP covers the prefix but none matches.
+
+    It is the [Invalid]-versus-[Unknown] distinction that creates Side
+    Effects 5 and 6. *)
+
+open Rpki_ip
+
+type state = Valid | Invalid | Unknown
+
+val state_to_string : state -> string
+val pp_state : Format.formatter -> state -> unit
+val equal_state : state -> state -> bool
+
+type index
+(** A prefix-trie index over a VRP set. *)
+
+val empty_index : index
+val build : Vrp.t list -> index
+val vrp_count : index -> int
+val vrps : index -> Vrp.t list
+
+val covering_vrps : index -> V4.Prefix.t -> Vrp.t list
+(** All VRPs whose prefix covers the given prefix. *)
+
+val matches : Vrp.t -> Route.t -> bool
+(** The RFC 6811 match predicate (AS0 VRPs never match, per RFC 6483). *)
+
+val classify : index -> Route.t -> state
+
+val explain : index -> Route.t -> state * Vrp.t list * Vrp.t list
+(** [(state, matching, covering)] — evidence for the verdict. *)
+
+(* The trie is exposed for the validity-grid pruning walk. *)
+val trie_of : index -> Vrp.t list V4.Trie.t

@@ -1,0 +1,12 @@
+(** A BGP route for the purposes of origin validation: an IP prefix and the
+    AS that originates it (the paper's Section 2 definition). *)
+
+open Rpki_ip
+
+type t = { prefix : V4.Prefix.t; origin : int }
+
+val make : V4.Prefix.t -> int -> t
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,151 @@
+(* Object validation (RFC 6487 / 6488-style checks, simplified).
+
+   Every check returns typed evidence on failure rather than a boolean, so
+   that the attack, monitor and simulation layers can attribute a validity
+   change to the specific manipulation that caused it. *)
+
+open Rpki_crypto
+
+type failure =
+  | Expired of { not_after : Rtime.t; now : Rtime.t }
+  | Not_yet_valid of { not_before : Rtime.t; now : Rtime.t }
+  | Bad_signature of string (* which object *)
+  | Wrong_issuer of { expected : string; got : string }
+  | Resource_overclaim of { subject : string; excess : Resources.t }
+  | Revoked of { serial : int; issuer : string }
+  | Stale_crl of { next_update : Rtime.t; now : Rtime.t }
+  | Not_a_ca of string
+  | Is_a_ca of string (* EE slot filled by a CA certificate *)
+  | Bad_max_length of { len : int; max_len : int }
+  | Malformed of string
+
+let pp_failure fmt = function
+  | Expired { not_after; now } ->
+    Format.fprintf fmt "expired (notAfter=%a, now=%a)" Rtime.pp not_after Rtime.pp now
+  | Not_yet_valid { not_before; now } ->
+    Format.fprintf fmt "not yet valid (notBefore=%a, now=%a)" Rtime.pp not_before Rtime.pp now
+  | Bad_signature what -> Format.fprintf fmt "bad signature on %s" what
+  | Wrong_issuer { expected; got } ->
+    Format.fprintf fmt "wrong issuer (expected %s, got %s)" expected got
+  | Resource_overclaim { subject; excess } ->
+    Format.fprintf fmt "resource overclaim by %s: %a" subject Resources.pp excess
+  | Revoked { serial; issuer } -> Format.fprintf fmt "revoked (serial %d by %s)" serial issuer
+  | Stale_crl { next_update; now } ->
+    Format.fprintf fmt "stale CRL (nextUpdate=%a, now=%a)" Rtime.pp next_update Rtime.pp now
+  | Not_a_ca s -> Format.fprintf fmt "%s is not a CA" s
+  | Is_a_ca s -> Format.fprintf fmt "%s is a CA where an EE is required" s
+  | Bad_max_length { len; max_len } ->
+    Format.fprintf fmt "maxLength %d shorter than prefix length %d" max_len len
+  | Malformed what -> Format.fprintf fmt "malformed %s" what
+
+let failure_to_string f = Format.asprintf "%a" pp_failure f
+
+let ( let* ) = Result.bind
+
+let check_window ~now ~not_before ~not_after =
+  if Rtime.( < ) now not_before then Error (Not_yet_valid { not_before; now })
+  else if Rtime.( < ) not_after now then Error (Expired { not_after; now })
+  else Ok ()
+
+(* Validate a CRL against its issuing CA. *)
+let validate_crl ~now ~(parent : Cert.t) (crl : Crl.t) =
+  let* () =
+    if crl.Crl.issuer <> parent.Cert.subject then
+      Error (Wrong_issuer { expected = parent.Cert.subject; got = crl.Crl.issuer })
+    else Ok ()
+  in
+  let* () =
+    if Rsa.verify ~key:parent.Cert.public_key ~signature:crl.Crl.signature (Crl.tbs_bytes crl)
+    then Ok ()
+    else Error (Bad_signature "CRL")
+  in
+  if Rtime.( < ) crl.Crl.next_update now then
+    Error (Stale_crl { next_update = crl.Crl.next_update; now })
+  else Ok ()
+
+(* Validate one certificate under a validated parent.  [crl], when present,
+   must already have been validated against the same parent. *)
+let validate_cert ~now ~(parent : Cert.t) ?crl (cert : Cert.t) =
+  let* () =
+    if not parent.Cert.is_ca then Error (Not_a_ca parent.Cert.subject) else Ok ()
+  in
+  let* () =
+    if cert.Cert.issuer <> parent.Cert.subject then
+      Error (Wrong_issuer { expected = parent.Cert.subject; got = cert.Cert.issuer })
+    else Ok ()
+  in
+  let* () =
+    if Cert.verify_signature ~issuer_key:parent.Cert.public_key cert then Ok ()
+    else Error (Bad_signature (Printf.sprintf "certificate for %s" cert.Cert.subject))
+  in
+  let* () = check_window ~now ~not_before:cert.Cert.not_before ~not_after:cert.Cert.not_after in
+  let* () =
+    let excess =
+      Resources.overclaim ~claimed:cert.Cert.resources ~allowed:parent.Cert.resources
+    in
+    if Resources.is_empty excess then Ok ()
+    else Error (Resource_overclaim { subject = cert.Cert.subject; excess })
+  in
+  match crl with
+  | Some crl when Crl.revokes crl cert.Cert.serial ->
+    Error (Revoked { serial = cert.Cert.serial; issuer = parent.Cert.subject })
+  | _ -> Ok ()
+
+(* Validate a trust-anchor certificate against its out-of-band key (the TAL
+   model: the relying party is configured with the TA's public key). *)
+let validate_trust_anchor ~now ~(expected_key : Rsa.public) (cert : Cert.t) =
+  let* () =
+    if Rsa.equal_public cert.Cert.public_key expected_key then Ok ()
+    else Error (Bad_signature "trust anchor key mismatch")
+  in
+  let* () =
+    if Cert.verify_signature ~issuer_key:expected_key cert then Ok ()
+    else Error (Bad_signature "trust anchor certificate")
+  in
+  let* () = check_window ~now ~not_before:cert.Cert.not_before ~not_after:cert.Cert.not_after in
+  if cert.Cert.is_ca then Ok () else Error (Not_a_ca cert.Cert.subject)
+
+(* Validate a ROA under a validated parent CA; returns the VRPs it yields. *)
+let validate_roa ~now ~(parent : Cert.t) ?crl (roa : Roa.t) =
+  let ee = roa.Roa.ee in
+  let* () = validate_cert ~now ~parent ?crl ee in
+  let* () = if ee.Cert.is_ca then Error (Is_a_ca ee.Cert.subject) else Ok () in
+  let* () =
+    if Rsa.verify ~key:ee.Cert.public_key ~signature:roa.Roa.signature (Roa.content_bytes roa)
+    then Ok ()
+    else Error (Bad_signature "ROA content")
+  in
+  (* each prefix must sit inside the EE certificate's resources *)
+  let* () =
+    let claimed = Roa.resources roa in
+    let excess = Resources.overclaim ~claimed ~allowed:ee.Cert.resources in
+    if Resources.is_empty excess then Ok ()
+    else Error (Resource_overclaim { subject = ee.Cert.subject; excess })
+  in
+  let* () =
+    List.fold_left
+      (fun acc (e : Roa.v4_entry) ->
+        let* () = acc in
+        let len = Rpki_ip.V4.Prefix.len e.Roa.prefix in
+        if e.Roa.max_len < len || e.Roa.max_len > 32 then
+          Error (Bad_max_length { len; max_len = e.Roa.max_len })
+        else Ok ())
+      (Ok ()) roa.Roa.v4_entries
+  in
+  Ok (Vrp.of_roa roa)
+
+(* Validate a manifest under a validated parent CA. *)
+let validate_manifest ~now ~(parent : Cert.t) ?crl (mft : Manifest.t) =
+  let ee = mft.Manifest.ee in
+  let* () = validate_cert ~now ~parent ?crl ee in
+  let* () = if ee.Cert.is_ca then Error (Is_a_ca ee.Cert.subject) else Ok () in
+  let* () =
+    if
+      Rsa.verify ~key:ee.Cert.public_key ~signature:mft.Manifest.signature
+        (Manifest.content_bytes mft)
+    then Ok ()
+    else Error (Bad_signature "manifest content")
+  in
+  if Rtime.( < ) mft.Manifest.next_update now then
+    Error (Stale_crl { next_update = mft.Manifest.next_update; now })
+  else Ok ()

@@ -1,0 +1,46 @@
+(** Object validation (RFC 6487/6488-style checks, simplified).
+
+    Every check returns typed evidence on failure rather than a boolean, so
+    the attack, monitor and simulation layers can attribute a validity
+    change to the specific manipulation that caused it. *)
+
+open Rpki_crypto
+
+type failure =
+  | Expired of { not_after : Rtime.t; now : Rtime.t }
+  | Not_yet_valid of { not_before : Rtime.t; now : Rtime.t }
+  | Bad_signature of string            (** which object *)
+  | Wrong_issuer of { expected : string; got : string }
+  | Resource_overclaim of { subject : string; excess : Resources.t }
+  | Revoked of { serial : int; issuer : string }
+  | Stale_crl of { next_update : Rtime.t; now : Rtime.t }
+  | Not_a_ca of string
+  | Is_a_ca of string                  (** EE slot filled by a CA cert *)
+  | Bad_max_length of { len : int; max_len : int }
+  | Malformed of string
+
+val pp_failure : Format.formatter -> failure -> unit
+val failure_to_string : failure -> string
+
+val validate_crl : now:Rtime.t -> parent:Cert.t -> Crl.t -> (unit, failure) result
+(** Check a CRL's issuer, signature and currency against its issuing CA. *)
+
+val validate_cert :
+  now:Rtime.t -> parent:Cert.t -> ?crl:Crl.t -> Cert.t -> (unit, failure) result
+(** Validate one certificate under a validated parent: issuer match,
+    signature, validity window, RFC 3779 resource containment, and (when a
+    validated [crl] is supplied) revocation. *)
+
+val validate_trust_anchor :
+  now:Rtime.t -> expected_key:Rsa.public -> Cert.t -> (unit, failure) result
+(** TAL-model validation: the relying party is configured out of band with
+    the trust anchor's public key. *)
+
+val validate_roa :
+  now:Rtime.t -> parent:Cert.t -> ?crl:Crl.t -> Roa.t -> (Vrp.t list, failure) result
+(** Validate a ROA under a validated parent CA: EE chain, content signature,
+    prefix containment in the EE's resources, maxLength sanity.  Returns the
+    VRPs the ROA yields. *)
+
+val validate_manifest :
+  now:Rtime.t -> parent:Cert.t -> ?crl:Crl.t -> Manifest.t -> (unit, failure) result

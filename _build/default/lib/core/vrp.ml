@@ -1,0 +1,32 @@
+(* Validated ROA Payloads: the (prefix, max length, origin AS) triples that
+   survive validation and drive route-origin validation (RFC 6811 calls the
+   set of these the "VRP set"). *)
+
+open Rpki_ip
+
+type t = { prefix : V4.Prefix.t; max_len : int; asn : int }
+
+let make ?max_len prefix asn =
+  let max_len = Option.value max_len ~default:(V4.Prefix.len prefix) in
+  if max_len < V4.Prefix.len prefix || max_len > 32 then invalid_arg "Vrp.make: bad max_len";
+  { prefix; max_len; asn }
+
+let compare a b =
+  let c = V4.Prefix.compare a.prefix b.prefix in
+  if c <> 0 then c
+  else begin
+    let c = Int.compare a.max_len b.max_len in
+    if c <> 0 then c else Int.compare a.asn b.asn
+  end
+
+let equal a b = compare a b = 0
+
+let of_roa (roa : Roa.t) =
+  List.map (fun (e : Roa.v4_entry) -> { prefix = e.Roa.prefix; max_len = e.Roa.max_len; asn = roa.Roa.asid }) roa.Roa.v4_entries
+
+let to_string t =
+  if t.max_len = V4.Prefix.len t.prefix then
+    Printf.sprintf "(%s, AS%d)" (V4.Prefix.to_string t.prefix) t.asn
+  else Printf.sprintf "(%s-%d, AS%d)" (V4.Prefix.to_string t.prefix) t.max_len t.asn
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

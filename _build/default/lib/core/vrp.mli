@@ -1,0 +1,19 @@
+(** Validated ROA Payloads: the (prefix, maxLength, origin AS) triples that
+    survive validation and drive route-origin validation (RFC 6811). *)
+
+open Rpki_ip
+
+type t = { prefix : V4.Prefix.t; max_len : int; asn : int }
+
+val make : ?max_len:int -> V4.Prefix.t -> int -> t
+(** [max_len] defaults to the prefix length. Raises [Invalid_argument] when
+    outside [len..32]. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val of_roa : Roa.t -> t list
+(** One VRP per IPv4 entry of the ROA. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/crypto/hmac.ml: Char Rpki_util Sha256 String

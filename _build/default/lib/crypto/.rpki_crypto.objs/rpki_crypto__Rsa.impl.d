@@ -1,0 +1,1 @@
+lib/crypto/rsa.ml: Format Nat Prime Printf Rpki_bignum Rpki_util Sha256 String Zint

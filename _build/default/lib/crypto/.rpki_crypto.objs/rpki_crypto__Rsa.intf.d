@@ -1,0 +1,1 @@
+lib/crypto/rsa.mli: Format Nat Rpki_bignum Rpki_util

@@ -1,0 +1,40 @@
+(* HMAC-DRBG (NIST SP 800-90A) instantiated with HMAC-SHA256.
+
+   RSA key generation draws its candidate primes from a DRBG seeded with the
+   authority's name, which makes every certificate hierarchy in tests and
+   experiments fully deterministic while still exercising real keygen. *)
+
+type t = { mutable key : string; mutable v : string }
+
+let update t provided =
+  t.key <- Hmac.sha256 ~key:t.key (t.v ^ "\x00" ^ provided);
+  t.v <- Hmac.sha256 ~key:t.key t.v;
+  if provided <> "" then begin
+    t.key <- Hmac.sha256 ~key:t.key (t.v ^ "\x01" ^ provided);
+    t.v <- Hmac.sha256 ~key:t.key t.v
+  end
+
+let create ~seed =
+  let t = { key = String.make 32 '\x00'; v = String.make 32 '\x01' } in
+  update t seed;
+  t
+
+let reseed t ~seed = update t seed
+
+let generate t n =
+  let buf = Buffer.create n in
+  while Buffer.length buf < n do
+    t.v <- Hmac.sha256 ~key:t.key t.v;
+    Buffer.add_string buf t.v
+  done;
+  update t "";
+  String.sub (Buffer.contents buf) 0 n
+
+(* Adapt a DRBG to the [Rpki_util.Rng] byte interface used by [Prime]. *)
+let to_rng t =
+  (* Seed a SplitMix with DRBG output: Prime only needs uniform bytes and the
+     DRBG remains the single source of entropy. *)
+  let s = generate t 8 in
+  let seed = ref 0L in
+  String.iter (fun c -> seed := Int64.logor (Int64.shift_left !seed 8) (Int64.of_int (Char.code c))) s;
+  Rpki_util.Rng.of_int64 !seed

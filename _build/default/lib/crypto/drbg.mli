@@ -1,0 +1,20 @@
+(** HMAC-DRBG (NIST SP 800-90A) over HMAC-SHA256.
+
+    RSA key generation draws candidate primes from a DRBG seeded with the
+    authority's name, making every hierarchy deterministic while exercising
+    real keygen. *)
+
+type t
+(** DRBG instance state. *)
+
+val create : seed:string -> t
+
+val reseed : t -> seed:string -> unit
+(** Mix additional entropy into the state. *)
+
+val generate : t -> int -> string
+(** [generate t n] is [n] pseudo-random bytes, advancing the state. *)
+
+val to_rng : t -> Rpki_util.Rng.t
+(** Derive an {!Rpki_util.Rng.t} whose seed comes from the DRBG stream, for
+    APIs that consume the generic RNG interface. *)

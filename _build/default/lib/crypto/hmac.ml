@@ -1,0 +1,26 @@
+(* HMAC-SHA256 (RFC 2104 / FIPS 198-1). *)
+
+let block_size = 64
+
+let normalize_key key =
+  let key = if String.length key > block_size then Sha256.digest key else key in
+  key ^ String.make (block_size - String.length key) '\x00'
+
+let xor_pad key byte = String.map (fun c -> Char.chr (Char.code c lxor byte)) key
+
+let sha256 ~key msg =
+  let key = normalize_key key in
+  let inner = Sha256.digest (xor_pad key 0x36 ^ msg) in
+  Sha256.digest (xor_pad key 0x5c ^ inner)
+
+let hex ~key msg = Rpki_util.Hex.of_string (sha256 ~key msg)
+
+(* Constant-time comparison; timing is irrelevant in a simulator but the
+   discipline costs nothing. *)
+let equal_digest a b =
+  String.length a = String.length b
+  && begin
+       let acc = ref 0 in
+       String.iteri (fun i c -> acc := !acc lor (Char.code c lxor Char.code b.[i])) a;
+       !acc = 0
+     end

@@ -1,0 +1,87 @@
+(* RSA signatures in the PKCS#1 v1.5 style, built on [Rpki_bignum].
+
+   Production RPKI mandates RSA-2048 with SHA-256 (RFC 6485/7935).  We keep
+   the same signature pipeline (DigestInfo wrapping, type-01 padding, modular
+   exponentiation) at a configurable modulus size, defaulting to 512 bits so
+   that building thousand-certificate hierarchies in tests stays cheap.  The
+   substitution is documented in DESIGN.md. *)
+
+open Rpki_bignum
+
+type public = { n : Nat.t; e : Nat.t }
+type private_ = { pub : public; d : Nat.t; p : Nat.t; q : Nat.t }
+
+type keypair = { public : public; private_ : private_ }
+
+let default_bits = 512
+
+let modulus_bytes pub = (Nat.num_bits pub.n + 7) / 8
+
+(* Deterministic keygen from a DRBG-seeded RNG. *)
+let min_bits = 496 (* smallest modulus that fits PKCS#1 v1.5 + DigestInfo *)
+
+let generate ?(bits = default_bits) rng =
+  if bits < min_bits then
+    invalid_arg (Printf.sprintf "Rsa.generate: %d-bit modulus cannot carry SHA-256 PKCS#1 padding (min %d)" bits min_bits);
+  let e = Nat.of_int 65537 in
+  let half = bits / 2 in
+  let rec go () =
+    let p = Prime.generate rng ~bits:half in
+    let q = Prime.generate rng ~bits:(bits - half) in
+    if Nat.equal p q then go ()
+    else begin
+      let n = Nat.mul p q in
+      let phi = Nat.mul (Nat.pred p) (Nat.pred q) in
+      match Zint.mod_inverse e ~modulus:phi with
+      | None -> go ()
+      | Some d ->
+        if Nat.num_bits n <> bits then go ()
+        else begin
+          let pub = { n; e } in
+          { public = pub; private_ = { pub; d; p; q } }
+        end
+    end
+  in
+  go ()
+
+(* DigestInfo prefix for SHA-256 (RFC 8017 section 9.2 notes). *)
+let sha256_digest_info =
+  "\x30\x31\x30\x0d\x06\x09\x60\x86\x48\x01\x65\x03\x04\x02\x01\x05\x00\x04\x20"
+
+(* EMSA-PKCS1-v1_5 encoding of a message digest into [len] bytes. *)
+let pkcs1_encode digest len =
+  let t = sha256_digest_info ^ digest in
+  let tlen = String.length t in
+  if len < tlen + 11 then invalid_arg "Rsa.pkcs1_encode: modulus too small";
+  "\x00\x01" ^ String.make (len - tlen - 3) '\xff' ^ "\x00" ^ t
+
+let sign ~key msg =
+  let digest = Sha256.digest msg in
+  let len = modulus_bytes key.pub in
+  let em = Nat.of_bytes_be (pkcs1_encode digest len) in
+  let s = Nat.pow_mod ~base:em ~exp:key.d ~modulus:key.pub.n in
+  Nat.to_bytes_be_padded s len
+
+let verify ~key ~signature msg =
+  let len = modulus_bytes key in
+  if String.length signature <> len then false
+  else begin
+    let s = Nat.of_bytes_be signature in
+    if not (Nat.lt s key.n) then false
+    else begin
+      let em = Nat.pow_mod ~base:s ~exp:key.e ~modulus:key.n in
+      let expected = Nat.of_bytes_be (pkcs1_encode (Sha256.digest msg) len) in
+      Nat.equal em expected
+    end
+  end
+
+(* Stable identifier for a public key: SHA-256 of its canonical encoding,
+   analogous to the RPKI's Subject Key Identifier. *)
+let key_id pub =
+  let nb = Nat.to_bytes_be pub.n and eb = Nat.to_bytes_be pub.e in
+  Sha256.digest (Printf.sprintf "%d:%s:%d:%s" (String.length nb) nb (String.length eb) eb)
+
+let pp_public fmt pub =
+  Format.fprintf fmt "rsa-%d:%s" (Nat.num_bits pub.n) (Rpki_util.Hex.abbrev (key_id pub))
+
+let equal_public a b = Nat.equal a.n b.n && Nat.equal a.e b.e

@@ -1,0 +1,19 @@
+(** SHA-256 (FIPS 180-4), vector-tested against the NIST examples. *)
+
+type ctx
+(** Streaming hash state. *)
+
+val init : unit -> ctx
+
+val feed : ctx -> string -> unit
+(** Absorb bytes; may be called any number of times. *)
+
+val finish : ctx -> string
+(** Pad, finalize, and return the 32-byte digest. The context must not be
+    reused afterwards. *)
+
+val digest : string -> string
+(** One-shot digest: 32 raw bytes. *)
+
+val hexdigest : string -> string
+(** One-shot digest in lowercase hex. *)

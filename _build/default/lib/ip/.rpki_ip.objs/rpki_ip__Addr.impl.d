@@ -1,0 +1,1 @@
+lib/ip/addr.ml: Array Int Int64 List Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/ip/as_res.ml: Addr Int List Prefix_set Range Set Stdlib

@@ -1,0 +1,1 @@
+lib/ip/prefix_set.ml: Addr Format List Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/ip/prefix_set.mli: Addr Format

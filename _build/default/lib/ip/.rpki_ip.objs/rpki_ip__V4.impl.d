@@ -1,0 +1,1 @@
+lib/ip/v4.ml: Addr List Prefix Prefix_set Printf Range Set

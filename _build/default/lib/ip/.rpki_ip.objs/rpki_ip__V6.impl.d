@@ -1,0 +1,1 @@
+lib/ip/v6.ml: Addr Prefix Prefix_set Printf

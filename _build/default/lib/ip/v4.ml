@@ -1,0 +1,22 @@
+(* IPv4 instantiation of the generic prefix/range/set/trie machinery.
+
+   This is the family the paper works in ("the smallest IPv4 prefix length
+   which is globally routable in BGP is a /24"). *)
+
+include Prefix_set.Make (Addr.V4)
+
+let addr_of_string_exn s =
+  match Addr.V4.of_string s with
+  | Some a -> a
+  | None -> invalid_arg (Printf.sprintf "V4.addr_of_string_exn: %S" s)
+
+let range_of_string_exn s =
+  match Range.of_string s with
+  | Some r -> r
+  | None -> invalid_arg (Printf.sprintf "V4.range_of_string_exn: %S" s)
+
+(* Convenience: "63.160.0.0/12" -> prefix. *)
+let p = Prefix.of_string_exn
+
+(* Convenience: a set from a mix of "a.b.c.d/len" and "lo-hi" strings. *)
+let set_of_strings strs = Set.of_ranges (List.map range_of_string_exn strs)

@@ -1,0 +1,10 @@
+(* IPv6 instantiation of the generic prefix/range/set/trie machinery. *)
+
+include Prefix_set.Make (Addr.V6)
+
+let addr_of_string_exn s =
+  match Addr.V6.of_string s with
+  | Some a -> a
+  | None -> invalid_arg (Printf.sprintf "V6.addr_of_string_exn: %S" s)
+
+let p = Prefix.of_string_exn

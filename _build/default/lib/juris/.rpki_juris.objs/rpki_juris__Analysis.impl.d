@@ -1,0 +1,1 @@
+lib/juris/analysis.ml: Country Dataset List String

@@ -1,0 +1,1 @@
+lib/juris/analysis.mli: Country Dataset

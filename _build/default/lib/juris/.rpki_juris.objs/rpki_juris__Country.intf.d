@@ -1,0 +1,1 @@
+lib/juris/country.mli:

@@ -1,0 +1,1 @@
+lib/juris/dataset.ml: Country List Printf Rpki_ip Rpki_util V4

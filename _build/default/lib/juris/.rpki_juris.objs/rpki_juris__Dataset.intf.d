@@ -1,0 +1,1 @@
+lib/juris/dataset.mli: Country Rpki_ip V4

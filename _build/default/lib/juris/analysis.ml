@@ -1,0 +1,64 @@
+(* Cross-jurisdiction certification analysis (Section 3.2, Table 4).
+
+   An RC "covers" a country when some suballocation under it serves an AS in
+   that country; the RC's holder (and every ancestor authority, up to the
+   RIR) can whack the corresponding ROAs.  The question the paper asks: how
+   often does that power cross the issuing RIR's jurisdiction? *)
+
+type rc_exposure = {
+  record : Dataset.rc_record;
+  foreign_countries : string list; (* outside the parent RIR's jurisdiction *)
+}
+
+let exposure (r : Dataset.rc_record) =
+  let foreign =
+    List.sort_uniq String.compare
+      (List.filter_map
+         (fun (s : Dataset.suballocation) ->
+           if Country.in_jurisdiction ~rir:r.Dataset.parent_rir s.Dataset.country then None
+           else Some s.Dataset.country)
+         r.Dataset.suballocations)
+  in
+  { record = r; foreign_countries = foreign }
+
+(* RCs that cover at least one out-of-jurisdiction country — Table 4. *)
+let cross_jurisdiction_rcs records =
+  List.filter (fun e -> e.foreign_countries <> []) (List.map exposure records)
+
+(* Per-RIR reach: the countries outside its region whose ROAs it could
+   whack through its certification chains. *)
+let rir_reach records =
+  let rirs = [ Country.ARIN; Country.RIPE; Country.APNIC; Country.LACNIC; Country.AFRINIC ] in
+  List.map
+    (fun rir ->
+      let reach =
+        List.sort_uniq String.compare
+          (List.concat_map
+             (fun (r : Dataset.rc_record) ->
+               if r.Dataset.parent_rir = rir then (exposure r).foreign_countries else [])
+             records)
+      in
+      (rir, reach))
+    rirs
+
+(* Aggregate statistics for the synthetic sweep. *)
+type stats = {
+  total_rcs : int;
+  cross_border_rcs : int;
+  fraction : float;
+  mean_foreign_countries : float;
+}
+
+let stats records =
+  let exposures = List.map exposure records in
+  let crossing = List.filter (fun e -> e.foreign_countries <> []) exposures in
+  let total = List.length exposures in
+  let nc = List.length crossing in
+  { total_rcs = total;
+    cross_border_rcs = nc;
+    fraction = (if total = 0 then 0.0 else float_of_int nc /. float_of_int total);
+    mean_foreign_countries =
+      (if nc = 0 then 0.0
+       else
+         float_of_int (List.fold_left (fun a e -> a + List.length e.foreign_countries) 0 crossing)
+         /. float_of_int nc) }

@@ -1,0 +1,28 @@
+(** Cross-jurisdiction certification analysis (Section 3.2, Table 4).
+
+    An RC "covers" a country when some suballocation under it serves an AS
+    there; the RC's holder — and every ancestor authority up to the RIR —
+    can whack the corresponding ROAs.  How often does that power cross the
+    issuing RIR's jurisdiction? *)
+
+type rc_exposure = {
+  record : Dataset.rc_record;
+  foreign_countries : string list; (** outside the parent RIR's region *)
+}
+
+val exposure : Dataset.rc_record -> rc_exposure
+
+val cross_jurisdiction_rcs : Dataset.rc_record list -> rc_exposure list
+(** RCs covering at least one out-of-jurisdiction country — Table 4. *)
+
+val rir_reach : Dataset.rc_record list -> (Country.rir * string list) list
+(** Per RIR, the foreign countries reachable through its chains. *)
+
+type stats = {
+  total_rcs : int;
+  cross_border_rcs : int;
+  fraction : float;
+  mean_foreign_countries : float;
+}
+
+val stats : Dataset.rc_record list -> stats

@@ -1,0 +1,116 @@
+(* Allocation datasets for the cross-jurisdiction analysis.
+
+   The paper used BGP dumps, RIR allocation files and AS-to-country mappings
+   — none of which are available offline — so two sources stand in:
+
+   1. [paper_fixture]: the exact nine RCs of the paper's Table 4 together
+      with synthetic suballocation records realising the country sets the
+      paper reports (one customer AS per listed country, placed inside the
+      RC's prefix deterministically);
+
+   2. [synthetic]: a generated deployment calibrated to the paper's scale
+      notes (production RPKI ~1200-1400 ROAs, i.e. <1% of projected full
+      deployment), with providers certified under their home RIR and
+      customers drawn from a country distribution with cross-border mass.
+
+   Both produce the same record shape so the analysis code cannot tell them
+   apart. *)
+
+open Rpki_ip
+
+type suballocation = {
+  sub_prefix : V4.Prefix.t;
+  customer_as : int;
+  country : string;
+}
+
+type rc_record = {
+  holder : string;
+  rc_prefix : V4.Prefix.t;
+  parent_rir : Country.rir;
+  holder_country : string;
+  suballocations : suballocation list;
+}
+
+(* Carve the [i]th /24 out of [prefix] (wrapping if the prefix is small). *)
+let nth_slot prefix i =
+  let base = V4.Prefix.addr prefix in
+  let span = 32 - V4.Prefix.len prefix in
+  let slots = if span <= 8 then 1 else 1 lsl (span - 8) in
+  let slot = i mod slots in
+  V4.Prefix.make (base + (slot * 256)) (min 32 (max 24 (V4.Prefix.len prefix)))
+
+(* The rows of Table 4, verbatim: holder, RC, serving RIR, and the covered
+   countries outside the RIR's jurisdiction.  Holder countries per the
+   organisations' homes. *)
+let paper_rows =
+  [ ("Level3", "8.0.0.0/8", Country.ARIN, "US",
+     [ "RU"; "FR"; "NL"; "CN"; "TW"; "JP"; "GU"; "AU"; "GB"; "MX" ]);
+    ("Cogent", "38.0.0.0/8", Country.ARIN, "US",
+     [ "GU"; "GT"; "HK"; "GB"; "IN"; "PH"; "MX" ]);
+    ("Verizon", "65.192.0.0/11", Country.ARIN, "US",
+     [ "CO"; "IT"; "AN"; "AS"; "GB"; "EU"; "SG" ]);
+    ("Sprint", "208.0.0.0/11", Country.ARIN, "US", [ "AS"; "BO"; "CO"; "ES"; "EC" ]);
+    ("Sprint", "63.160.0.0/12", Country.ARIN, "US", [ "FR"; "CO"; "YE"; "AN"; "HN" ]);
+    ("Tata Comm.", "64.86.0.0/16", Country.ARIN, "US",
+     [ "GU"; "CO"; "MH"; "HN"; "PH"; "ZW" ]);
+    ("Columbus", "63.245.0.0/17", Country.ARIN, "US",
+     [ "NI"; "GT"; "CO"; "AN"; "HN"; "MX" ]);
+    ("Servcorp", "61.28.192.0/19", Country.APNIC, "AU",
+     [ "FR"; "AE"; "CA"; "US"; "GB" ]);
+    ("Resilans", "192.71.0.0/16", Country.RIPE, "SE", [ "US"; "IN" ]) ]
+
+let paper_fixture () =
+  List.mapi
+    (fun row_i (holder, prefix_s, parent_rir, holder_country, countries) ->
+      let rc_prefix = V4.p prefix_s in
+      (* a home-country customer plus one per foreign country *)
+      let all_countries = holder_country :: countries in
+      let suballocations =
+        List.mapi
+          (fun i country ->
+            { sub_prefix = nth_slot rc_prefix i;
+              customer_as = 20000 + (row_i * 100) + i;
+              country })
+          all_countries
+      in
+      { holder; rc_prefix; parent_rir; holder_country; suballocations })
+    paper_rows
+
+(* --- synthetic deployment --- *)
+
+type synthetic_spec = {
+  providers : int;            (* number of provider RCs *)
+  customers_per_provider : int;
+  cross_border_fraction : float; (* probability a customer is foreign *)
+  seed : int;
+}
+
+let default_synthetic =
+  { providers = 60; customers_per_provider = 20; cross_border_fraction = 0.15; seed = 11 }
+
+let all_countries = List.map fst Country.table
+
+let synthetic (spec : synthetic_spec) =
+  let rng = Rpki_util.Rng.create spec.seed in
+  List.init spec.providers (fun i ->
+      let holder = Printf.sprintf "ISP-%02d" i in
+      let holder_country = Rpki_util.Rng.pick rng all_countries in
+      let parent_rir =
+        match Country.rir_of_country holder_country with Some r -> r | None -> Country.ARIN
+      in
+      (* providers get /12s spread over distinct space *)
+      let rc_prefix = V4.Prefix.make ((16 + (i mod 200)) lsl 24) 12 in
+      let domestic = Country.countries_of_rir parent_rir in
+      let suballocations =
+        List.init spec.customers_per_provider (fun j ->
+            let country =
+              if Rpki_util.Rng.float rng < spec.cross_border_fraction then
+                Rpki_util.Rng.pick rng all_countries
+              else Rpki_util.Rng.pick rng domestic
+            in
+            { sub_prefix = nth_slot rc_prefix j;
+              customer_as = 40000 + (i * 1000) + j;
+              country })
+      in
+      { holder; rc_prefix; parent_rir; holder_country; suballocations })

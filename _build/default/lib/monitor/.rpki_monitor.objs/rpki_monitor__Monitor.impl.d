@@ -1,0 +1,1 @@
+lib/monitor/monitor.ml: Cert Crl Format List Obj Option Printf Resources Roa Rpki_core Rpki_repo Rtime String Vrp

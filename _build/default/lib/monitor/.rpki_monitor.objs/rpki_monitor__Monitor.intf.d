@@ -1,0 +1,1 @@
+lib/monitor/monitor.mli: Cert Crl Format Roa Rpki_core Rpki_repo Rtime

@@ -1,0 +1,48 @@
+(** RPKI monitoring: detecting manipulations from repository snapshots.
+
+    The paper poses as an open problem "the design of monitoring schemes
+    that deter RPKI manipulations by detecting suspiciously reissued
+    objects".  This monitor diffs consecutive snapshots of every publication
+    point — purely syntactically, no trust anchors needed — and classifies
+    changes: overt revocations, stealthy removals (Side Effect 2), RC
+    shrinking (Side Effect 3's primitive), and make-before-break signatures
+    (Figure 3's tell-tale). *)
+
+open Rpki_core
+
+type decoded_point = {
+  uri : string;
+  certs : (string * Cert.t) list;
+  roas : (string * Roa.t) list;
+  crl : Crl.t option;
+}
+
+type snapshot = {
+  taken_at : Rtime.t;
+  points : decoded_point list;
+}
+
+val decode_point : Rpki_repo.Pub_point.t -> decoded_point
+
+val take : now:Rtime.t -> Rpki_repo.Universe.t -> snapshot
+(** Snapshot every publication point. *)
+
+type severity = Info | Warning | Alarm
+
+type alert = {
+  severity : severity;
+  uri : string;
+  what : string;
+}
+
+val severity_to_string : severity -> string
+val pp_alert : Format.formatter -> alert -> unit
+
+val diff : before:snapshot -> after:snapshot -> alert list
+(** Classify every change between two snapshots.  Benign churn (renewals,
+    refreshes, new issuance, RC growth) stays at [Info]; CRL-backed
+    revocations are [Warning]; stealthy removals, RC shrinks and correlated
+    make-before-break patterns are [Alarm]. *)
+
+val alarms : alert list -> alert list
+val warnings : alert list -> alert list

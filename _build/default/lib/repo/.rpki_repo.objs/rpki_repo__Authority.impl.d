@@ -1,0 +1,1 @@
+lib/repo/authority.ml: Cert Crl Drbg Format List Manifest Option Printf Pub_point Resources Roa Rpki_core Rpki_crypto Rpki_util Rsa Rtime Universe

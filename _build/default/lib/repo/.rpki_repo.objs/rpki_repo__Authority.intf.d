@@ -1,0 +1,1 @@
+lib/repo/authority.mli: Cert Format Pub_point Resources Roa Rpki_core Rpki_crypto Rpki_ip Rpki_util Rsa Rtime Universe

@@ -1,0 +1,1 @@
+lib/repo/fault.ml: List Printf Pub_point

@@ -1,0 +1,1 @@
+lib/repo/fault.mli: Pub_point

@@ -1,0 +1,1 @@
+lib/repo/model.ml: Authority Buffer Cert List Printf Relying_party Resources Roa Rpki_core Rpki_crypto Rpki_ip Rtime String Universe V4

@@ -1,0 +1,1 @@
+lib/repo/model.mli: Authority Relying_party Rpki_core Rpki_ip Rtime Universe

@@ -1,0 +1,1 @@
+lib/repo/pub_point.ml: Bytes Char Format List Rpki_ip String

@@ -1,0 +1,1 @@
+lib/repo/pub_point.mli: Format Rpki_ip

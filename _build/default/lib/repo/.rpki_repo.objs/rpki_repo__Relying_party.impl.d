@@ -1,0 +1,1 @@
+lib/repo/relying_party.ml: Authority Cert Hashtbl List Manifest Obj Option Origin_validation Printf Pub_point Rpki_core Rpki_crypto Rtime Universe Validation Vrp

@@ -1,0 +1,1 @@
+lib/repo/relying_party.mli: Authority Origin_validation Pub_point Rpki_core Rpki_crypto Rtime Universe Vrp

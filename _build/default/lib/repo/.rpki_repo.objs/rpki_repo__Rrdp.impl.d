@@ -1,0 +1,1 @@
+lib/repo/rrdp.ml: Int List Printf Pub_point Rpki_crypto Rpki_util String

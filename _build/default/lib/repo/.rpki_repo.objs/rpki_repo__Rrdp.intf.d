@@ -1,0 +1,1 @@
+lib/repo/rrdp.mli: Pub_point

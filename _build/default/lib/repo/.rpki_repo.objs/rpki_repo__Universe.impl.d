@@ -1,0 +1,1 @@
+lib/repo/universe.ml: List Printf Pub_point

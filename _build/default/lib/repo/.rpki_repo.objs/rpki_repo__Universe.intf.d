@@ -1,0 +1,1 @@
+lib/repo/universe.mli: Pub_point

@@ -1,0 +1,147 @@
+(** A stateful RPKI authority (certification authority).
+
+    Owns a keypair, an RC signed by its parent (or self-signed for a trust
+    anchor), and a publication point holding everything it has issued: child
+    RCs, ROAs, its CRL and its manifest (RFC 6481 layout).
+
+    All legitimate operations {e and} all of the paper's manipulations are
+    methods here — a misbehaving authority is just an authority whose owner
+    calls the wrong methods, which is exactly the paper's point. *)
+
+open Rpki_core
+open Rpki_crypto
+
+type t = {
+  name : string;
+  mutable key : Rsa.keypair;   (** mutable for RFC 6489 key rollover *)
+  ee_key : Rsa.keypair;        (** reused for EE certs; cuts keygen cost *)
+  key_bits : int;
+  rng : Rpki_util.Rng.t;       (** deterministic per-authority entropy *)
+  mutable cert : Cert.t;       (** current RC *)
+  parent : t option;
+  pub : Pub_point.t;
+  mutable next_serial : int;
+  mutable revoked : int list;
+  mutable manifest_number : int;
+  mutable children : t list;
+  mutable roas : (string * Roa.t) list; (** filename -> current ROA *)
+  validity : int;              (** ticks of validity for issued objects *)
+  refresh_interval : int;      (** ticks of CRL/manifest currency *)
+}
+
+val crl_filename : t -> string
+val manifest_filename : t -> string
+val cert_filename : string -> string
+
+val default_validity : int
+val default_refresh : int
+
+val create_trust_anchor :
+  name:string ->
+  resources:Resources.t ->
+  uri:string ->
+  addr:Rpki_ip.Addr.V4.t ->
+  host_asn:int ->
+  now:Rtime.t ->
+  universe:Universe.t ->
+  ?key_bits:int ->
+  ?validity:int ->
+  ?refresh_interval:int ->
+  unit ->
+  t
+
+val tal : t -> string * Rsa.public * string * string
+(** [(name, public key, repository URI, certificate filename)] — what a
+    relying party needs to start from this trust anchor.  Raises
+    [Invalid_argument] on a non-root authority. *)
+
+val create_child :
+  t ->
+  name:string ->
+  resources:Resources.t ->
+  uri:string ->
+  addr:Rpki_ip.Addr.V4.t ->
+  host_asn:int ->
+  now:Rtime.t ->
+  universe:Universe.t ->
+  ?key_bits:int ->
+  ?validity:int ->
+  ?refresh_interval:int ->
+  unit ->
+  t
+(** Issue a child CA with its own key, certificate and publication point. *)
+
+val issue_roa :
+  t ->
+  asid:int ->
+  v4_entries:Roa.v4_entry list ->
+  ?v6_entries:Roa.v6_entry list ->
+  now:Rtime.t ->
+  unit ->
+  string * Roa.t
+(** Issue and publish a ROA; returns its filename. *)
+
+val issue_simple_roa :
+  t ->
+  asid:int ->
+  prefix:Rpki_ip.V4.Prefix.t ->
+  ?max_len:int ->
+  now:Rtime.t ->
+  unit ->
+  string * Roa.t
+
+(** {2 Legitimate maintenance} *)
+
+val refresh : t -> now:Rtime.t -> unit
+(** Re-sign the CRL and manifest with fresh windows. *)
+
+val renew_roa : t -> filename:string -> now:Rtime.t -> Roa.t
+(** Re-sign an expiring ROA in place. *)
+
+val roll_key : t -> now:Rtime.t -> unit
+(** RFC 6489 key rollover: new keypair, new RC from the parent (old serial
+    revoked), every issued object re-signed.  Filenames persist. *)
+
+(** {2 The paper's manipulations (Section 3)} *)
+
+val revoke_child : t -> t -> now:Rtime.t -> unit
+(** Overt revocation of a child RC via the CRL (Side Effect 1). *)
+
+val revoke_roa : t -> filename:string -> now:Rtime.t -> unit
+(** Overt revocation of a ROA's EE certificate. *)
+
+val stealth_delete_roa : t -> filename:string -> now:Rtime.t -> unit
+(** Side Effect 2: delete the object, leave the CRL untouched.  The manifest
+    is regenerated — the authority controls it, so nothing looks locally
+    inconsistent. *)
+
+val stealth_delete_child_cert : t -> t -> now:Rtime.t -> unit
+
+val shrink_child_cert : t -> t -> resources:Resources.t -> now:Rtime.t -> Cert.t
+(** Overwrite a child's RC with one for a different resource set — the
+    primitive behind targeted whacking (Side Effect 3).  Stealthy: no CRL
+    entry. *)
+
+val certify_key :
+  t ->
+  subject:string ->
+  public_key:Rsa.public ->
+  resources:Resources.t ->
+  repo_uri:string ->
+  manifest_uri:string ->
+  now:Rtime.t ->
+  string * Cert.t
+(** Certify another authority's existing key directly — the "reissue the
+    damaged descendant objects as its own" step of make-before-break
+    (Figure 3). *)
+
+(** {2 Traversal} *)
+
+val iter_descendants : t -> f:(t -> unit) -> unit
+val descendants : t -> t list
+val find_descendant : t -> name:string -> t option
+
+val all_roas : t -> (t * string * Roa.t) list
+(** Every ROA currently published by [t] or any descendant. *)
+
+val pp : Format.formatter -> t -> unit

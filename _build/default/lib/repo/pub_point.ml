@@ -1,0 +1,49 @@
+(* A publication point: the rsync-served directory where one authority
+   publishes every object it has issued (RFC 6481).
+
+   The paper's Section 3 design decisions live here: objects are delivered
+   out of band from a directory *controlled by their issuer*, and an issuer
+   may silently delete or overwrite anything in its own directory. *)
+
+type t = {
+  uri : string;                    (* e.g. "rsync://rpki.sprint.net/repo" *)
+  addr : Rpki_ip.Addr.V4.t;        (* where the repository host lives *)
+  host_asn : int;                  (* the AS hosting the repository *)
+  mutable files : (string * string) list; (* filename -> DER bytes, sorted *)
+}
+
+let create ~uri ~addr ~host_asn = { uri; addr; host_asn; files = [] }
+
+let sort files = List.sort (fun (a, _) (b, _) -> String.compare a b) files
+
+(* Publish (or overwrite) one file. *)
+let put t ~filename bytes =
+  t.files <- sort ((filename, bytes) :: List.remove_assoc filename t.files)
+
+let delete t ~filename = t.files <- List.remove_assoc filename t.files
+
+let get t ~filename = List.assoc_opt filename t.files
+
+let files t = t.files
+let filenames t = List.map fst t.files
+let mem t ~filename = List.mem_assoc filename t.files
+
+(* A point-in-time copy, as an rsync client would obtain. *)
+let snapshot t = t.files
+
+(* Flip one byte of a stored file: the transient corruption of Section 6. *)
+let corrupt t ~filename ~byte_index =
+  match get t ~filename with
+  | None -> false
+  | Some bytes ->
+    let i = byte_index mod max 1 (String.length bytes) in
+    let b = Bytes.of_string bytes in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x01));
+    put t ~filename (Bytes.to_string b);
+    true
+
+let pp fmt t =
+  Format.fprintf fmt "%s (@%s, AS%d): %s" t.uri
+    (Rpki_ip.Addr.V4.to_string t.addr)
+    t.host_asn
+    (String.concat ", " (filenames t))

@@ -1,0 +1,33 @@
+(** A publication point: the rsync-served directory where one authority
+    publishes everything it has issued (RFC 6481).
+
+    The paper's Section 3 design decisions live here: objects are delivered
+    out of band from a directory {e controlled by their issuer}, and an
+    issuer may silently delete or overwrite anything in its own directory. *)
+
+type t = {
+  uri : string;                 (** e.g. ["rsync://rpki.sprint.net/repo"] *)
+  addr : Rpki_ip.Addr.V4.t;     (** where the repository host lives *)
+  host_asn : int;               (** the AS hosting the repository *)
+  mutable files : (string * string) list; (** filename -> DER bytes, sorted *)
+}
+
+val create : uri:string -> addr:Rpki_ip.Addr.V4.t -> host_asn:int -> t
+
+val put : t -> filename:string -> string -> unit
+(** Publish or overwrite one file. *)
+
+val delete : t -> filename:string -> unit
+val get : t -> filename:string -> string option
+val files : t -> (string * string) list
+val filenames : t -> string list
+val mem : t -> filename:string -> bool
+
+val snapshot : t -> (string * string) list
+(** A point-in-time copy, as an rsync client would obtain. *)
+
+val corrupt : t -> filename:string -> byte_index:int -> bool
+(** Flip one byte of a stored file (the transient corruption of Section 6);
+    [false] when the file does not exist. *)
+
+val pp : Format.formatter -> t -> unit

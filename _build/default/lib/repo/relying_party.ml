@@ -1,0 +1,270 @@
+(* The relying party: fetches the distributed RPKI and computes the set of
+   validated ROA payloads (RFC 6480 section 6, RFC 6483).
+
+   Fetching is subject to a reachability oracle — in the closed-loop
+   simulation that oracle is the RP's own BGP data plane, which is how the
+   paper's Section 6 circularity arises.  Like rsync, the RP keeps the last
+   successfully fetched copy of each publication point and falls back to it
+   when the point is unreachable. *)
+
+open Rpki_core
+
+type tal = {
+  ta_name : string;
+  ta_key : Rpki_crypto.Rsa.public;
+  ta_uri : string;
+  ta_cert_filename : string;
+}
+
+let tal_of_authority a =
+  let ta_name, ta_key, ta_uri, ta_cert_filename = Authority.tal a in
+  { ta_name; ta_key; ta_uri; ta_cert_filename }
+
+type fetch_status =
+  | Fetched                 (* live copy obtained *)
+  | Fetched_mirror          (* primary unreachable; a mirror served the copy *)
+  | Stale_cache             (* unreachable; last-known snapshot used *)
+  | Unavailable             (* unreachable and nothing cached *)
+
+type issue = {
+  uri : string;
+  filename : string option;
+  reason : string;
+}
+
+type sync_result = {
+  vrps : Vrp.t list;
+  issues : issue list;
+  fetches : (string * fetch_status) list;
+  cas_validated : string list;
+}
+
+type t = {
+  name : string;
+  asn : int; (* the AS where this relying party sits *)
+  tals : tal list;
+  use_stale : bool;
+  grace : int option;
+  (* Suspenders-style fail-safe (Kent & Mandelberg, the paper's ref [25]):
+     when set, a VRP that disappears keeps being used for this many ticks
+     after it was last seen, softening Side Effects 6 and 7 — at the price
+     of delaying legitimate revocations by the same window. *)
+  mutable cache : (string * (string * string) list) list; (* uri -> snapshot *)
+  mutable vrp_memory : (Vrp.t * Rtime.t) list; (* vrp -> last time seen *)
+  mutable last_result : sync_result option;
+}
+
+let create ~name ~asn ~tals ?(use_stale = true) ?grace () =
+  { name; asn; tals; use_stale; grace; cache = []; vrp_memory = []; last_result = None }
+
+(* Drop a cached snapshot (manual operator intervention; the paper notes
+   recovery from Side Effect 7 requires exactly this kind of manual fix). *)
+let flush_cache t =
+  t.cache <- [];
+  t.vrp_memory <- []
+
+let sync t ~now ~universe ?(reachable = fun (_ : Pub_point.t) -> true) () =
+  let issues = ref [] in
+  let vrps = ref [] in
+  let fetches = ref [] in
+  let cas = ref [] in
+  let seen_keys = Hashtbl.create 16 in
+  let problem ~uri ?filename reason = issues := { uri; filename; reason } :: !issues in
+  let fetch uri =
+    let record st = fetches := (uri, st) :: !fetches in
+    match Universe.find universe uri with
+    | None ->
+      record Unavailable;
+      problem ~uri "no such publication point";
+      None
+    | Some pp ->
+      if reachable pp then begin
+        let snap = Pub_point.snapshot pp in
+        t.cache <- (uri, snap) :: List.remove_assoc uri t.cache;
+        record Fetched;
+        Some snap
+      end
+      else begin
+        (* primary unreachable: try registered mirrors first, then the
+           stale local cache *)
+        let reachable_mirror =
+          List.find_opt reachable (Universe.mirrors_of universe uri)
+        in
+        match reachable_mirror with
+        | Some mirror ->
+          let snap = Pub_point.snapshot mirror in
+          t.cache <- (uri, snap) :: List.remove_assoc uri t.cache;
+          record Fetched_mirror;
+          problem ~uri
+            (Printf.sprintf "primary unreachable; fetched mirror %s" mirror.Pub_point.uri);
+          Some snap
+        | None -> (
+          match List.assoc_opt uri t.cache with
+          | Some snap when t.use_stale ->
+            record Stale_cache;
+            problem ~uri "publication point unreachable; using stale cache";
+            Some snap
+          | _ ->
+            record Unavailable;
+            problem ~uri "publication point unreachable";
+            None)
+      end
+  in
+  (* Validate and walk one CA's publication point. *)
+  let rec process_ca (ca_cert : Cert.t) =
+    let key = Cert.key_id ca_cert in
+    if Hashtbl.mem seen_keys key then ()
+    else begin
+      Hashtbl.add seen_keys key ();
+      cas := ca_cert.Cert.subject :: !cas;
+      match ca_cert.Cert.repo_uri with
+      | None -> problem ~uri:"-" (Printf.sprintf "CA %s has no repository" ca_cert.Cert.subject)
+      | Some uri -> (
+        match fetch uri with
+        | None -> ()
+        | Some snapshot ->
+          let decode_file filename =
+            match List.assoc_opt filename snapshot with
+            | None -> None
+            | Some bytes -> (
+              match Obj.decode ~filename bytes with
+              | Ok o -> Some o
+              | Error e ->
+                problem ~uri ~filename e;
+                None)
+          in
+          (* the CA's own manifest, if present and well-formed *)
+          let mft_name =
+            Option.value ca_cert.Cert.manifest_uri ~default:(ca_cert.Cert.subject ^ ".mft")
+          in
+          let manifest =
+            match decode_file mft_name with
+            | Some (Obj.Manifest m) -> (
+              match Validation.validate_manifest ~now ~parent:ca_cert m with
+              | Ok () -> Some m
+              | Error f ->
+                problem ~uri ~filename:mft_name (Validation.failure_to_string f);
+                None)
+            | Some _ ->
+              problem ~uri ~filename:mft_name "manifest slot holds a different object";
+              None
+            | None ->
+              problem ~uri ~filename:mft_name "manifest missing or undecodable";
+              None
+          in
+          (* manifest completeness / integrity check *)
+          (match manifest with
+          | None -> ()
+          | Some m ->
+            List.iter
+              (fun (e : Manifest.entry) ->
+                match List.assoc_opt e.Manifest.filename snapshot with
+                | None ->
+                  problem ~uri ~filename:e.Manifest.filename "listed on manifest but missing"
+                | Some bytes ->
+                  if not (Rpki_crypto.Hmac.equal_digest (Rpki_crypto.Sha256.digest bytes) e.Manifest.hash)
+                  then problem ~uri ~filename:e.Manifest.filename "hash mismatch with manifest")
+              m.Manifest.entries;
+            List.iter
+              (fun (filename, _) ->
+                if filename <> mft_name && Manifest.find m filename = None then
+                  problem ~uri ~filename "present but not listed on manifest")
+              snapshot);
+          (* the CA's CRL for the objects it issued *)
+          let crl_name = ca_cert.Cert.subject ^ ".crl" in
+          let crl =
+            match decode_file crl_name with
+            | Some (Obj.Crl c) -> (
+              match Validation.validate_crl ~now ~parent:ca_cert c with
+              | Ok () -> Some c
+              | Error f ->
+                problem ~uri ~filename:crl_name (Validation.failure_to_string f);
+                None)
+            | Some _ | None ->
+              problem ~uri ~filename:crl_name "CRL missing or undecodable";
+              None
+          in
+          (* process every other object at the point *)
+          List.iter
+            (fun (filename, _) ->
+              if filename = mft_name || filename = crl_name then ()
+              else begin
+                match decode_file filename with
+                | None -> ()
+                | Some (Obj.Cert c) -> (
+                  match Validation.validate_cert ~now ~parent:ca_cert ?crl c with
+                  | Ok () -> if c.Cert.is_ca then process_ca c
+                  | Error f -> problem ~uri ~filename (Validation.failure_to_string f))
+                | Some (Obj.Roa r) -> (
+                  match Validation.validate_roa ~now ~parent:ca_cert ?crl r with
+                  | Ok vs -> vrps := vs @ !vrps
+                  | Error f -> problem ~uri ~filename (Validation.failure_to_string f))
+                | Some (Obj.Crl _) ->
+                  problem ~uri ~filename "unexpected extra CRL"
+                | Some (Obj.Manifest _) ->
+                  problem ~uri ~filename "unexpected extra manifest"
+              end)
+            snapshot)
+    end
+  in
+  List.iter
+    (fun tal ->
+      match fetch tal.ta_uri with
+      | None -> ()
+      | Some snapshot -> (
+        match List.assoc_opt tal.ta_cert_filename snapshot with
+        | None -> problem ~uri:tal.ta_uri ~filename:tal.ta_cert_filename "TA certificate missing"
+        | Some bytes -> (
+          match Cert.decode bytes with
+          | Error e -> problem ~uri:tal.ta_uri ~filename:tal.ta_cert_filename e
+          | Ok cert -> (
+            match Validation.validate_trust_anchor ~now ~expected_key:tal.ta_key cert with
+            | Ok () -> process_ca cert
+            | Error f ->
+              problem ~uri:tal.ta_uri ~filename:tal.ta_cert_filename
+                (Validation.failure_to_string f)))))
+    t.tals;
+  let current = List.sort_uniq Vrp.compare !vrps in
+  let effective =
+    match t.grace with
+    | None -> current
+    | Some grace ->
+      (* remember when each VRP was last seen; resurrect those seen within
+         the grace window *)
+      let seen_now = List.map (fun v -> (v, now)) current in
+      let remembered =
+        List.filter
+          (fun (v, _) -> not (List.exists (fun (v', _) -> Vrp.equal v v') seen_now))
+          t.vrp_memory
+      in
+      t.vrp_memory <- seen_now @ remembered;
+      let held =
+        List.filter_map
+          (fun (v, last) ->
+            if Rtime.( <= ) (Rtime.diff now last) grace && not (List.exists (Vrp.equal v) current)
+            then Some v
+            else None)
+          t.vrp_memory
+      in
+      List.iter
+        (fun v ->
+          issues :=
+            { uri = "-"; filename = None;
+              reason = Printf.sprintf "grace: holding disappeared VRP %s" (Vrp.to_string v) }
+            :: !issues)
+        held;
+      List.sort_uniq Vrp.compare (current @ held)
+  in
+  let result =
+    { vrps = effective;
+      issues = List.rev !issues;
+      fetches = List.rev !fetches;
+      cas_validated = List.rev !cas }
+  in
+  t.last_result <- Some result;
+  result
+
+(* Sync and build the origin-validation index in one step. *)
+let sync_index t ~now ~universe ?reachable () =
+  let result = sync t ~now ~universe ?reachable () in
+  (result, Origin_validation.build result.vrps)

@@ -1,0 +1,82 @@
+(** The relying party: fetches the distributed RPKI and computes the set of
+    validated ROA payloads (RFC 6480 section 6, RFC 6483).
+
+    Fetching is subject to a reachability oracle — in the closed-loop
+    simulation that oracle is the RP's own BGP data plane, which is how the
+    paper's Section 6 circularity arises.  Like rsync, the RP keeps the last
+    successfully fetched copy of each publication point and falls back to it
+    when the point is unreachable. *)
+
+open Rpki_core
+
+type tal = {
+  ta_name : string;
+  ta_key : Rpki_crypto.Rsa.public;
+  ta_uri : string;
+  ta_cert_filename : string;
+}
+
+val tal_of_authority : Authority.t -> tal
+(** The TAL of a trust-anchor authority. *)
+
+type fetch_status =
+  | Fetched          (** live copy obtained *)
+  | Fetched_mirror   (** primary unreachable; a mirror served the copy *)
+  | Stale_cache      (** unreachable; last-known snapshot used *)
+  | Unavailable      (** unreachable and nothing cached *)
+
+type issue = {
+  uri : string;
+  filename : string option;
+  reason : string;
+}
+(** One fetch or validation problem, attributed to a location. *)
+
+type sync_result = {
+  vrps : Vrp.t list;                       (** the effective VRP set *)
+  issues : issue list;
+  fetches : (string * fetch_status) list;
+  cas_validated : string list;
+}
+
+type t = {
+  name : string;
+  asn : int;                (** the AS where this relying party sits *)
+  tals : tal list;
+  use_stale : bool;
+  grace : int option;
+    (** Suspenders-style fail-safe (the paper's ref [25]): when set, a VRP
+        that disappears keeps being used for this many ticks after it was
+        last seen — softening Side Effects 6 and 7 at the price of delaying
+        legitimate revocations by the same window. *)
+  mutable cache : (string * (string * string) list) list;
+  mutable vrp_memory : (Vrp.t * Rtime.t) list;
+  mutable last_result : sync_result option;
+}
+
+val create :
+  name:string -> asn:int -> tals:tal list -> ?use_stale:bool -> ?grace:int -> unit -> t
+
+val flush_cache : t -> unit
+(** Drop cached snapshots and grace memory (the manual operator intervention
+    the paper mentions for Side Effect 7 recovery). *)
+
+val sync :
+  t ->
+  now:Rtime.t ->
+  universe:Universe.t ->
+  ?reachable:(Pub_point.t -> bool) ->
+  unit ->
+  sync_result
+(** Fetch from every trust anchor down, validate top-down (manifest and CRL
+    checks included), and return the validated ROA payloads together with
+    every problem encountered. *)
+
+val sync_index :
+  t ->
+  now:Rtime.t ->
+  universe:Universe.t ->
+  ?reachable:(Pub_point.t -> bool) ->
+  unit ->
+  sync_result * Origin_validation.index
+(** {!sync} plus the origin-validation index over its VRPs. *)

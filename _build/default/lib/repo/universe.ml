@@ -1,0 +1,46 @@
+(* The set of all publication points, addressable by URI.
+
+   This stands in for "repositories distributed throughout the Internet":
+   the relying party resolves an rsync URI here, subject to a caller-supplied
+   reachability oracle (the simulation layer wires that oracle to the BGP
+   data plane, closing the paper's Figure 1 loop). *)
+
+type t = {
+  mutable points : (string * Pub_point.t) list;
+  mutable mirrors : (string * Pub_point.t) list; (* primary uri -> mirror point *)
+}
+
+let create () = { points = []; mirrors = [] }
+
+let add t (p : Pub_point.t) =
+  if List.mem_assoc p.Pub_point.uri t.points then
+    invalid_arg (Printf.sprintf "Universe.add: duplicate uri %s" p.Pub_point.uri);
+  t.points <- (p.Pub_point.uri, p) :: t.points
+
+let find t uri = List.assoc_opt uri t.points
+let points t = List.map snd t.points
+
+(* Register a mirror of [of_uri] (draft-ietf-sidr-multiple-publication-points:
+   the same objects served from a second location, ideally hosted outside
+   the address space the objects themselves validate).  The mirror must be
+   refreshed explicitly — mirrors lag reality, like real ones. *)
+let add_mirror t ~of_uri (mirror : Pub_point.t) =
+  if not (List.mem_assoc of_uri t.points) then
+    invalid_arg (Printf.sprintf "Universe.add_mirror: no primary at %s" of_uri);
+  t.mirrors <- (of_uri, mirror) :: t.mirrors
+
+let mirrors_of t uri = List.filter_map (fun (u, m) -> if u = uri then Some m else None) t.mirrors
+
+(* Copy the primary's current files onto each of its mirrors. *)
+let refresh_mirrors t =
+  List.iter
+    (fun (uri, (mirror : Pub_point.t)) ->
+      match find t uri with
+      | None -> ()
+      | Some primary -> mirror.Pub_point.files <- Pub_point.snapshot primary)
+    t.mirrors
+
+let find_exn t uri =
+  match find t uri with
+  | Some p -> p
+  | None -> invalid_arg (Printf.sprintf "Universe.find_exn: no publication point at %s" uri)

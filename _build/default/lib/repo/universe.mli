@@ -1,0 +1,30 @@
+(** The set of all publication points, addressable by URI — the stand-in for
+    "repositories distributed throughout the Internet".
+
+    The relying party resolves rsync URIs here, subject to a caller-supplied
+    reachability oracle; the simulation layer wires that oracle to the BGP
+    data plane, closing the paper's Figure 1 loop. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> Pub_point.t -> unit
+(** Raises [Invalid_argument] on a duplicate URI. *)
+
+val find : t -> string -> Pub_point.t option
+val find_exn : t -> string -> Pub_point.t
+val points : t -> Pub_point.t list
+
+val add_mirror : t -> of_uri:string -> Pub_point.t -> unit
+(** Register a mirror of an existing point
+    (draft-ietf-sidr-multiple-publication-points, the paper's ref [16]):
+    the same objects served from a second location, ideally hosted outside
+    the address space the objects themselves validate.  Raises
+    [Invalid_argument] when the primary is unknown. *)
+
+val mirrors_of : t -> string -> Pub_point.t list
+
+val refresh_mirrors : t -> unit
+(** Copy each primary's current files onto its mirrors.  Mirrors lag until
+    refreshed, like real ones. *)

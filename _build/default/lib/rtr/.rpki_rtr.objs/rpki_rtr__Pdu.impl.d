@@ -1,0 +1,1 @@
+lib/rtr/pdu.ml: Buffer Char Int64 List Printf Rpki_core Rpki_ip String

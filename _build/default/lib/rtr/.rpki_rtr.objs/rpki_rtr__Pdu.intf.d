@@ -1,0 +1,1 @@
+lib/rtr/pdu.mli: Rpki_core Rpki_ip

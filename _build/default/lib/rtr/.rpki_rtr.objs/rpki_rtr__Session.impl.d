@@ -1,0 +1,1 @@
+lib/rtr/session.ml: List Pdu Printf Rpki_core String Vrp

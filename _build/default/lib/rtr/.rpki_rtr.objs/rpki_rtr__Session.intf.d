@@ -1,0 +1,1 @@
+lib/rtr/session.mli: Pdu Rpki_core Vrp

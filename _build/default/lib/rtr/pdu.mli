@@ -1,0 +1,57 @@
+(** RPKI-to-Router protocol PDUs (RFC 6810), byte-exact big-endian wire
+    format. *)
+
+type flags = Announce | Withdraw
+
+type t =
+  | Serial_notify of { session_id : int; serial : int }
+  | Serial_query of { session_id : int; serial : int }
+  | Reset_query
+  | Cache_response of { session_id : int }
+  | Ipv4_prefix of {
+      flags : flags;
+      prefix : Rpki_ip.V4.Prefix.t;
+      max_len : int;
+      asn : int;
+    }
+  | Ipv6_prefix of {
+      flags : flags;
+      prefix6 : Rpki_ip.V6.Prefix.t;
+      max_len : int;
+      asn : int;
+    }
+  | End_of_data of { session_id : int; serial : int }
+  | Cache_reset
+  | Error_report of { error_code : int; message : string }
+
+val protocol_version : int
+(** 0, per RFC 6810. *)
+
+(** RFC 6810 section 10 error codes. *)
+
+val err_corrupt_data : int
+val err_internal : int
+val err_no_data_available : int
+val err_invalid_request : int
+val err_unsupported_version : int
+val err_unsupported_pdu : int
+val err_unknown_withdrawal : int
+val err_duplicate_announcement : int
+
+exception Parse_error of string
+
+val encode : t -> string
+
+val decode_at : string -> int -> t * int
+(** Decode one PDU at an offset; returns it and the bytes consumed. *)
+
+val decode : string -> t
+(** Exactly one PDU; trailing bytes raise {!Parse_error}. *)
+
+val decode_all : string -> t list
+(** A concatenated PDU stream. *)
+
+val of_vrp : ?flags:flags -> Rpki_core.Vrp.t -> t
+(** The IPv4 Prefix PDU carrying a VRP. *)
+
+val to_string : t -> string

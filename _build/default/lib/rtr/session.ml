@@ -1,0 +1,146 @@
+(* RTR cache server and router client state machines (RFC 6810 section 4).
+
+   The cache holds serial-numbered versions of the relying party's VRP set;
+   routers synchronise with Reset Query (full state) or Serial Query
+   (incremental deltas).  Wire format is the byte-exact [Pdu] encoding, so a
+   round trip through [encode]/[decode] happens on every exchange even
+   though transport is an in-memory string. *)
+
+open Rpki_core
+
+module Vrp_set = struct
+  let diff ~from ~to_ =
+    let withdrawn = List.filter (fun v -> not (List.exists (Vrp.equal v) to_)) from in
+    let announced = List.filter (fun v -> not (List.exists (Vrp.equal v) from)) to_ in
+    (announced, withdrawn)
+end
+
+(* --- cache (server) side --- *)
+
+type cache = {
+  session_id : int;
+  mutable serial : int;
+  mutable current : Vrp.t list;
+  mutable versions : (int * Vrp.t list) list; (* serial -> snapshot, newest first *)
+  history_limit : int;
+}
+
+let create_cache ?(session_id = 0x5c1) ?(history_limit = 16) () =
+  { session_id; serial = 0; current = []; versions = [ (0, []) ]; history_limit }
+
+(* Install a new VRP set (e.g. after each relying-party sync). *)
+let publish cache vrps =
+  let vrps = List.sort_uniq Vrp.compare vrps in
+  if vrps <> cache.current then begin
+    cache.serial <- cache.serial + 1;
+    cache.current <- vrps;
+    cache.versions <- (cache.serial, vrps) :: cache.versions;
+    if List.length cache.versions > cache.history_limit then
+      cache.versions <-
+        List.filteri (fun i _ -> i < cache.history_limit) cache.versions
+  end
+
+let notify cache = Pdu.Serial_notify { session_id = cache.session_id; serial = cache.serial }
+
+(* Serve one client request; returns the response PDU sequence (as bytes). *)
+let serve cache (request_bytes : string) =
+  let respond pdus = String.concat "" (List.map Pdu.encode pdus) in
+  match Pdu.decode request_bytes with
+  | Pdu.Reset_query ->
+    respond
+      ((Pdu.Cache_response { session_id = cache.session_id }
+       :: List.map Pdu.of_vrp cache.current)
+      @ [ Pdu.End_of_data { session_id = cache.session_id; serial = cache.serial } ])
+  | Pdu.Serial_query { session_id; serial } ->
+    if session_id <> cache.session_id then respond [ Pdu.Cache_reset ]
+    else begin
+      match List.assoc_opt serial cache.versions with
+      | None -> respond [ Pdu.Cache_reset ] (* too old: client must reset *)
+      | Some old ->
+        let announced, withdrawn = Vrp_set.diff ~from:old ~to_:cache.current in
+        respond
+          ((Pdu.Cache_response { session_id = cache.session_id }
+           :: List.map (Pdu.of_vrp ~flags:Pdu.Announce) announced)
+          @ List.map (Pdu.of_vrp ~flags:Pdu.Withdraw) withdrawn
+          @ [ Pdu.End_of_data { session_id = cache.session_id; serial = cache.serial } ])
+    end
+  | _ ->
+    respond
+      [ Pdu.Error_report { error_code = Pdu.err_invalid_request; message = "unexpected PDU" } ]
+  | exception Pdu.Parse_error m ->
+    respond [ Pdu.Error_report { error_code = Pdu.err_corrupt_data; message = m } ]
+
+(* --- router (client) side --- *)
+
+type router = {
+  mutable r_session : int option;
+  mutable r_serial : int;
+  mutable r_vrps : Vrp.t list;
+}
+
+let create_router () = { r_session = None; r_serial = 0; r_vrps = [] }
+
+exception Protocol_error of string
+
+(* Apply a cache response to the router state. *)
+let apply_response router (bytes : string) =
+  let pdus = Pdu.decode_all bytes in
+  let go pdus =
+    match pdus with
+    | Pdu.Cache_reset :: _ ->
+      (* full resynchronisation required *)
+      router.r_session <- None;
+      `Reset_required
+    | Pdu.Cache_response { session_id } :: rest ->
+      (match router.r_session with
+      | Some s when s <> session_id -> raise (Protocol_error "session mismatch")
+      | _ -> router.r_session <- Some session_id);
+      let rec consume acc = function
+        | [ Pdu.End_of_data { serial; session_id = sid } ] ->
+          if Some sid <> router.r_session then raise (Protocol_error "session mismatch at EOD");
+          router.r_serial <- serial;
+          router.r_vrps <- List.sort_uniq Vrp.compare acc;
+          `Synced
+        | Pdu.Ipv4_prefix { flags = Pdu.Announce; prefix; max_len; asn } :: rest ->
+          consume (Vrp.make ~max_len prefix asn :: acc) rest
+        | Pdu.Ipv4_prefix { flags = Pdu.Withdraw; prefix; max_len; asn } :: rest ->
+          let v = Vrp.make ~max_len prefix asn in
+          if not (List.exists (Vrp.equal v) acc) then
+            raise (Protocol_error "withdrawal of unknown VRP");
+          consume (List.filter (fun x -> not (Vrp.equal x v)) acc) rest
+        | Pdu.Ipv6_prefix _ :: rest -> consume acc rest (* carried but unindexed *)
+        | [] -> raise (Protocol_error "missing End of Data")
+        | p :: _ -> raise (Protocol_error ("unexpected " ^ Pdu.to_string p))
+      in
+      consume router.r_vrps rest
+    | Pdu.Error_report { error_code; message } :: _ ->
+      raise (Protocol_error (Printf.sprintf "cache error %d: %s" error_code message))
+    | p :: _ -> raise (Protocol_error ("unexpected " ^ Pdu.to_string p))
+    | [] -> raise (Protocol_error "empty response")
+  in
+  go pdus
+
+(* One synchronisation round against a cache: incremental when possible,
+   falling back to reset.  Returns the router's resulting VRP set. *)
+let synchronize router cache =
+  let query =
+    match router.r_session with
+    | Some sid when sid = cache.session_id ->
+      Pdu.encode (Pdu.Serial_query { session_id = sid; serial = router.r_serial })
+    | _ ->
+      (* new or different cache: start a fresh session from nothing *)
+      router.r_vrps <- [];
+      router.r_serial <- 0;
+      router.r_session <- None;
+      Pdu.encode Pdu.Reset_query
+  in
+  match apply_response router (serve cache query) with
+  | `Synced -> router.r_vrps
+  | `Reset_required -> (
+    (* the incremental window closed: start over from scratch *)
+    router.r_vrps <- [];
+    router.r_serial <- 0;
+    router.r_session <- None;
+    match apply_response router (serve cache (Pdu.encode Pdu.Reset_query)) with
+    | `Synced -> router.r_vrps
+    | `Reset_required -> raise (Protocol_error "reset loop"))

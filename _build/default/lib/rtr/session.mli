@@ -1,0 +1,56 @@
+(** RTR cache-server and router-client state machines (RFC 6810 section 4).
+
+    The cache holds serial-numbered versions of the relying party's VRP set;
+    routers synchronise with Reset Query (full state) or Serial Query
+    (incremental deltas).  Every exchange round-trips through the byte-exact
+    {!Pdu} encoding. *)
+
+open Rpki_core
+
+module Vrp_set : sig
+  val diff : from:Vrp.t list -> to_:Vrp.t list -> Vrp.t list * Vrp.t list
+  (** [(announced, withdrawn)]. *)
+end
+
+(** {2 Cache (server) side} *)
+
+type cache = {
+  session_id : int;
+  mutable serial : int;
+  mutable current : Vrp.t list;
+  mutable versions : (int * Vrp.t list) list; (** serial -> snapshot *)
+  history_limit : int;
+}
+
+val create_cache : ?session_id:int -> ?history_limit:int -> unit -> cache
+
+val publish : cache -> Vrp.t list -> unit
+(** Install a new VRP set (e.g. after each relying-party sync); bumps the
+    serial only when the set actually changed. *)
+
+val notify : cache -> Pdu.t
+(** The Serial Notify a cache would push to connected routers. *)
+
+val serve : cache -> string -> string
+(** Handle one encoded client request, returning the encoded response
+    sequence (Cache Response … End of Data, or Cache Reset, or an Error
+    Report). *)
+
+(** {2 Router (client) side} *)
+
+type router = {
+  mutable r_session : int option;
+  mutable r_serial : int;
+  mutable r_vrps : Vrp.t list;
+}
+
+val create_router : unit -> router
+
+exception Protocol_error of string
+
+val apply_response : router -> string -> [ `Synced | `Reset_required ]
+(** Apply an encoded cache response to the router state. *)
+
+val synchronize : router -> cache -> Vrp.t list
+(** One synchronisation round: incremental when the session and serial
+    allow, otherwise a full reset.  Returns the router's resulting VRPs. *)

@@ -1,0 +1,1 @@
+lib/sim/deployment.ml: List Origin_validation Printf Route Rpki_core Rpki_ip Rpki_util V4 Vrp

@@ -1,0 +1,1 @@
+lib/sim/deployment.mli: Origin_validation Route Rpki_core Rpki_ip V4 Vrp

@@ -1,0 +1,1 @@
+lib/sim/loop.mli: Data_plane Format Model Policy Propagation Pub_point Relying_party Rpki_bgp Rpki_core Rpki_ip Rpki_repo Rtime Topology Universe

@@ -1,0 +1,60 @@
+(** Partial-deployment modelling (Side Effect 5).
+
+    "A new ROA can cause many routes to become invalid": if a large network
+    issues a covering ROA before its customers' subprefix ROAs exist, every
+    unprotected customer route flips unknown -> invalid.  The model works at
+    the VRP level; providers hold large prefixes, customers announce
+    subprefixes with their own origins, adoption is the fraction of
+    customers holding ROAs. *)
+
+open Rpki_core
+open Rpki_ip
+
+type customer = { route : Route.t; has_roa : bool }
+
+type provider = {
+  name : string;
+  prefix : V4.Prefix.t;
+  asn : int;
+  customers : customer list;
+}
+
+type world = { providers : provider list }
+
+type spec = {
+  n_providers : int;
+  customers_per_provider : int;
+  customer_adoption : float;
+  seed : int;
+}
+
+val default_spec : spec
+(** 50 providers x 25 customers. *)
+
+val generate : spec -> world
+val routes : world -> Route.t list
+val customer_vrps : world -> Vrp.t list
+val provider_vrps : world -> Vrp.t list
+
+type counts = { valid : int; invalid : int; unknown : int }
+
+val count_states : Origin_validation.index -> Route.t list -> counts
+
+type row = {
+  adoption : float;
+  total_routes : int;
+  before : counts; (** only customer ROAs exist *)
+  after : counts;  (** providers issued covering ROAs *)
+  flips : int;     (** routes that went unknown -> invalid *)
+}
+
+val run_once : spec -> row
+
+val sweep : ?spec:spec -> ?fractions:float list -> unit -> row list
+(** The Side Effect 5 series: flips as a function of customer adoption. *)
+
+type ordering = Cover_first | Subprefixes_first
+
+val invalid_window : spec:spec -> ordering -> int
+(** Routes invalid mid-deployment under each issuance order — the paper's
+    deployment rule, quantified. *)

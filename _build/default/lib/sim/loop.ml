@@ -1,0 +1,177 @@
+(* Closing the loop (Section 6): RPKI -> route validity -> BGP -> repository
+   reachability -> RPKI.
+
+   A discrete-time simulator in which, each tick, the relying party syncs
+   the RPKI *over the data plane its previous sync produced*: a publication
+   point can be fetched only if the RP currently has a working route to the
+   repository's address.  A transient fault that invalidates the route to a
+   repository therefore prevents the fetch that would repair it — the
+   paper's persistent-failure mechanism. *)
+
+open Rpki_core
+open Rpki_repo
+open Rpki_bgp
+open Rpki_ip
+
+type probe = {
+  label : string;
+  addr : Rpki_ip.Addr.V4.t;
+  expected_origin : int;
+}
+
+type t = {
+  universe : Universe.t;
+  topo : Topology.t;
+  policy : Policy.t;              (* uniform policy at every AS *)
+  rp : Relying_party.t;
+  announcements : Propagation.announcement list;
+  probes : probe list;
+  mutable net : Data_plane.network option; (* data plane after the last tick *)
+  mutable history : tick_record list;      (* newest first *)
+}
+
+and tick_record = {
+  time : Rtime.t;
+  vrp_count : int;
+  issue_count : int;
+  fetch_failures : string list; (* URIs not freshly fetched *)
+  probe_results : (string * bool) list;
+}
+
+let create ~universe ~topo ~policy ~rp ~announcements ~probes =
+  { universe; topo; policy; rp; announcements; probes; net = None; history = [] }
+
+(* Reachability of a publication point from the RP's AS, judged on the data
+   plane computed at the previous tick.  Before the first tick the RP has
+   never applied RPKI filtering, so everything is reachable (deployment
+   starts from working routing). *)
+let point_reachable t (pp : Pub_point.t) =
+  match t.net with
+  | None -> true
+  | Some net ->
+    Data_plane.reaches net ~src:t.rp.Relying_party.asn ~addr:pp.Pub_point.addr
+      ~expected:pp.Pub_point.host_asn
+
+let step t ~now =
+  Universe.refresh_mirrors t.universe;
+  let result, idx =
+    Relying_party.sync_index t.rp ~now ~universe:t.universe
+      ~reachable:(fun pp -> point_reachable t pp)
+      ()
+  in
+  let validity_of r = Origin_validation.classify idx r in
+  let net =
+    Data_plane.build ~topo:t.topo ~policy_of:(fun _ -> t.policy) ~validity_of t.announcements
+  in
+  t.net <- Some net;
+  let probe_results =
+    List.map
+      (fun p ->
+        ( p.label,
+          Data_plane.reaches net ~src:t.rp.Relying_party.asn ~addr:p.addr
+            ~expected:p.expected_origin ))
+      t.probes
+  in
+  let fetch_failures =
+    List.filter_map
+      (fun (uri, st) ->
+        match st with
+        | Relying_party.Fetched | Relying_party.Fetched_mirror -> None
+        | Relying_party.Stale_cache | Relying_party.Unavailable -> Some uri)
+      result.Relying_party.fetches
+  in
+  let record =
+    { time = now;
+      vrp_count = List.length result.Relying_party.vrps;
+      issue_count = List.length result.Relying_party.issues;
+      fetch_failures;
+      probe_results }
+  in
+  t.history <- record :: t.history;
+  record
+
+let history t = List.rev t.history
+
+let pp_record fmt r =
+  Format.fprintf fmt "%a: %d VRPs, %d issues, %d fetch failures, probes: %s" Rtime.pp r.time
+    r.vrp_count r.issue_count
+    (List.length r.fetch_failures)
+    (String.concat ", "
+       (List.map (fun (l, ok) -> Printf.sprintf "%s=%s" l (if ok then "up" else "DOWN"))
+          r.probe_results))
+
+(* --- the canned Section 6 scenario --- *)
+
+type section6 = {
+  sim : t;
+  model : Model.t;
+  continental_repo : Pub_point.t;
+  target_filename : string; (* the ROA whose corruption starts the spiral *)
+}
+
+(* Figure 5 (right) state: model RPKI plus Sprint's covering ROA; the small
+   topology with every repository host attached; Continental Broadband
+   hosting its own repository inside 63.174.16.0/20 (AS 17054). *)
+let section6_scenario ?(policy = Policy.Drop_invalid) ?grace ?(mirrored = false) () =
+  let model = Model.build () in
+  let _ = Model.add_fig5_right_roa model ~now:Rtime.epoch in
+  let s = Topo_gen.small_scenario () in
+  let topo = s.Topo_gen.small_topo in
+  (* attach the repository-hosting ASes *)
+  Topology.link topo ~provider:s.Topo_gen.t1a ~customer:Model.as_sprint;
+  Topology.link topo ~provider:s.Topo_gen.mid1 ~customer:Model.as_etb;
+  Topology.link topo ~provider:s.Topo_gen.t1b ~customer:Model.as_arin_host;
+  (* AS 17054 (Continental) is already in the topology as the "victim" *)
+  let ann prefix origin = { Propagation.prefix = V4.p prefix; origin } in
+  let announcements =
+    [ ann "199.5.26.0/24" Model.as_arin_host;       (* ARIN repo; no ROA: unknown *)
+      ann "63.161.0.0/16" Model.as_sprint;           (* Sprint repo; valid *)
+      ann "63.170.0.0/16" Model.as_etb;              (* ETB repo; valid *)
+      ann "63.174.16.0/20" Model.as_continental ]    (* Continental repo; valid iff /20 ROA fetched *)
+  in
+  let rp = Model.relying_party ~asn:s.Topo_gen.source ?grace model in
+  (* optional mitigation (draft-sidr-multiple-publication-points): mirror
+     Continental's repository inside Sprint's address space, whose route
+     does not depend on Continental's own objects *)
+  if mirrored then begin
+    let mirror =
+      Pub_point.create ~uri:"rsync://mirror.sprint.net/continental"
+        ~addr:(V4.addr_of_string_exn "63.161.200.1") ~host_asn:Model.as_sprint
+    in
+    Universe.add_mirror model.Model.universe
+      ~of_uri:model.Model.continental.Rpki_repo.Authority.pub.Pub_point.uri mirror
+  end;
+  let probes =
+    [ { label = "continental-repo"; addr = Model.continental_repo_addr;
+        expected_origin = Model.as_continental };
+      { label = "sprint-repo"; addr = Model.sprint_repo_addr; expected_origin = Model.as_sprint } ]
+  in
+  let sim = create ~universe:model.Model.universe ~topo ~policy ~rp ~announcements ~probes in
+  let continental_repo = model.Model.continental.Rpki_repo.Authority.pub in
+  { sim; model; continental_repo; target_filename = model.Model.roa_target20 }
+
+(* Run the Side Effect 7 timeline: healthy ticks, a transient corruption of
+   the critical ROA, repair, then more ticks.  Returns the full history. *)
+let run_section6 ?(policy = Policy.Drop_invalid) ?(flush_cache_at = None) ?grace
+    ?(mirrored = false) () =
+  let sc = section6_scenario ~policy ?grace ~mirrored () in
+  let t = sc.sim in
+  (* ticks 1-2: healthy *)
+  ignore (step t ~now:1);
+  ignore (step t ~now:2);
+  (* tick 3: the RP receives a corrupted copy of the critical ROA *)
+  let fault =
+    Fault.corrupt_object sc.continental_repo ~filename:sc.target_filename ()
+  in
+  ignore (step t ~now:3);
+  (* tick 4: the repository is repaired... *)
+  Option.iter Fault.repair fault;
+  ignore (step t ~now:4);
+  (* ticks 5-7: ...but can the RP see the repair? *)
+  ignore (step t ~now:5);
+  (match flush_cache_at with
+  | Some tick when tick <= 6 -> Relying_party.flush_cache t.rp
+  | _ -> ());
+  ignore (step t ~now:6);
+  ignore (step t ~now:7);
+  (sc, history t)

@@ -1,0 +1,85 @@
+(** Closing the loop (the paper's Section 6): RPKI -> route validity ->
+    BGP -> repository reachability -> RPKI.
+
+    A discrete-time simulator in which, each tick, the relying party syncs
+    the RPKI {e over the data plane its previous sync produced}: a
+    publication point can be fetched only if the RP currently has a working
+    route to the repository's address.  A transient fault that invalidates
+    the route to a repository therefore prevents the fetch that would repair
+    it — Side Effect 7's persistent-failure mechanism. *)
+
+open Rpki_core
+open Rpki_repo
+open Rpki_bgp
+
+type probe = {
+  label : string;
+  addr : Rpki_ip.Addr.V4.t;
+  expected_origin : int;
+}
+
+type t = {
+  universe : Universe.t;
+  topo : Topology.t;
+  policy : Policy.t;                         (** uniform at every AS *)
+  rp : Relying_party.t;
+  announcements : Propagation.announcement list;
+  probes : probe list;
+  mutable net : Data_plane.network option;
+  mutable history : tick_record list;
+}
+
+and tick_record = {
+  time : Rtime.t;
+  vrp_count : int;
+  issue_count : int;
+  fetch_failures : string list;
+  probe_results : (string * bool) list;
+}
+
+val create :
+  universe:Universe.t ->
+  topo:Topology.t ->
+  policy:Policy.t ->
+  rp:Relying_party.t ->
+  announcements:Propagation.announcement list ->
+  probes:probe list ->
+  t
+
+val point_reachable : t -> Pub_point.t -> bool
+(** Reachability of a publication point from the RP's AS, judged on the data
+    plane of the previous tick (everything is reachable before the first). *)
+
+val step : t -> now:Rtime.t -> tick_record
+(** One tick: refresh mirrors, sync the RP over the previous data plane,
+    recompute the data plane, run the probes. *)
+
+val history : t -> tick_record list
+val pp_record : Format.formatter -> tick_record -> unit
+
+(** {2 The canned Section 6 scenario} *)
+
+type section6 = {
+  sim : t;
+  model : Model.t;
+  continental_repo : Pub_point.t;
+  target_filename : string; (** the ROA whose corruption starts the spiral *)
+}
+
+val section6_scenario :
+  ?policy:Policy.t -> ?grace:int -> ?mirrored:bool -> unit -> section6
+(** Figure 5 (right) validity, the small topology with every repository host
+    attached, Continental hosting its own repository inside its certified
+    /20.  [mirrored] registers a mirror of Continental's repository inside
+    Sprint's address space (the draft-multiple-publication-points
+    mitigation); [grace] enables the Suspenders-style hold on the RP. *)
+
+val run_section6 :
+  ?policy:Policy.t ->
+  ?flush_cache_at:int option ->
+  ?grace:int ->
+  ?mirrored:bool ->
+  unit ->
+  section6 * tick_record list
+(** The Side Effect 7 timeline: two healthy ticks, a one-tick corruption of
+    the critical ROA, repair, then observation through tick 7. *)

@@ -1,0 +1,23 @@
+(* Hexadecimal encoding helpers shared by the crypto and ASN.1 layers. *)
+
+let of_string s =
+  let buf = Buffer.create (2 * String.length s) in
+  String.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%02x" (Char.code c))) s;
+  Buffer.contents buf
+
+let digit c =
+  match c with
+  | '0' .. '9' -> Char.code c - Char.code '0'
+  | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+  | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+  | _ -> invalid_arg "Hex.digit"
+
+let to_string h =
+  let n = String.length h in
+  if n mod 2 <> 0 then invalid_arg "Hex.to_string: odd length";
+  String.init (n / 2) (fun i -> Char.chr ((digit h.[2 * i] lsl 4) lor digit h.[(2 * i) + 1]))
+
+(* Short fingerprint used when printing keys and hashes in tables. *)
+let abbrev ?(len = 8) s =
+  let h = of_string s in
+  if String.length h <= len then h else String.sub h 0 len

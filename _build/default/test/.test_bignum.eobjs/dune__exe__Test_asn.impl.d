@@ -1,0 +1,1 @@
+test/test_asn.ml: Alcotest Der Format List Nat Printf QCheck QCheck_alcotest Rpki_asn Rpki_bignum Rpki_util String

@@ -1,0 +1,1 @@
+test/test_attack.ml: Alcotest Assess Authority List Model Relying_party Resources Route Rpki_attack Rpki_core Rpki_ip Rpki_repo Universe V4 Vrp Whack

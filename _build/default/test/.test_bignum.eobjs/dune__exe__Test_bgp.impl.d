@@ -1,0 +1,1 @@
+test/test_bgp.ml: Alcotest Data_plane Hijack List Origin_validation Policy Printf Propagation Route Rpki_bgp Rpki_core Rpki_ip Topo_gen Topology V4 Vrp

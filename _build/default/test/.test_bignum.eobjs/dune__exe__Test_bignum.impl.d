@@ -1,0 +1,1 @@
+test/test_bignum.ml: Alcotest List Nat Prime Printf QCheck QCheck_alcotest Rpki_bignum Rpki_util Zint

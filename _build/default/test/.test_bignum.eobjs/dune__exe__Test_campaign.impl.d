@@ -1,0 +1,1 @@
+test/test_campaign.ml: Alcotest Assess Campaign List Model Relying_party Rpki_attack Rpki_core Rpki_ip Rpki_juris Rpki_monitor Rpki_repo V4 Vrp

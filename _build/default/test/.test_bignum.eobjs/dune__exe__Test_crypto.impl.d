@@ -1,0 +1,1 @@
+test/test_crypto.ml: Alcotest Bytes Char Drbg Gen Hmac Lazy List Printf QCheck QCheck_alcotest Rpki_crypto Rpki_util Rsa Sha256 String

@@ -1,0 +1,1 @@
+test/test_ip.ml: Addr Alcotest As_res List QCheck QCheck_alcotest Rpki_ip String V4 V6

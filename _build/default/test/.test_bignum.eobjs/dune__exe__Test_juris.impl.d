@@ -1,0 +1,1 @@
+test/test_juris.ml: Alcotest Analysis Country Dataset List Rpki_ip Rpki_juris String

@@ -1,0 +1,1 @@
+test/test_lifecycle.ml: Alcotest Authority Fault List Model Option Printf Relying_party Rpki_attack Rpki_core Rpki_ip Rpki_monitor Rpki_repo Rtime V4

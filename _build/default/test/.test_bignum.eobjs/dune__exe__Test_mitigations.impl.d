@@ -1,0 +1,1 @@
+test/test_mitigations.ml: Alcotest Authority Cert Fault List Loop Model Policy Pub_point Relying_party Rpki_bgp Rpki_core Rpki_crypto Rpki_ip Rpki_monitor Rpki_repo Rpki_sim String Universe V4

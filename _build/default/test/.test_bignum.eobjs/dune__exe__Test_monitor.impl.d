@@ -1,0 +1,1 @@
+test/test_monitor.ml: Alcotest Authority List Model Monitor Pub_point Rpki_attack Rpki_core Rpki_crypto Rpki_ip Rpki_monitor Rpki_repo Rpki_util String Whack

@@ -1,0 +1,1 @@
+test/test_repo.ml: Alcotest Authority Cert Fault Lazy List Model Option Origin_validation Pub_point Relying_party Route Rpki_core Rpki_crypto Rpki_ip Rpki_repo Rtime String Universe V4 Vrp

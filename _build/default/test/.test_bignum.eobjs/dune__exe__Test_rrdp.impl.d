@@ -1,0 +1,1 @@
+test/test_rrdp.ml: Alcotest List Printf Pub_point QCheck QCheck_alcotest Rpki_repo Rrdp String

@@ -1,0 +1,1 @@
+test/test_rtr.ml: Alcotest Bytes Char Format List Pdu QCheck QCheck_alcotest Rpki_core Rpki_ip Rpki_rtr Session String V4 V6 Vrp

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Deployment List Loop Policy Rpki_bgp Rpki_sim

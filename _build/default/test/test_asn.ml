@@ -1,0 +1,121 @@
+(* Tests for the DER encoder/decoder. *)
+
+open Rpki_asn
+open Rpki_bignum
+
+let der = Alcotest.testable Der.pp ( = )
+
+let hex = Rpki_util.Hex.of_string
+
+let test_primitive_encodings () =
+  let check name want v = Alcotest.(check string) name want (hex (Der.encode v)) in
+  check "INTEGER 0" "020100" (Der.Integer Nat.zero);
+  check "INTEGER 127" "02017f" (Der.int_ 127);
+  check "INTEGER 128 gets pad" "02020080" (Der.int_ 128);
+  check "INTEGER 256" "02020100" (Der.int_ 256);
+  check "BOOLEAN true" "0101ff" (Der.Boolean true);
+  check "BOOLEAN false" "010100" (Der.Boolean false);
+  check "NULL" "0500" Der.Null;
+  check "OCTET STRING" "0403616263" (Der.Octet_string "abc");
+  check "BIT STRING" "030400616263" (Der.Bit_string "abc");
+  check "UTF8" "0c026869" (Der.Utf8 "hi");
+  check "empty SEQUENCE" "3000" (Der.Sequence []);
+  check "SEQUENCE" "3006020101020102" (Der.Sequence [ Der.int_ 1; Der.int_ 2 ]);
+  check "context tag" "a1030101ff" (Der.Context (1, [ Der.Boolean true ]))
+
+let test_oid () =
+  (* 1.2.840.113549.1.1.11 = sha256WithRSAEncryption *)
+  Alcotest.(check string) "rsa oid" "06092a864886f70d01010b"
+    (hex (Der.encode (Der.Oid [ 1; 2; 840; 113549; 1; 1; 11 ])));
+  Alcotest.(check der) "oid roundtrip"
+    (Der.Oid [ 1; 2; 840; 113549; 1; 1; 11 ])
+    (Der.decode_exn (Der.encode (Der.Oid [ 1; 2; 840; 113549; 1; 1; 11 ])));
+  Alcotest.(check der) "2.x oid" (Der.Oid [ 2; 5; 29; 15 ])
+    (Der.decode_exn (Der.encode (Der.Oid [ 2; 5; 29; 15 ])))
+
+let test_long_lengths () =
+  (* bodies of 127 / 128 / 256 / 65536 bytes cross length-encoding forms *)
+  List.iter
+    (fun n ->
+      let v = Der.Octet_string (String.make n 'z') in
+      Alcotest.(check der) (Printf.sprintf "len %d" n) v (Der.decode_exn (Der.encode v)))
+    [ 0; 1; 127; 128; 255; 256; 65535; 65536 ]
+
+let test_decode_errors () =
+  let expect_error name s =
+    match Der.decode s with
+    | Ok _ -> Alcotest.failf "%s: expected error" name
+    | Error _ -> ()
+  in
+  expect_error "empty" "";
+  expect_error "truncated header" "\x30";
+  expect_error "truncated body" "\x30\x05\x02\x01";
+  expect_error "indefinite length" "\x30\x80\x00\x00";
+  expect_error "non-minimal length" "\x04\x81\x05hello";
+  expect_error "negative integer" "\x02\x01\x80";
+  expect_error "non-minimal integer" "\x02\x02\x00\x01";
+  expect_error "empty integer" "\x02\x00";
+  expect_error "bad boolean" "\x01\x01\x42";
+  expect_error "boolean length" "\x01\x02\xff\xff";
+  expect_error "null with content" "\x05\x01\x00";
+  expect_error "unknown tag" "\x13\x01a";
+  expect_error "trailing garbage" "\x05\x00\x00"
+
+let test_helpers () =
+  Alcotest.(check int) "to_int" 42 (Der.to_int_exn (Der.int_ 42));
+  Alcotest.(check string) "to_string" "x" (Der.to_string_exn (Der.Utf8 "x"));
+  Alcotest.check_raises "to_int of seq" (Der.Decode_error "expected INTEGER") (fun () ->
+      ignore (Der.to_int_exn (Der.Sequence [])));
+  Alcotest.(check int) "to_list" 2 (List.length (Der.to_list_exn (Der.Sequence [ Der.Null; Der.Null ])))
+
+(* random DER tree generator for roundtrip testing *)
+let gen_der =
+  QCheck.Gen.(
+    sized (fun n ->
+        fix
+          (fun self n ->
+            let leaf =
+              oneof
+                [ map (fun b -> Der.Boolean b) bool;
+                  map (fun i -> Der.int_ (abs i)) int;
+                  map (fun s -> Der.Octet_string s) (string_size (int_bound 40));
+                  map (fun s -> Der.Bit_string s) (string_size (int_bound 40));
+                  map (fun s -> Der.Utf8 s) (string_size (int_bound 40));
+                  return Der.Null;
+                  map
+                    (fun arcs -> Der.Oid (1 :: 2 :: List.map abs arcs))
+                    (list_size (int_bound 6) int) ]
+            in
+            if n <= 1 then leaf
+            else
+              oneof
+                [ leaf;
+                  map (fun l -> Der.Sequence l) (list_size (int_bound 5) (self (n / 2)));
+                  map (fun l -> Der.Set l) (list_size (int_bound 5) (self (n / 2)));
+                  map2
+                    (fun tag l -> Der.Context (tag mod 31, l))
+                    (int_bound 30)
+                    (list_size (int_bound 4) (self (n / 2))) ])
+          n))
+
+let prop_roundtrip =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:500 ~name:"encode/decode roundtrip"
+       (QCheck.make ~print:(Format.asprintf "%a" Der.pp) gen_der)
+       (fun v -> Der.decode_exn (Der.encode v) = v))
+
+let prop_deterministic =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:200 ~name:"encoding is deterministic"
+       (QCheck.make ~print:(Format.asprintf "%a" Der.pp) gen_der)
+       (fun v -> String.equal (Der.encode v) (Der.encode (Der.decode_exn (Der.encode v)))))
+
+let () =
+  Alcotest.run "asn"
+    [ ( "der-unit",
+        [ Alcotest.test_case "primitive encodings" `Quick test_primitive_encodings;
+          Alcotest.test_case "OIDs" `Quick test_oid;
+          Alcotest.test_case "long lengths" `Quick test_long_lengths;
+          Alcotest.test_case "decode errors" `Quick test_decode_errors;
+          Alcotest.test_case "helpers" `Quick test_helpers ] );
+      ("der-properties", [ prop_roundtrip; prop_deterministic ]) ]

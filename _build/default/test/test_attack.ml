@@ -1,0 +1,201 @@
+(* Tests for the whacking engine against the paper's scenarios. *)
+
+open Rpki_core
+open Rpki_repo
+open Rpki_attack
+open Rpki_ip
+
+let sync (m : Model.t) rp ~now = Relying_party.sync rp ~now ~universe:m.Model.universe ()
+
+let vrp_strings (r : Relying_party.sync_result) = List.map Vrp.to_string r.Relying_party.vrps
+
+(* --- Section 3.1, clean grandchild whack --- *)
+
+let test_clean_whack_plan () =
+  let m = Model.build () in
+  let plan =
+    Whack.plan_targeted ~manipulator:m.Model.sprint ~target_issuer:"Continental"
+      ~target_filename:m.Model.roa_target20
+  in
+  Alcotest.(check bool) "no reissues" false (Whack.needs_make_before_break plan);
+  (* the exact sliver and shrunken RC from the paper's prose *)
+  Alcotest.(check string) "sliver" "63.174.24.0-63.174.24.255" (V4.Set.to_string plan.Whack.sliver);
+  Alcotest.(check string) "new RC ranges"
+    "63.174.16.0-63.174.23.255, 63.174.25.0-63.174.31.255"
+    (Resources.to_string plan.Whack.shrink_child_to)
+
+let test_clean_whack_execution () =
+  let m = Model.build () in
+  let rp = Model.relying_party m in
+  let before = sync m rp ~now:1 in
+  let plan =
+    Whack.plan_targeted ~manipulator:m.Model.sprint ~target_issuer:"Continental"
+      ~target_filename:m.Model.roa_target20
+  in
+  ignore (Whack.execute ~manipulator:m.Model.sprint plan ~now:1);
+  let after = sync m rp ~now:1 in
+  let d =
+    Assess.diff ~before:before.Relying_party.vrps ~after:after.Relying_party.vrps
+  in
+  Alcotest.(check int) "exactly one VRP lost" 1 (List.length d.Assess.net_lost);
+  Alcotest.(check string) "it is the target" "(63.174.16.0/20, AS17054)"
+    (Vrp.to_string (List.hd d.Assess.net_lost));
+  (* all four other Continental ROAs still valid *)
+  List.iter
+    (fun v -> Alcotest.(check bool) v true (List.mem v (vrp_strings after)))
+    [ "(63.174.16.0/22, AS7341)"; "(63.174.25.0/24, AS17054)"; "(63.174.26.0/24, AS17054)";
+      "(63.174.28.0/24, AS17054)" ]
+
+(* --- Section 3.1 / Figure 3, make-before-break --- *)
+
+let test_mbb_whack () =
+  let m = Model.build () in
+  let rp = Model.relying_party m in
+  let plan =
+    Whack.plan_targeted ~manipulator:m.Model.sprint ~target_issuer:"Continental"
+      ~target_filename:m.Model.roa_target22
+  in
+  Alcotest.(check bool) "needs reissue" true (Whack.needs_make_before_break plan);
+  (* the damaged object is the /20 ROA, which must be reissued *)
+  Alcotest.(check int) "one reissue" 1 (List.length plan.Whack.reissues);
+  (match plan.Whack.reissues with
+  | [ Whack.Reissue_roa { asid; original_issuer; _ } ] ->
+    Alcotest.(check int) "reissued asid" 17054 asid;
+    Alcotest.(check string) "original issuer" "Continental" original_issuer
+  | _ -> Alcotest.fail "expected one ROA reissue");
+  let target = [ Vrp.make ~max_len:22 (V4.p "63.174.16.0/22") 7341 ] in
+  let d, collateral =
+    Assess.measure ~rp ~universe:m.Model.universe ~now:1 ~target (fun () ->
+        ignore (Whack.execute ~manipulator:m.Model.sprint plan ~now:1))
+  in
+  Alcotest.(check int) "zero net collateral" 0 (List.length collateral);
+  Alcotest.(check bool) "target gone" true
+    (List.exists
+       (fun (v : Vrp.t) -> V4.Prefix.equal v.Vrp.prefix (V4.p "63.174.16.0/22"))
+       d.Assess.net_lost)
+
+(* --- Side Effect 4: great-grandchild whacking --- *)
+
+(* A four-level hierarchy: TA -> Mid -> Leafco, with Leafco holding ROAs. *)
+let deep_model () =
+  let universe = Universe.create () in
+  let now = 0 in
+  let ta =
+    Authority.create_trust_anchor ~name:"TA0" ~resources:(Resources.of_v4_strings [ "20.0.0.0/8" ])
+      ~uri:"rsync://ta0/repo" ~addr:(V4.addr_of_string_exn "198.51.100.1") ~host_asn:1 ~now
+      ~universe ()
+  in
+  let mid =
+    Authority.create_child ta ~name:"Mid" ~resources:(Resources.of_v4_strings [ "20.1.0.0/16" ])
+      ~uri:"rsync://mid/repo" ~addr:(V4.addr_of_string_exn "20.1.0.1") ~host_asn:2 ~now ~universe ()
+  in
+  let leaf =
+    Authority.create_child mid ~name:"Leafco"
+      ~resources:(Resources.of_v4_strings [ "20.1.16.0/20" ]) ~uri:"rsync://leafco/repo"
+      ~addr:(V4.addr_of_string_exn "20.1.16.1") ~host_asn:3 ~now ~universe ()
+  in
+  let target, _ = Authority.issue_simple_roa leaf ~asid:300 ~prefix:(V4.p "20.1.16.0/22") ~now () in
+  let other, _ = Authority.issue_simple_roa leaf ~asid:301 ~prefix:(V4.p "20.1.24.0/22") ~now () in
+  let mid_roa, _ = Authority.issue_simple_roa mid ~asid:200 ~prefix:(V4.p "20.1.100.0/24") ~now () in
+  (universe, ta, mid, leaf, target, other, mid_roa)
+
+let test_great_grandchild_whack () =
+  let universe, ta, _mid, _leaf, target, _other, _ = deep_model () in
+  let rp =
+    Relying_party.create ~name:"rp" ~asn:1 ~tals:[ Relying_party.tal_of_authority ta ] ()
+  in
+  let plan = Whack.plan_targeted ~manipulator:ta ~target_issuer:"Leafco" ~target_filename:target in
+  (* Side Effect 4: deeper targets force reissued RCs along the path *)
+  Alcotest.(check bool) "needs mbb" true (Whack.needs_make_before_break plan);
+  Alcotest.(check bool) "reissues an RC" true
+    (List.exists
+       (fun r -> match r with Whack.Reissue_rc { subject = "Leafco"; _ } -> true | _ -> false)
+       plan.Whack.reissues);
+  let target_vrps = [ Vrp.make ~max_len:22 (V4.p "20.1.16.0/22") 300 ] in
+  let d, collateral =
+    Assess.measure ~rp ~universe ~now:1 ~target:target_vrps (fun () ->
+        ignore (Whack.execute ~manipulator:ta plan ~now:1))
+  in
+  Alcotest.(check int) "no net collateral" 0 (List.length collateral);
+  Alcotest.(check bool) "target whacked" true
+    (List.exists (fun (v : Vrp.t) -> v.Vrp.asn = 300) d.Assess.net_lost)
+
+let test_deep_collateral_survives () =
+  let universe, ta, _mid, _leaf, target, _other, _ = deep_model () in
+  let rp =
+    Relying_party.create ~name:"rp" ~asn:1 ~tals:[ Relying_party.tal_of_authority ta ] ()
+  in
+  let plan = Whack.plan_targeted ~manipulator:ta ~target_issuer:"Leafco" ~target_filename:target in
+  ignore (Whack.execute ~manipulator:ta plan ~now:1);
+  let after = Relying_party.sync rp ~now:1 ~universe () in
+  let strs = List.map Vrp.to_string after.Relying_party.vrps in
+  Alcotest.(check bool) "Leafco's other ROA survives" true (List.mem "(20.1.24.0/22, AS301)" strs);
+  Alcotest.(check bool) "Mid's ROA survives" true (List.mem "(20.1.100.0/24, AS200)" strs);
+  Alcotest.(check bool) "target gone" true (not (List.mem "(20.1.16.0/22, AS300)" strs))
+
+(* --- error paths --- *)
+
+let test_cannot_whack_own () =
+  let m = Model.build () in
+  Alcotest.(check bool) "own ROA refused" true
+    (try
+       ignore
+         (Whack.plan_targeted ~manipulator:m.Model.sprint ~target_issuer:"Sprint"
+            ~target_filename:m.Model.roa_sprint_1);
+       false
+     with Whack.Cannot_whack _ -> true)
+
+let test_cannot_whack_non_descendant () =
+  let m = Model.build () in
+  Alcotest.(check bool) "sibling refused" true
+    (try
+       ignore
+         (Whack.plan_targeted ~manipulator:m.Model.etb ~target_issuer:"Continental"
+            ~target_filename:m.Model.roa_target20);
+       false
+     with Whack.Cannot_whack _ -> true)
+
+let test_cannot_whack_unknown_roa () =
+  let m = Model.build () in
+  Alcotest.(check bool) "unknown filename refused" true
+    (try
+       ignore
+         (Whack.plan_targeted ~manipulator:m.Model.sprint ~target_issuer:"Continental"
+            ~target_filename:"nope.roa");
+       false
+     with Whack.Cannot_whack _ -> true)
+
+(* --- assess module --- *)
+
+let test_assess_diff () =
+  let a = Vrp.make (V4.p "10.0.0.0/16") 1 in
+  let b = Vrp.make (V4.p "10.1.0.0/16") 2 in
+  let c = Vrp.make (V4.p "10.2.0.0/16") 3 in
+  let d = Assess.diff ~before:[ a; b ] ~after:[ b; c ] in
+  Alcotest.(check int) "lost" 1 (List.length d.Assess.lost);
+  Alcotest.(check int) "gained" 1 (List.length d.Assess.gained);
+  Alcotest.(check int) "net lost" 1 (List.length d.Assess.net_lost)
+
+let test_assess_validity_changes () =
+  let before = [ Vrp.make ~max_len:24 (V4.p "10.0.0.0/16") 1 ] in
+  let after = [] in
+  let routes = [ Route.make (V4.p "10.0.0.0/16") 1; Route.make (V4.p "99.0.0.0/8") 9 ] in
+  let changes = Assess.validity_changes ~before ~after routes in
+  Alcotest.(check int) "one change" 1 (List.length changes)
+
+let () =
+  Alcotest.run "attack"
+    [ ( "clean-whack",
+        [ Alcotest.test_case "plan matches paper" `Quick test_clean_whack_plan;
+          Alcotest.test_case "execution: zero collateral" `Quick test_clean_whack_execution ] );
+      ("make-before-break", [ Alcotest.test_case "figure 3" `Quick test_mbb_whack ]);
+      ( "side-effect-4",
+        [ Alcotest.test_case "great-grandchild whack" `Quick test_great_grandchild_whack;
+          Alcotest.test_case "deep collateral survives" `Quick test_deep_collateral_survives ] );
+      ( "refusals",
+        [ Alcotest.test_case "own ROA" `Quick test_cannot_whack_own;
+          Alcotest.test_case "non-descendant" `Quick test_cannot_whack_non_descendant;
+          Alcotest.test_case "unknown ROA" `Quick test_cannot_whack_unknown_roa ] );
+      ( "assess",
+        [ Alcotest.test_case "diff" `Quick test_assess_diff;
+          Alcotest.test_case "validity changes" `Quick test_assess_validity_changes ] ) ]

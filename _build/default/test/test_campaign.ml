@@ -1,0 +1,146 @@
+(* Tests for censorship-campaign planning and the dataset-to-hierarchy
+   bridge. *)
+
+open Rpki_core
+open Rpki_repo
+open Rpki_attack
+open Rpki_ip
+
+(* --- planning on the model RPKI --- *)
+
+let test_plan_by_asn () =
+  let m = Model.build () in
+  (* silence AS 17054 from Sprint's position: four Continental ROAs *)
+  let c = Campaign.plan ~manipulator:m.Model.sprint ~objective:(Campaign.Target_asns [ 17054 ]) in
+  Alcotest.(check int) "four steps" 4 (List.length c.Campaign.steps);
+  Alcotest.(check int) "no unplannable" 0 (List.length c.Campaign.unplannable)
+
+let test_plan_by_space () =
+  let m = Model.build () in
+  let space = V4.Set.of_prefix (V4.p "63.174.16.0/22") in
+  let c = Campaign.plan ~manipulator:m.Model.sprint ~objective:(Campaign.Target_space space) in
+  (* the /20 ROA and the /22 ROA overlap that space *)
+  Alcotest.(check int) "two steps" 2 (List.length c.Campaign.steps)
+
+let test_plan_includes_own_roas () =
+  let m = Model.build () in
+  let c = Campaign.plan ~manipulator:m.Model.sprint ~objective:(Campaign.Target_asns [ 1239 ]) in
+  (* Sprint's own two ROAs: direct revocations, not whacks *)
+  Alcotest.(check int) "two revocations" 2
+    (List.length
+       (List.filter (function Campaign.Revoke_own _ -> true | _ -> false) c.Campaign.steps))
+
+let test_execute_campaign () =
+  let m = Model.build () in
+  let rp = Model.relying_party m in
+  let before =
+    (Relying_party.sync rp ~now:1 ~universe:m.Model.universe ()).Relying_party.vrps
+  in
+  let c = Campaign.plan ~manipulator:m.Model.sprint ~objective:(Campaign.Target_asns [ 17054 ]) in
+  let executed, failed = Campaign.execute ~manipulator:m.Model.sprint c ~now:1 in
+  Alcotest.(check int) "all executed" 4 executed;
+  Alcotest.(check int) "none failed" 0 (List.length failed);
+  let after =
+    (Relying_party.sync rp ~now:1 ~universe:m.Model.universe ()).Relying_party.vrps
+  in
+  (* every AS-17054 VRP is gone; everything else survives *)
+  Alcotest.(check int) "17054 silenced" 0
+    (List.length (List.filter (fun (v : Vrp.t) -> v.Vrp.asn = 17054) after));
+  let survivors = List.filter (fun (v : Vrp.t) -> v.Vrp.asn <> 17054) before in
+  List.iter
+    (fun v ->
+      Alcotest.(check bool) (Vrp.to_string v) true
+        (List.exists (Assess.vrp_covers_same v) after))
+    survivors
+
+let test_campaign_detected () =
+  let m = Model.build () in
+  let snap0 = Rpki_monitor.Monitor.take ~now:1 m.Model.universe in
+  let c = Campaign.plan ~manipulator:m.Model.sprint ~objective:(Campaign.Target_asns [ 17054 ]) in
+  ignore (Campaign.execute ~manipulator:m.Model.sprint c ~now:2);
+  let snap1 = Rpki_monitor.Monitor.take ~now:2 m.Model.universe in
+  let alerts = Rpki_monitor.Monitor.diff ~before:snap0 ~after:snap1 in
+  Alcotest.(check bool) "alarms raised" true (Rpki_monitor.Monitor.alarms alerts <> [])
+
+(* --- dataset bridge --- *)
+
+let test_hierarchy_of_dataset () =
+  let records = Rpki_juris.Dataset.paper_fixture () in
+  let universe, rir_tas, holders = Campaign.hierarchy_of_dataset records in
+  Alcotest.(check int) "nine holders" 9 (List.length holders);
+  Alcotest.(check bool) "three RIRs involved" true (List.length rir_tas = 3);
+  (* every suballocation became a validating ROA *)
+  let arin = List.assoc Rpki_juris.Country.ARIN rir_tas in
+  let rp =
+    Relying_party.create ~name:"rp" ~asn:1
+      ~tals:(List.map (fun (_, ta) -> Relying_party.tal_of_authority ta) rir_tas)
+      ()
+  in
+  let r = Relying_party.sync rp ~now:1 ~universe () in
+  let total_subs =
+    List.fold_left
+      (fun acc (r : Rpki_juris.Dataset.rc_record) ->
+        acc + List.length r.Rpki_juris.Dataset.suballocations)
+      0 records
+  in
+  Alcotest.(check int) "one VRP per suballocation" total_subs (List.length r.Relying_party.vrps);
+  Alcotest.(check int) "no issues" 0 (List.length r.Relying_party.issues);
+  ignore arin
+
+let test_country_takedown () =
+  (* Colombia appears under several ARIN-certified providers: a coerced ARIN
+     can silence all of it *)
+  let records = Rpki_juris.Dataset.paper_fixture () in
+  let universe, rir_tas, _ = Campaign.hierarchy_of_dataset records in
+  let arin = List.assoc Rpki_juris.Country.ARIN rir_tas in
+  let co_asns = Campaign.asns_of_country records "CO" in
+  Alcotest.(check bool) "CO served by several ASes" true (List.length co_asns >= 3);
+  let c = Campaign.plan ~manipulator:arin ~objective:(Campaign.Target_asns co_asns) in
+  Alcotest.(check int) "every CO ROA planned" (List.length co_asns)
+    (List.length c.Campaign.steps);
+  let rp =
+    Relying_party.create ~name:"rp" ~asn:1
+      ~tals:(List.map (fun (_, ta) -> Relying_party.tal_of_authority ta) rir_tas)
+      ()
+  in
+  let before = (Relying_party.sync rp ~now:1 ~universe ()).Relying_party.vrps in
+  let executed, failed = Campaign.execute ~manipulator:arin c ~now:1 in
+  Alcotest.(check int) "all executed" (List.length co_asns) executed;
+  Alcotest.(check int) "none failed" 0 (List.length failed);
+  let after = (Relying_party.sync rp ~now:1 ~universe ()).Relying_party.vrps in
+  Alcotest.(check int) "CO silenced" 0
+    (List.length (List.filter (fun (v : Vrp.t) -> List.mem v.Vrp.asn co_asns) after));
+  (* zero collateral: only CO's VRPs disappeared *)
+  let d = Assess.diff ~before ~after in
+  Alcotest.(check bool) "only CO lost" true
+    (List.for_all (fun (v : Vrp.t) -> List.mem v.Vrp.asn co_asns) d.Assess.net_lost)
+
+let test_cross_border_takedown_is_out_of_jurisdiction () =
+  (* the ASes ARIN can silence include ones in countries where ARIN is not
+     accountable — Table 4's point, executed *)
+  let records = Rpki_juris.Dataset.paper_fixture () in
+  let exposures = Rpki_juris.Analysis.cross_jurisdiction_rcs records in
+  let arin_foreign =
+    List.concat_map
+      (fun (e : Rpki_juris.Analysis.rc_exposure) ->
+        if e.Rpki_juris.Analysis.record.Rpki_juris.Dataset.parent_rir = Rpki_juris.Country.ARIN
+        then e.Rpki_juris.Analysis.foreign_countries
+        else [])
+      exposures
+  in
+  Alcotest.(check bool) "ARIN reaches foreign countries" true (List.mem "FR" arin_foreign)
+
+let () =
+  Alcotest.run "campaign"
+    [ ( "planning",
+        [ Alcotest.test_case "by ASN" `Quick test_plan_by_asn;
+          Alcotest.test_case "by space" `Quick test_plan_by_space;
+          Alcotest.test_case "own ROAs revoked" `Quick test_plan_includes_own_roas ] );
+      ( "execution",
+        [ Alcotest.test_case "silences the target only" `Quick test_execute_campaign;
+          Alcotest.test_case "still detected" `Quick test_campaign_detected ] );
+      ( "country-takedown",
+        [ Alcotest.test_case "dataset to hierarchy" `Slow test_hierarchy_of_dataset;
+          Alcotest.test_case "silence Colombia" `Slow test_country_takedown;
+          Alcotest.test_case "cross-border reach" `Quick
+            test_cross_border_takedown_is_out_of_jurisdiction ] ) ]

@@ -1,0 +1,290 @@
+(* Tests for addresses, prefixes, ranges, resource sets and the LPM trie. *)
+
+open Rpki_ip
+
+(* --- IPv4 addresses --- *)
+
+let test_v4_parse () =
+  let ok s v = Alcotest.(check (option int)) s (Some v) (Addr.V4.of_string s) in
+  ok "0.0.0.0" 0;
+  ok "255.255.255.255" 0xFFFFFFFF;
+  ok "63.160.0.0" ((63 lsl 24) lor (160 lsl 16));
+  List.iter
+    (fun s -> Alcotest.(check (option int)) s None (Addr.V4.of_string s))
+    [ ""; "1.2.3"; "1.2.3.4.5"; "256.0.0.1"; "a.b.c.d"; "1.2.3.-4"; "01x.0.0.0" ]
+
+let test_v4_print () =
+  Alcotest.(check string) "roundtrip" "63.174.23.0"
+    (Addr.V4.to_string (V4.addr_of_string_exn "63.174.23.0"))
+
+(* --- prefixes --- *)
+
+let p = V4.p
+
+let test_prefix_basics () =
+  Alcotest.(check string) "canonical" "10.0.0.0/8" (V4.Prefix.to_string (p "10.0.0.0/8"));
+  Alcotest.(check bool) "non-canonical rejected" true (V4.Prefix.of_string "10.0.0.1/8" = None);
+  Alcotest.(check bool) "len 33 rejected" true (V4.Prefix.of_string "10.0.0.0/33" = None);
+  Alcotest.(check bool) "no slash rejected" true (V4.Prefix.of_string "10.0.0.0" = None);
+  Alcotest.(check bool) "/0 accepted" true (V4.Prefix.of_string "0.0.0.0/0" <> None);
+  Alcotest.(check bool) "/32 accepted" true (V4.Prefix.of_string "1.2.3.4/32" <> None)
+
+let test_prefix_covers () =
+  (* the paper's own example: 63.160.0.0/12 covers 63.168.93.0/24 *)
+  Alcotest.(check bool) "paper example" true (V4.Prefix.covers (p "63.160.0.0/12") (p "63.168.93.0/24"));
+  Alcotest.(check bool) "self covers" true (V4.Prefix.covers (p "10.0.0.0/8") (p "10.0.0.0/8"));
+  Alcotest.(check bool) "child no cover" false (V4.Prefix.covers (p "10.0.0.0/9") (p "10.0.0.0/8"));
+  Alcotest.(check bool) "disjoint" false (V4.Prefix.covers (p "10.0.0.0/8") (p "11.0.0.0/8"));
+  Alcotest.(check bool) "contains addr" true
+    (V4.Prefix.contains_addr (p "63.174.16.0/20") (V4.addr_of_string_exn "63.174.23.0"));
+  Alcotest.(check bool) "excludes addr" false
+    (V4.Prefix.contains_addr (p "63.174.16.0/24") (V4.addr_of_string_exn "63.174.23.0"))
+
+let test_prefix_split () =
+  let l, r = V4.Prefix.split (p "10.0.0.0/8") in
+  Alcotest.(check string) "left" "10.0.0.0/9" (V4.Prefix.to_string l);
+  Alcotest.(check string) "right" "10.128.0.0/9" (V4.Prefix.to_string r);
+  Alcotest.check_raises "split /32" (Invalid_argument "Prefix.split: host prefix") (fun () ->
+      ignore (V4.Prefix.split (p "1.2.3.4/32")))
+
+(* --- ranges --- *)
+
+let test_range_decomposition () =
+  let check name range want =
+    Alcotest.(check (list string)) name want
+      (List.map V4.Prefix.to_string (V4.Range.to_prefixes (V4.range_of_string_exn range)))
+  in
+  check "aligned /21" "63.174.16.0-63.174.23.255" [ "63.174.16.0/21" ];
+  check "the paper's second range" "63.174.25.0-63.174.31.255"
+    [ "63.174.25.0/24"; "63.174.26.0/23"; "63.174.28.0/22" ];
+  check "single address" "1.2.3.4-1.2.3.4" [ "1.2.3.4/32" ];
+  check "two addresses" "1.2.3.4-1.2.3.5" [ "1.2.3.4/31" ];
+  check "unaligned" "10.0.0.1-10.0.0.8"
+    [ "10.0.0.1/32"; "10.0.0.2/31"; "10.0.0.4/30"; "10.0.0.8/32" ];
+  check "full space" "0.0.0.0-255.255.255.255" [ "0.0.0.0/0" ]
+
+let test_range_relations () =
+  let r = V4.range_of_string_exn in
+  Alcotest.(check bool) "subset" true (V4.Range.subset (r "10.0.0.0-10.0.0.255") (r "10.0.0.0-10.255.255.255"));
+  Alcotest.(check bool) "overlap" true (V4.Range.overlaps (r "10.0.0.0-10.0.1.0") (r "10.0.1.0-10.0.2.0"));
+  Alcotest.(check bool) "no overlap" false (V4.Range.overlaps (r "10.0.0.0-10.0.0.255") (r "10.0.1.0-10.0.1.255"));
+  Alcotest.check_raises "inverted" (Invalid_argument "Range.make: lo > hi") (fun () ->
+      ignore (V4.Range.make 5 4))
+
+(* --- sets --- *)
+
+let s4 = V4.set_of_strings
+
+let test_set_normalization () =
+  Alcotest.(check string) "merge adjacent" "10.0.0.0-10.0.1.255"
+    (V4.Set.to_string (s4 [ "10.0.0.0/24"; "10.0.1.0/24" ]));
+  Alcotest.(check string) "merge overlap" "10.0.0.0-10.0.255.255"
+    (V4.Set.to_string (s4 [ "10.0.0.0/16"; "10.0.4.0/24" ]));
+  Alcotest.(check string) "keep gaps" "10.0.0.0-10.0.0.255, 10.0.2.0-10.0.2.255"
+    (V4.Set.to_string (s4 [ "10.0.2.0/24"; "10.0.0.0/24" ]));
+  Alcotest.(check bool) "empty" true (V4.Set.is_empty V4.Set.empty)
+
+let test_set_paper_algebra () =
+  (* the exact shrink from the paper's Section 3.1 *)
+  let cb = s4 [ "63.174.16.0/20" ] in
+  let sliver = s4 [ "63.174.24.0/24" ] in
+  Alcotest.(check string) "shrunk RC" "63.174.16.0-63.174.23.255, 63.174.25.0-63.174.31.255"
+    (V4.Set.to_string (V4.Set.diff cb sliver));
+  Alcotest.(check bool) "union restores" true (V4.Set.equal cb (V4.Set.union (V4.Set.diff cb sliver) sliver))
+
+let test_set_relations () =
+  let a = s4 [ "10.0.0.0/8" ] and b = s4 [ "10.1.0.0/16"; "10.2.0.0/16" ] in
+  Alcotest.(check bool) "subset" true (V4.Set.subset b a);
+  Alcotest.(check bool) "not subset" false (V4.Set.subset a b);
+  Alcotest.(check bool) "overlaps" true (V4.Set.overlaps a b);
+  Alcotest.(check bool) "mem_prefix" true (V4.Set.mem_prefix a (p "10.200.0.0/16"));
+  Alcotest.(check bool) "mem_addr" true (V4.Set.mem_addr a (V4.addr_of_string_exn "10.9.8.7"));
+  Alcotest.(check bool) "not mem_addr" false (V4.Set.mem_addr b (V4.addr_of_string_exn "10.9.8.7"));
+  Alcotest.(check (option int)) "cardinal" (Some (1 lsl 24)) (V4.Set.cardinal_opt a);
+  Alcotest.(check (option int)) "cardinal full" (Some (1 lsl 32)) (V4.Set.cardinal_opt V4.Set.full)
+
+(* model-based property: set operations agree with per-address membership *)
+let sample_addrs = List.init 64 (fun i -> i * 67108863)
+
+let arb_small_set =
+  let gen =
+    QCheck.Gen.(
+      map
+        (fun pairs ->
+          V4.Set.of_ranges
+            (List.map
+               (fun (a, b) ->
+                 let a = abs a mod (1 lsl 32) and b = abs b mod (1 lsl 32) in
+                 V4.Range.make (min a b) (max a b))
+               pairs))
+        (list_size (int_bound 6) (pair int int)))
+  in
+  QCheck.make ~print:V4.Set.to_string gen
+
+let prop name f = QCheck_alcotest.to_alcotest (QCheck.Test.make ~count:300 ~name (QCheck.pair arb_small_set arb_small_set) f)
+
+let set_props =
+  [ prop "union membership" (fun (a, b) ->
+        List.for_all
+          (fun x -> V4.Set.mem_addr (V4.Set.union a b) x = (V4.Set.mem_addr a x || V4.Set.mem_addr b x))
+          sample_addrs);
+    prop "inter membership" (fun (a, b) ->
+        List.for_all
+          (fun x -> V4.Set.mem_addr (V4.Set.inter a b) x = (V4.Set.mem_addr a x && V4.Set.mem_addr b x))
+          sample_addrs);
+    prop "diff membership" (fun (a, b) ->
+        List.for_all
+          (fun x -> V4.Set.mem_addr (V4.Set.diff a b) x = (V4.Set.mem_addr a x && not (V4.Set.mem_addr b x)))
+          sample_addrs);
+    prop "diff + inter partitions" (fun (a, b) ->
+        V4.Set.equal a (V4.Set.union (V4.Set.diff a b) (V4.Set.inter a b)));
+    prop "subset iff diff empty" (fun (a, b) ->
+        V4.Set.subset a b = V4.Set.is_empty (V4.Set.diff a b));
+    prop "normalization canonical" (fun (a, b) ->
+        let u1 = V4.Set.union a b and u2 = V4.Set.union b a in
+        V4.Set.to_string u1 = V4.Set.to_string u2);
+    prop "prefix decomposition covers" (fun (a, _) ->
+        V4.Set.equal a (V4.Set.of_prefixes (V4.Set.to_prefixes a))) ]
+
+(* --- trie --- *)
+
+let test_trie_basic () =
+  let t = V4.Trie.of_list [ (p "0.0.0.0/0", 0); (p "10.0.0.0/8", 1); (p "10.1.0.0/16", 2) ] in
+  Alcotest.(check (option int)) "exact" (Some 1) (V4.Trie.find_exact t (p "10.0.0.0/8"));
+  Alcotest.(check (option int)) "exact miss" None (V4.Trie.find_exact t (p "10.0.0.0/9"));
+  Alcotest.(check int) "cardinal" 3 (V4.Trie.cardinal t);
+  (match V4.Trie.longest_match t (p "10.1.2.0/24") with
+  | Some (q, v) -> Alcotest.(check string) "lpm" "10.1.0.0/16" (V4.Prefix.to_string q); Alcotest.(check int) "lpm v" 2 v
+  | None -> Alcotest.fail "lpm");
+  Alcotest.(check int) "covering count" 3 (List.length (V4.Trie.covering t (p "10.1.2.0/24")));
+  Alcotest.(check int) "covered count" 2 (List.length (V4.Trie.covered t (p "10.0.0.0/8")));
+  let t = V4.Trie.remove t (p "10.0.0.0/8") in
+  Alcotest.(check (option int)) "removed" None (V4.Trie.find_exact t (p "10.0.0.0/8"));
+  Alcotest.(check int) "cardinal after remove" 2 (V4.Trie.cardinal t)
+
+let test_trie_combine () =
+  let t = V4.Trie.insert_with ~combine:( + ) V4.Trie.empty (p "10.0.0.0/8") 1 in
+  let t = V4.Trie.insert_with ~combine:( + ) t (p "10.0.0.0/8") 2 in
+  Alcotest.(check (option int)) "combined" (Some 3) (V4.Trie.find_exact t (p "10.0.0.0/8"))
+
+let arb_prefix_list =
+  let gen =
+    QCheck.Gen.(
+      list_size (int_bound 30)
+        (map2
+           (fun a len ->
+             let len = len mod 33 in
+             V4.Prefix.make (abs a mod (1 lsl 32)) len)
+           int (int_bound 32)))
+  in
+  QCheck.make ~print:(fun l -> String.concat "," (List.map V4.Prefix.to_string l)) gen
+
+let trie_props =
+  [ QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~count:200 ~name:"trie lpm agrees with naive"
+         (QCheck.pair arb_prefix_list arb_prefix_list)
+         (fun (entries, queries) ->
+           let entries = List.mapi (fun i e -> (e, i)) entries in
+           (* later inserts win, as in Trie.insert *)
+           let t = V4.Trie.of_list entries in
+           List.for_all
+             (fun q ->
+               let naive =
+                 List.fold_left
+                   (fun best (e, v) ->
+                     if V4.Prefix.covers e q then
+                       match best with
+                       | Some (b, _) when V4.Prefix.len b > V4.Prefix.len e -> best
+                       | _ -> Some (e, v)
+                     else best)
+                   None entries
+               in
+               match (V4.Trie.longest_match t q, naive) with
+               | None, None -> true
+               | Some (pt, _), Some (pn, _) -> V4.Prefix.len pt = V4.Prefix.len pn
+               | _ -> false)
+             queries));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~count:200 ~name:"covering+covered consistent"
+         (QCheck.pair arb_prefix_list arb_prefix_list)
+         (fun (entries, queries) ->
+           let entries = List.mapi (fun i e -> (e, i)) entries in
+           let t = V4.Trie.of_list entries in
+           List.for_all
+             (fun q ->
+               let covering = V4.Trie.covering t q in
+               let covered = V4.Trie.covered t q in
+               List.for_all (fun (e, _) -> V4.Prefix.covers e q) covering
+               && List.for_all (fun (e, _) -> V4.Prefix.covers q e) covered)
+             queries)) ]
+
+(* --- IPv6 --- *)
+
+let test_v6_parse_print () =
+  let rt s want =
+    match Addr.V6.of_string s with
+    | None -> Alcotest.failf "parse %s" s
+    | Some a -> Alcotest.(check string) s want (Addr.V6.to_string a)
+  in
+  rt "::" "::";
+  rt "::1" "::1";
+  rt "2001:db8::" "2001:db8::";
+  rt "2001:db8::1" "2001:db8::1";
+  rt "2001:0db8:0000:0000:0000:0000:0000:0001" "2001:db8::1";
+  rt "fe80:0:0:0:1:0:0:1" "fe80::1:0:0:1";
+  rt "1:2:3:4:5:6:7:8" "1:2:3:4:5:6:7:8";
+  List.iter
+    (fun s -> Alcotest.(check bool) s true (Addr.V6.of_string s = None))
+    [ ""; ":::"; "1:2:3"; "1:2:3:4:5:6:7:8:9"; "2001::db8::1"; "g::1" ]
+
+let test_v6_prefix () =
+  Alcotest.(check bool) "covers" true (V6.Prefix.covers (V6.p "2001:db8::/32") (V6.p "2001:db8:1::/48"));
+  Alcotest.(check bool) "no cover" false (V6.Prefix.covers (V6.p "2001:db8::/32") (V6.p "2001:db9::/48"));
+  Alcotest.(check string) "print" "2001:db8::/32" (V6.Prefix.to_string (V6.p "2001:db8::/32"));
+  (* crossing the 64-bit word boundary *)
+  Alcotest.(check bool) "/80 covers /96" true
+    (V6.Prefix.covers (V6.p "2001:db8:0:0:1::/80") (V6.p "2001:db8:0:0:1:2::/96"))
+
+let test_v6_sets () =
+  let s = V6.Set.of_prefixes [ V6.p "2001:db8::/32"; V6.p "2001:db9::/32" ] in
+  Alcotest.(check bool) "merged" true (List.length (V6.Set.to_ranges s) = 1);
+  let d = V6.Set.diff s (V6.Set.of_prefix (V6.p "2001:db8:ffff::/48")) in
+  Alcotest.(check bool) "diff splits" true (List.length (V6.Set.to_ranges d) = 2)
+
+(* --- AS resources --- *)
+
+let test_as_res () =
+  let s = As_res.Set.of_ranges [ As_res.Range.make 64496 64511; As_res.Range.make 7018 7018 ] in
+  Alcotest.(check bool) "mem" true (As_res.mem s 64500);
+  Alcotest.(check bool) "mem single" true (As_res.mem s 7018);
+  Alcotest.(check bool) "not mem" false (As_res.mem s 64512);
+  Alcotest.(check string) "print" "7018-7018, 64496-64511" (As_res.Set.to_string s);
+  Alcotest.(check bool) "subset" true
+    (As_res.Set.subset (As_res.singleton 64500) s)
+
+let () =
+  Alcotest.run "ip"
+    [ ( "v4",
+        [ Alcotest.test_case "parse" `Quick test_v4_parse;
+          Alcotest.test_case "print" `Quick test_v4_print ] );
+      ( "prefix",
+        [ Alcotest.test_case "basics" `Quick test_prefix_basics;
+          Alcotest.test_case "covering" `Quick test_prefix_covers;
+          Alcotest.test_case "split" `Quick test_prefix_split ] );
+      ( "range",
+        [ Alcotest.test_case "CIDR decomposition" `Quick test_range_decomposition;
+          Alcotest.test_case "relations" `Quick test_range_relations ] );
+      ( "set",
+        [ Alcotest.test_case "normalization" `Quick test_set_normalization;
+          Alcotest.test_case "paper shrink algebra" `Quick test_set_paper_algebra;
+          Alcotest.test_case "relations" `Quick test_set_relations ] );
+      ("set-properties", set_props);
+      ( "trie",
+        [ Alcotest.test_case "basics" `Quick test_trie_basic;
+          Alcotest.test_case "combine" `Quick test_trie_combine ] );
+      ("trie-properties", trie_props);
+      ( "v6",
+        [ Alcotest.test_case "parse/print" `Quick test_v6_parse_print;
+          Alcotest.test_case "prefixes" `Quick test_v6_prefix;
+          Alcotest.test_case "sets" `Quick test_v6_sets ] );
+      ("as-res", [ Alcotest.test_case "sets" `Quick test_as_res ]) ]

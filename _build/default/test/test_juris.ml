@@ -1,0 +1,113 @@
+(* Tests for the cross-jurisdiction analysis (Table 4). *)
+
+open Rpki_juris
+
+let test_country_table () =
+  Alcotest.(check bool) "US is ARIN" true (Country.rir_of_country "US" = Some Country.ARIN);
+  Alcotest.(check bool) "FR is RIPE" true (Country.rir_of_country "FR" = Some Country.RIPE);
+  Alcotest.(check bool) "unknown" true (Country.rir_of_country "XX" = None);
+  Alcotest.(check bool) "in jurisdiction" true (Country.in_jurisdiction ~rir:Country.ARIN "CA");
+  Alcotest.(check bool) "out of jurisdiction" false (Country.in_jurisdiction ~rir:Country.ARIN "FR");
+  Alcotest.(check bool) "unknown is out" false (Country.in_jurisdiction ~rir:Country.ARIN "XX");
+  Alcotest.(check bool) "arin countries nonempty" true (Country.countries_of_rir Country.ARIN <> [])
+
+let test_every_paper_country_known () =
+  (* every country code in the paper's Table 4 must be mapped *)
+  List.iter
+    (fun (_, _, _, _, countries) ->
+      List.iter
+        (fun cc -> Alcotest.(check bool) cc true (Country.known cc))
+        countries)
+    Dataset.paper_rows
+
+let test_paper_fixture_reproduces_table4 () =
+  let records = Dataset.paper_fixture () in
+  Alcotest.(check int) "nine RCs" 9 (List.length records);
+  let exposures = Analysis.cross_jurisdiction_rcs records in
+  (* every row of Table 4 crosses a border by construction *)
+  Alcotest.(check int) "all nine cross" 9 (List.length exposures);
+  (* the reported foreign-country sets are exactly the paper's *)
+  List.iter2
+    (fun (holder, prefix, _, _, countries) (e : Analysis.rc_exposure) ->
+      Alcotest.(check string) "holder" holder e.Analysis.record.Dataset.holder;
+      Alcotest.(check string) "prefix" prefix
+        (Rpki_ip.V4.Prefix.to_string e.Analysis.record.Dataset.rc_prefix);
+      Alcotest.(check (list string))
+        (holder ^ " countries")
+        (List.sort_uniq String.compare countries)
+        e.Analysis.foreign_countries)
+    Dataset.paper_rows exposures
+
+let test_home_country_not_foreign () =
+  (* the holder's own (in-region) customers never count as foreign *)
+  let records = Dataset.paper_fixture () in
+  List.iter
+    (fun (e : Analysis.rc_exposure) ->
+      Alcotest.(check bool) "home excluded" false
+        (List.mem e.Analysis.record.Dataset.holder_country e.Analysis.foreign_countries))
+    (List.map Analysis.exposure records)
+
+let test_rir_reach () =
+  let records = Dataset.paper_fixture () in
+  let reach = Analysis.rir_reach records in
+  let arin = List.assoc Country.ARIN reach in
+  (* "through its certification of Sprint, North America's ARIN can whack
+     ROAs for Europe and the Middle East" *)
+  Alcotest.(check bool) "ARIN reaches FR" true (List.mem "FR" arin);
+  Alcotest.(check bool) "ARIN reaches YE" true (List.mem "YE" arin);
+  (* RIPE reaches the Americas via Resilans *)
+  let ripe = List.assoc Country.RIPE reach in
+  Alcotest.(check bool) "RIPE reaches US" true (List.mem "US" ripe);
+  (* AFRINIC certifies nothing in the fixture *)
+  Alcotest.(check (list string)) "AFRINIC reach" [] (List.assoc Country.AFRINIC reach)
+
+let test_stats () =
+  let records = Dataset.paper_fixture () in
+  let s = Analysis.stats records in
+  Alcotest.(check int) "total" 9 s.Analysis.total_rcs;
+  Alcotest.(check int) "crossing" 9 s.Analysis.cross_border_rcs;
+  Alcotest.(check bool) "fraction 1.0" true (s.Analysis.fraction = 1.0);
+  Alcotest.(check bool) "mean foreign > 2" true (s.Analysis.mean_foreign_countries > 2.0)
+
+let test_synthetic_generation () =
+  let records = Dataset.synthetic Dataset.default_synthetic in
+  Alcotest.(check int) "provider count" Dataset.default_synthetic.Dataset.providers
+    (List.length records);
+  List.iter
+    (fun (r : Dataset.rc_record) ->
+      Alcotest.(check int) "customer count" Dataset.default_synthetic.Dataset.customers_per_provider
+        (List.length r.Dataset.suballocations);
+      (* suballocations live inside the RC's prefix *)
+      List.iter
+        (fun (s : Dataset.suballocation) ->
+          Alcotest.(check bool) "covered" true
+            (Rpki_ip.V4.Prefix.covers r.Dataset.rc_prefix s.Dataset.sub_prefix))
+        r.Dataset.suballocations)
+    records
+
+let test_synthetic_cross_border_scales () =
+  let stats_at f =
+    Analysis.stats
+      (Dataset.synthetic { Dataset.default_synthetic with Dataset.cross_border_fraction = f })
+  in
+  let s0 = stats_at 0.0 and s_half = stats_at 0.5 in
+  (* without cross-border customers, almost no RC crosses (only the rare
+     provider whose domestic region spans the RIR boundary — none here) *)
+  Alcotest.(check bool) "more crossing at 0.5" true
+    (s_half.Analysis.cross_border_rcs > s0.Analysis.cross_border_rcs);
+  Alcotest.(check bool) "deterministic" true
+    ((stats_at 0.5).Analysis.cross_border_rcs = s_half.Analysis.cross_border_rcs)
+
+let () =
+  Alcotest.run "juris"
+    [ ( "countries",
+        [ Alcotest.test_case "rir table" `Quick test_country_table;
+          Alcotest.test_case "paper codes known" `Quick test_every_paper_country_known ] );
+      ( "table-4",
+        [ Alcotest.test_case "fixture reproduces rows" `Quick test_paper_fixture_reproduces_table4;
+          Alcotest.test_case "home country excluded" `Quick test_home_country_not_foreign;
+          Alcotest.test_case "rir reach" `Quick test_rir_reach;
+          Alcotest.test_case "stats" `Quick test_stats ] );
+      ( "synthetic",
+        [ Alcotest.test_case "generation" `Quick test_synthetic_generation;
+          Alcotest.test_case "cross-border scaling" `Quick test_synthetic_cross_border_scales ] ) ]

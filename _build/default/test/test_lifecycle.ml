@@ -1,0 +1,120 @@
+(* A long-horizon integration test: one simulated operational year of the
+   model RPKI, with refresh cycles, renewals, new issuance, a key rollover,
+   a transient fault, an overt revocation and a stealthy manipulation — the
+   kind of churn the paper says makes abusive behaviour hard to tell from
+   normal operations.  At every checkpoint the relying party's view must be
+   exactly what the ledger of events predicts, and the monitor's alarms must
+   fire for the manipulations and only for them. *)
+
+open Rpki_core
+open Rpki_repo
+open Rpki_ip
+
+let vrps_of (m : Model.t) rp ~now =
+  let r = Relying_party.sync rp ~now ~universe:m.Model.universe () in
+  (List.length r.Relying_party.vrps, List.length r.Relying_party.issues)
+
+let refresh_all (m : Model.t) ~now =
+  List.iter
+    (fun a -> Authority.refresh a ~now)
+    [ m.Model.arin; m.Model.sprint; m.Model.etb; m.Model.continental ]
+
+let renew_all (m : Model.t) ~now =
+  List.iter
+    (fun (a : Authority.t) ->
+      List.iter (fun (f, _) -> ignore (Authority.renew_roa a ~filename:f ~now)) a.Authority.roas)
+    [ m.Model.arin; m.Model.sprint; m.Model.etb; m.Model.continental ]
+
+let test_operational_year () =
+  let m = Model.build () in
+  let rp = Model.relying_party m in
+  let monitor_alarms = ref 0 in
+  let last_snapshot = ref (Rpki_monitor.Monitor.take ~now:0 m.Model.universe) in
+  let observe ~now =
+    let snap = Rpki_monitor.Monitor.take ~now m.Model.universe in
+    let alerts = Rpki_monitor.Monitor.diff ~before:!last_snapshot ~after:snap in
+    last_snapshot := snap;
+    monitor_alarms := !monitor_alarms + List.length (Rpki_monitor.Monitor.alarms alerts)
+  in
+  (* month 0: steady state *)
+  let n, issues = vrps_of m rp ~now:1 in
+  Alcotest.(check int) "m0 vrps" 8 n;
+  Alcotest.(check int) "m0 issues" 0 issues;
+  (* months 1-5: routine refresh every ~10 days keeps everything green *)
+  for month = 1 to 5 do
+    let now = month * Rtime.month in
+    refresh_all m ~now;
+    observe ~now;
+    let n, issues = vrps_of m rp ~now in
+    Alcotest.(check int) (Printf.sprintf "m%d vrps" month) 8 n;
+    Alcotest.(check int) (Printf.sprintf "m%d issues" month) 0 issues
+  done;
+  Alcotest.(check int) "routine churn: no alarms" 0 !monitor_alarms;
+  (* month 6: ETB grows — a new customer ROA *)
+  let t6 = 6 * Rtime.month in
+  let _ =
+    Authority.issue_simple_roa m.Model.etb ~asid:65010 ~prefix:(V4.p "63.170.64.0/18") ~now:t6 ()
+  in
+  refresh_all m ~now:t6;
+  observe ~now:t6;
+  let n, _ = vrps_of m rp ~now:t6 in
+  Alcotest.(check int) "m6 vrps grew" 9 n;
+  (* month 7: Sprint rolls its key; nothing breaks, nothing alarms *)
+  let t7 = 7 * Rtime.month in
+  Authority.roll_key m.Model.sprint ~now:t7;
+  refresh_all m ~now:t7;
+  observe ~now:t7;
+  Alcotest.(check int) "rollover: still no alarms" 0 !monitor_alarms;
+  let n, issues = vrps_of m rp ~now:t7 in
+  Alcotest.(check int) "m7 vrps" 9 n;
+  Alcotest.(check int) "m7 issues" 0 issues;
+  (* month 8: a disk fault corrupts a ROA, found and repaired next day *)
+  let t8 = 8 * Rtime.month in
+  refresh_all m ~now:t8;
+  let fault = Fault.corrupt_object m.Model.continental.Authority.pub ~filename:m.Model.roa_cb_26 () in
+  let n, issues = vrps_of m rp ~now:t8 in
+  Alcotest.(check int) "m8 fault: one vrp lost" 8 n;
+  Alcotest.(check bool) "m8 fault: issues visible" true (issues > 0);
+  Option.iter Fault.repair fault;
+  let n, issues = vrps_of m rp ~now:(t8 + Rtime.day) in
+  Alcotest.(check int) "m8 repaired" 9 n;
+  Alcotest.(check int) "m8 clean" 0 issues;
+  (* month 9: a customer leaves; its ROA is revoked overtly *)
+  let t9 = 9 * Rtime.month in
+  refresh_all m ~now:t9;
+  Authority.revoke_roa m.Model.continental ~filename:m.Model.roa_cb_28 ~now:t9;
+  observe ~now:t9;
+  Alcotest.(check int) "overt revocation: still no alarms" 0 !monitor_alarms;
+  let n, _ = vrps_of m rp ~now:t9 in
+  Alcotest.(check int) "m9 vrps" 8 n;
+  (* month 10: annual renewals before certificates expire *)
+  let t10 = 10 * Rtime.month in
+  renew_all m ~now:t10;
+  refresh_all m ~now:t10;
+  observe ~now:t10;
+  Alcotest.(check int) "renewals: still no alarms" 0 !monitor_alarms;
+  (* month 11: Sprint turns coercive and whacks Continental's /22 ROA *)
+  let t11 = 11 * Rtime.month in
+  let plan =
+    Rpki_attack.Whack.plan_targeted ~manipulator:m.Model.sprint ~target_issuer:"Continental"
+      ~target_filename:m.Model.roa_target22
+  in
+  ignore (Rpki_attack.Whack.execute ~manipulator:m.Model.sprint plan ~now:t11);
+  observe ~now:t11;
+  Alcotest.(check bool) "the manipulation alarms" true (!monitor_alarms > 0);
+  let n, _ = vrps_of m rp ~now:t11 in
+  Alcotest.(check int) "m11: exactly the target gone" 7 n;
+  (* month 12: a year in.  Continental, unaware of the whack, renews all
+     five of its ROAs — two of them (the whacked /22 and the /20 whose space
+     was carved) now overclaim against its shrunken RC, which is exactly the
+     lingering evidence a victim would eventually notice. *)
+  let t12 = 12 * Rtime.month in
+  renew_all m ~now:t12;
+  refresh_all m ~now:t12;
+  let n, issues = vrps_of m rp ~now:(t12 + Rtime.day) in
+  Alcotest.(check int) "m12 vrps" 7 n;
+  Alcotest.(check int) "m12: two overclaim issues from the whack aftermath" 2 issues
+
+let () =
+  Alcotest.run "lifecycle"
+    [ ("operational-year", [ Alcotest.test_case "twelve months" `Slow test_operational_year ]) ]

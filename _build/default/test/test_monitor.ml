@@ -1,0 +1,152 @@
+(* Tests for the monitoring/detection layer. *)
+
+open Rpki_repo
+open Rpki_attack
+open Rpki_monitor
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let has_alert ?severity pattern alerts =
+  List.exists
+    (fun (a : Monitor.alert) ->
+      contains a.Monitor.what pattern
+      && match severity with None -> true | Some s -> a.Monitor.severity = s)
+    alerts
+
+let observe f =
+  let m = Model.build () in
+  let before = Monitor.take ~now:1 m.Model.universe in
+  f m;
+  let after = Monitor.take ~now:2 m.Model.universe in
+  Monitor.diff ~before ~after
+
+let test_quiet_when_nothing_happens () =
+  let alerts = observe (fun _ -> ()) in
+  Alcotest.(check int) "silent" 0 (List.length alerts)
+
+let test_benign_renewal_quiet () =
+  let alerts = observe (fun m -> ignore (Authority.renew_roa m.Model.etb ~filename:m.Model.roa_etb ~now:2)) in
+  Alcotest.(check int) "no alarms" 0 (List.length (Monitor.alarms alerts))
+
+let test_refresh_quiet () =
+  let alerts = observe (fun m -> Authority.refresh m.Model.sprint ~now:2) in
+  Alcotest.(check int) "no alerts at all" 0 (List.length alerts)
+
+let test_new_roa_is_info () =
+  let alerts =
+    observe (fun m ->
+        ignore
+          (Authority.issue_simple_roa m.Model.etb ~asid:65001
+             ~prefix:(Rpki_ip.V4.p "63.170.128.0/20") ~now:2 ()))
+  in
+  Alcotest.(check bool) "info about new ROA" true (has_alert ~severity:Monitor.Info "new ROA" alerts);
+  Alcotest.(check int) "no alarms" 0 (List.length (Monitor.alarms alerts))
+
+let test_overt_revocation_is_warning () =
+  let alerts =
+    observe (fun m -> Authority.revoke_roa m.Model.continental ~filename:m.Model.roa_cb_25 ~now:2)
+  in
+  Alcotest.(check bool) "revoked via CRL" true
+    (has_alert ~severity:Monitor.Warning "revoked via CRL" alerts);
+  Alcotest.(check int) "not an alarm" 0 (List.length (Monitor.alarms alerts))
+
+let test_stealth_delete_is_alarm () =
+  let alerts =
+    observe (fun m ->
+        Authority.stealth_delete_roa m.Model.continental ~filename:m.Model.roa_cb_25 ~now:2)
+  in
+  Alcotest.(check bool) "stealth alarm" true
+    (has_alert ~severity:Monitor.Alarm "deleted stealthily" alerts)
+
+let test_stealth_cert_delete_is_alarm () =
+  let alerts =
+    observe (fun m -> Authority.stealth_delete_child_cert m.Model.sprint m.Model.etb ~now:2)
+  in
+  Alcotest.(check bool) "cert removal alarm" true
+    (has_alert ~severity:Monitor.Alarm "removed stealthily" alerts)
+
+let test_rc_shrink_is_alarm () =
+  let alerts =
+    observe (fun m ->
+        let plan =
+          Whack.plan_targeted ~manipulator:m.Model.sprint ~target_issuer:"Continental"
+            ~target_filename:m.Model.roa_target20
+        in
+        ignore (Whack.execute ~manipulator:m.Model.sprint plan ~now:2))
+  in
+  Alcotest.(check bool) "shrink alarm" true (has_alert ~severity:Monitor.Alarm "shrunk" alerts);
+  Alcotest.(check bool) "names the lost space" true (has_alert "63.174.24.0" alerts)
+
+let test_mbb_duplicate_detected () =
+  let alerts =
+    observe (fun m ->
+        let plan =
+          Whack.plan_targeted ~manipulator:m.Model.sprint ~target_issuer:"Continental"
+            ~target_filename:m.Model.roa_target22
+        in
+        ignore (Whack.execute ~manipulator:m.Model.sprint plan ~now:2))
+  in
+  Alcotest.(check bool) "duplicate-roa warning" true
+    (has_alert "possible make-before-break" alerts);
+  Alcotest.(check bool) "shrink alarm too" true (has_alert ~severity:Monitor.Alarm "shrunk" alerts)
+
+let test_removed_and_reissued_is_alarm () =
+  (* delete at Continental and reissue the same content at Sprint in the
+     same window: the strongest make-before-break signature *)
+  let alerts =
+    observe (fun m ->
+        Authority.stealth_delete_roa m.Model.continental ~filename:m.Model.roa_target20 ~now:2;
+        ignore
+          (Authority.issue_simple_roa m.Model.sprint ~asid:17054
+             ~prefix:(Rpki_ip.V4.p "63.174.16.0/20") ~now:2 ()))
+  in
+  Alcotest.(check bool) "correlated alarm" true
+    (has_alert ~severity:Monitor.Alarm "make-before-break signature" alerts)
+
+let test_rc_grow_is_info () =
+  let alerts =
+    observe (fun m ->
+        let bigger =
+          Rpki_core.Resources.of_v4_strings [ "63.174.16.0/20"; "63.175.0.0/24" ]
+        in
+        ignore (Authority.shrink_child_cert m.Model.sprint m.Model.continental ~resources:bigger ~now:2))
+  in
+  Alcotest.(check bool) "grew info" true (has_alert ~severity:Monitor.Info "grew" alerts);
+  Alcotest.(check int) "no alarm for growth" 0 (List.length (Monitor.alarms alerts))
+
+let test_rewrite_roa_warning () =
+  (* overwriting a ROA file with different content *)
+  let alerts =
+    observe (fun m ->
+        let pp = m.Model.continental.Authority.pub in
+        let other =
+          Rpki_core.Roa.issue ~ca_key:m.Model.continental.Authority.key.Rpki_crypto.Rsa.private_
+            ~ca_subject:"Continental" ~serial:99 ~rng:(Rpki_util.Rng.create 5)
+            ~ee_key:m.Model.continental.Authority.ee_key ~asid:64999
+            ~v4_entries:[ Rpki_core.Roa.entry (Rpki_ip.V4.p "63.174.30.0/24") ]
+            ~not_before:0 ~not_after:100 ()
+        in
+        Pub_point.put pp ~filename:m.Model.roa_cb_28 (Rpki_core.Roa.encode other))
+  in
+  Alcotest.(check bool) "rewrite warning" true (has_alert ~severity:Monitor.Warning "rewritten" alerts)
+
+let () =
+  Alcotest.run "monitor"
+    [ ( "benign",
+        [ Alcotest.test_case "quiet baseline" `Quick test_quiet_when_nothing_happens;
+          Alcotest.test_case "renewal" `Quick test_benign_renewal_quiet;
+          Alcotest.test_case "refresh" `Quick test_refresh_quiet;
+          Alcotest.test_case "new ROA" `Quick test_new_roa_is_info;
+          Alcotest.test_case "RC growth" `Quick test_rc_grow_is_info ] );
+      ( "overt",
+        [ Alcotest.test_case "revocation via CRL" `Quick test_overt_revocation_is_warning ] );
+      ( "manipulations",
+        [ Alcotest.test_case "stealth ROA delete" `Quick test_stealth_delete_is_alarm;
+          Alcotest.test_case "stealth cert delete" `Quick test_stealth_cert_delete_is_alarm;
+          Alcotest.test_case "RC shrink" `Quick test_rc_shrink_is_alarm;
+          Alcotest.test_case "make-before-break duplicate" `Quick test_mbb_duplicate_detected;
+          Alcotest.test_case "remove + reissue correlation" `Quick test_removed_and_reissued_is_alarm;
+          Alcotest.test_case "ROA rewrite" `Quick test_rewrite_roa_warning ] ) ]

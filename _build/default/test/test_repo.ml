@@ -1,0 +1,296 @@
+(* Tests for publication points, authorities, the relying party and fault
+   injection — including the paper's Side Effect 6 semantics. *)
+
+open Rpki_core
+open Rpki_repo
+open Rpki_ip
+
+(* One shared model for read-only tests (keygen is the expensive part). *)
+let shared = lazy (Model.build ())
+
+let fresh_model () = Model.build ()
+
+let sync ?reachable ?(now = 1) (m : Model.t) rp =
+  Relying_party.sync rp ~now ~universe:m.Model.universe ?reachable ()
+
+let sync_index ?(now = 1) (m : Model.t) rp =
+  Relying_party.sync_index rp ~now ~universe:m.Model.universe ()
+
+let vrp_strings (r : Relying_party.sync_result) =
+  List.map Vrp.to_string r.Relying_party.vrps
+
+(* --- pub point mechanics --- *)
+
+let test_pub_point () =
+  let pp = Pub_point.create ~uri:"rsync://x/repo" ~addr:0 ~host_asn:1 in
+  Pub_point.put pp ~filename:"b.roa" "bytes-b";
+  Pub_point.put pp ~filename:"a.cer" "bytes-a";
+  Alcotest.(check (list string)) "sorted" [ "a.cer"; "b.roa" ] (Pub_point.filenames pp);
+  Pub_point.put pp ~filename:"a.cer" "bytes-a2";
+  Alcotest.(check (option string)) "overwrite" (Some "bytes-a2") (Pub_point.get pp ~filename:"a.cer");
+  Alcotest.(check int) "no dup" 2 (List.length (Pub_point.files pp));
+  Pub_point.delete pp ~filename:"a.cer";
+  Alcotest.(check bool) "deleted" false (Pub_point.mem pp ~filename:"a.cer");
+  Alcotest.(check bool) "corrupt missing" false (Pub_point.corrupt pp ~filename:"a.cer" ~byte_index:0);
+  Alcotest.(check bool) "corrupt present" true (Pub_point.corrupt pp ~filename:"b.roa" ~byte_index:0);
+  Alcotest.(check bool) "corrupted differs" true
+    (Pub_point.get pp ~filename:"b.roa" <> Some "bytes-b")
+
+let test_universe () =
+  let u = Universe.create () in
+  let pp = Pub_point.create ~uri:"rsync://x/repo" ~addr:0 ~host_asn:1 in
+  Universe.add u pp;
+  Alcotest.(check bool) "found" true (Universe.find u "rsync://x/repo" <> None);
+  Alcotest.(check bool) "missing" true (Universe.find u "rsync://y/repo" = None);
+  Alcotest.check_raises "duplicate" (Invalid_argument "Universe.add: duplicate uri rsync://x/repo")
+    (fun () -> Universe.add u (Pub_point.create ~uri:"rsync://x/repo" ~addr:0 ~host_asn:1))
+
+(* --- the model RPKI end to end --- *)
+
+let test_model_sync () =
+  let m = Lazy.force shared in
+  let rp = Model.relying_party m in
+  let r = sync m rp in
+  Alcotest.(check int) "eight VRPs" 8 (List.length r.Relying_party.vrps);
+  Alcotest.(check int) "no issues" 0 (List.length r.Relying_party.issues);
+  Alcotest.(check int) "four CAs" 4 (List.length r.Relying_party.cas_validated);
+  Alcotest.(check bool) "sprint vrp present" true
+    (List.mem "(63.161.0.0/16-24, AS1239)" (vrp_strings r))
+
+let test_model_fig5_left () =
+  let m = Lazy.force shared in
+  let rp = Model.relying_party m in
+  let _, idx = sync_index m rp in
+  let st p o = Origin_validation.classify idx (Route.make (V4.p p) o) in
+  (* the two statuses the paper states explicitly *)
+  Alcotest.(check string) "/12 unknown" "unknown"
+    (Origin_validation.state_to_string (st "63.160.0.0/12" 1239));
+  Alcotest.(check string) "63.174.17.0/24 invalid" "invalid"
+    (Origin_validation.state_to_string (st "63.174.17.0/24" 17054))
+
+let test_model_deterministic () =
+  let a = Model.build () and b = Model.build () in
+  let ra = sync a (Model.relying_party a) and rb = sync b (Model.relying_party b) in
+  Alcotest.(check (list string)) "same vrps" (vrp_strings ra) (vrp_strings rb)
+
+(* --- authority operations --- *)
+
+let test_issue_and_renew () =
+  let m = fresh_model () in
+  let rp = Model.relying_party m in
+  let filename, _ =
+    Authority.issue_simple_roa m.Model.etb ~asid:65001 ~prefix:(V4.p "63.170.128.0/20") ~now:1 ()
+  in
+  let r = sync m rp in
+  Alcotest.(check int) "nine VRPs" 9 (List.length r.Relying_party.vrps);
+  let _ = Authority.renew_roa m.Model.etb ~filename ~now:2 in
+  let r2 = sync ~now:2 m rp in
+  Alcotest.(check int) "still nine" 9 (List.length r2.Relying_party.vrps);
+  Alcotest.(check int) "no issues" 0 (List.length r2.Relying_party.issues)
+
+let test_roa_expiry () =
+  let m = fresh_model () in
+  let rp = Model.relying_party m in
+  let late = Rtime.add 1 (Rtime.year + 1) in
+  (* nothing was refreshed for a year: everything expires *)
+  let r = sync ~now:late m rp in
+  Alcotest.(check int) "no VRPs" 0 (List.length r.Relying_party.vrps);
+  Alcotest.(check bool) "issues reported" true (r.Relying_party.issues <> [])
+
+let test_refresh_keeps_current () =
+  let m = fresh_model () in
+  let rp = Model.relying_party m in
+  let mid = Rtime.add 1 (Rtime.day * 10) in
+  Authority.refresh m.Model.arin ~now:mid;
+  Authority.refresh m.Model.sprint ~now:mid;
+  Authority.refresh m.Model.etb ~now:mid;
+  Authority.refresh m.Model.continental ~now:mid;
+  let r = sync ~now:(Rtime.add mid Rtime.day) m rp in
+  Alcotest.(check int) "all VRPs" 8 (List.length r.Relying_party.vrps);
+  Alcotest.(check int) "no issues" 0 (List.length r.Relying_party.issues)
+
+let test_stale_manifest_detected () =
+  let m = fresh_model () in
+  let rp = Model.relying_party m in
+  (* past the refresh window but before cert expiry *)
+  let late = Rtime.add 1 (Rtime.day * 20) in
+  let r = sync ~now:late m rp in
+  Alcotest.(check bool) "stale manifests reported" true
+    (List.exists
+       (fun (i : Relying_party.issue) ->
+         i.Relying_party.filename <> None
+         && String.length i.Relying_party.reason >= 5
+         && String.sub i.Relying_party.reason 0 5 = "stale")
+       r.Relying_party.issues)
+
+(* --- revocation --- *)
+
+let test_revoke_roa () =
+  let m = fresh_model () in
+  let rp = Model.relying_party m in
+  Authority.revoke_roa m.Model.continental ~filename:m.Model.roa_cb_25 ~now:1;
+  let r = sync m rp in
+  Alcotest.(check int) "seven VRPs" 7 (List.length r.Relying_party.vrps);
+  Alcotest.(check bool) "gone" true
+    (not (List.mem "(63.174.25.0/24, AS17054)" (vrp_strings r)))
+
+let test_revoke_child_subtree () =
+  let m = fresh_model () in
+  let rp = Model.relying_party m in
+  Authority.revoke_child m.Model.sprint m.Model.continental ~now:1;
+  let r = sync m rp in
+  (* all five Continental ROAs disappear *)
+  Alcotest.(check int) "three VRPs left" 3 (List.length r.Relying_party.vrps)
+
+let test_stealth_delete_no_crl () =
+  let m = fresh_model () in
+  let rp = Model.relying_party m in
+  Authority.stealth_delete_roa m.Model.continental ~filename:m.Model.roa_cb_26 ~now:1;
+  let r = sync m rp in
+  Alcotest.(check int) "seven VRPs" 7 (List.length r.Relying_party.vrps);
+  (* stealth: zero validation issues — the repository looks self-consistent *)
+  Alcotest.(check int) "no issues" 0 (List.length r.Relying_party.issues)
+
+(* --- Side Effect 6: missing/corrupt objects --- *)
+
+let test_se6_missing_roa_invalid_not_unknown () =
+  let m = fresh_model () in
+  let rp = Model.relying_party m in
+  let fault =
+    Fault.delete_object m.Model.continental.Authority.pub ~filename:m.Model.roa_target22
+  in
+  Alcotest.(check bool) "fault applied" true (fault <> None);
+  let r, idx = sync_index m rp in
+  (* the manifest flags the hole... *)
+  Alcotest.(check bool) "manifest flags missing file" true
+    (List.exists
+       (fun (i : Relying_party.issue) -> i.Relying_party.reason = "listed on manifest but missing")
+       r.Relying_party.issues);
+  (* ...and the corresponding route is invalid, NOT unknown, because of the
+     covering /20 ROA — the paper's exact example *)
+  Alcotest.(check string) "invalid" "invalid"
+    (Origin_validation.state_to_string
+       (Origin_validation.classify idx (Route.make (V4.p "63.174.16.0/22") 7341)));
+  (* repair restores validity *)
+  Option.iter Fault.repair fault;
+  let _, idx2 = sync_index m rp in
+  Alcotest.(check string) "valid again" "valid"
+    (Origin_validation.state_to_string
+       (Origin_validation.classify idx2 (Route.make (V4.p "63.174.16.0/22") 7341)))
+
+let test_se6_corrupt_roa () =
+  let m = fresh_model () in
+  let rp = Model.relying_party m in
+  let fault =
+    Fault.corrupt_object m.Model.continental.Authority.pub ~filename:m.Model.roa_target22 ()
+  in
+  Alcotest.(check bool) "fault applied" true (fault <> None);
+  let r, idx = sync_index m rp in
+  Alcotest.(check bool) "hash mismatch reported" true
+    (List.exists
+       (fun (i : Relying_party.issue) -> i.Relying_party.reason = "hash mismatch with manifest")
+       r.Relying_party.issues);
+  (* the /22's VRP is lost but the covering /20 ROA survives: invalid *)
+  Alcotest.(check string) "vrp lost => covering makes route invalid" "invalid"
+    (Origin_validation.state_to_string
+       (Origin_validation.classify idx (Route.make (V4.p "63.174.16.0/22") 7341)));
+  (* by contrast, corrupting the /20 ROA leaves its route merely unknown:
+     nothing else covers it *)
+  Option.iter Fault.repair fault;
+  let _ = Fault.corrupt_object m.Model.continental.Authority.pub ~filename:m.Model.roa_target20 () in
+  let _, idx2 = sync_index m rp in
+  Alcotest.(check string) "no covering => unknown" "unknown"
+    (Origin_validation.state_to_string
+       (Origin_validation.classify idx2 (Route.make (V4.p "63.174.16.0/20") 17054)))
+
+let test_wipe_and_repair () =
+  let m = fresh_model () in
+  let rp = Model.relying_party m in
+  let fault = Fault.wipe m.Model.sprint.Authority.pub in
+  let r = sync m rp in
+  (* Sprint's point is empty: its ROAs and both child certs are gone *)
+  Alcotest.(check int) "nothing under sprint" 0 (List.length r.Relying_party.vrps);
+  Fault.repair fault;
+  let r2 = sync m rp in
+  Alcotest.(check int) "all back" 8 (List.length r2.Relying_party.vrps)
+
+(* --- reachability and caching --- *)
+
+let test_unreachable_uses_stale_cache () =
+  let m = fresh_model () in
+  let rp = Model.relying_party m in
+  let _ = sync m rp in
+  (* now continental becomes unreachable; stale cache keeps its VRPs *)
+  let unreachable (pp : Pub_point.t) = pp.Pub_point.uri <> "rsync://rpki.continental.net/repo" in
+  let r = sync ~reachable:unreachable ~now:2 m rp in
+  Alcotest.(check int) "still eight via cache" 8 (List.length r.Relying_party.vrps);
+  Alcotest.(check bool) "stale fetch recorded" true
+    (List.exists
+       (fun (_, st) -> st = Relying_party.Stale_cache)
+       r.Relying_party.fetches)
+
+let test_unreachable_without_cache () =
+  let m = fresh_model () in
+  let rp = Model.relying_party ~use_stale:false m in
+  let _ = sync m rp in
+  let unreachable (pp : Pub_point.t) = pp.Pub_point.uri <> "rsync://rpki.continental.net/repo" in
+  let r = sync ~reachable:unreachable ~now:2 m rp in
+  Alcotest.(check int) "continental VRPs lost" 3 (List.length r.Relying_party.vrps)
+
+let test_flush_cache () =
+  let m = fresh_model () in
+  let rp = Model.relying_party m in
+  let _ = sync m rp in
+  Relying_party.flush_cache rp;
+  let unreachable (_ : Pub_point.t) = false in
+  let r = sync ~reachable:unreachable ~now:2 m rp in
+  Alcotest.(check int) "nothing without cache" 0 (List.length r.Relying_party.vrps)
+
+(* --- make-before-break primitive --- *)
+
+let test_certify_key () =
+  let m = fresh_model () in
+  let rp = Model.relying_party m in
+  (* ARIN certifies Continental directly (as a manipulator would) *)
+  let _, cert =
+    Authority.certify_key m.Model.arin ~subject:"Continental"
+      ~public_key:m.Model.continental.Authority.key.Rpki_crypto.Rsa.public
+      ~resources:m.Model.continental.Authority.cert.Cert.resources
+      ~repo_uri:m.Model.continental.Authority.pub.Pub_point.uri ~manifest_uri:"Continental.mft"
+      ~now:1
+  in
+  Alcotest.(check string) "issuer" "ARIN" cert.Cert.issuer;
+  (* even if Sprint revokes Continental entirely, the ARIN-issued cert keeps
+     the subtree alive *)
+  Authority.revoke_child m.Model.sprint m.Model.continental ~now:1;
+  let r = sync m rp in
+  Alcotest.(check int) "continental survives via reissue" 8 (List.length r.Relying_party.vrps)
+
+let () =
+  Alcotest.run "repo"
+    [ ( "mechanics",
+        [ Alcotest.test_case "pub point" `Quick test_pub_point;
+          Alcotest.test_case "universe" `Quick test_universe ] );
+      ( "model",
+        [ Alcotest.test_case "sync" `Quick test_model_sync;
+          Alcotest.test_case "figure 5 left statuses" `Quick test_model_fig5_left;
+          Alcotest.test_case "deterministic build" `Slow test_model_deterministic ] );
+      ( "authority",
+        [ Alcotest.test_case "issue and renew" `Quick test_issue_and_renew;
+          Alcotest.test_case "expiry" `Quick test_roa_expiry;
+          Alcotest.test_case "refresh" `Quick test_refresh_keeps_current;
+          Alcotest.test_case "stale manifest" `Quick test_stale_manifest_detected ] );
+      ( "revocation",
+        [ Alcotest.test_case "revoke ROA" `Quick test_revoke_roa;
+          Alcotest.test_case "revoke child subtree" `Quick test_revoke_child_subtree;
+          Alcotest.test_case "stealth delete" `Quick test_stealth_delete_no_crl ] );
+      ( "side-effect-6",
+        [ Alcotest.test_case "missing => invalid not unknown" `Quick
+            test_se6_missing_roa_invalid_not_unknown;
+          Alcotest.test_case "corrupt => invalid" `Quick test_se6_corrupt_roa;
+          Alcotest.test_case "wipe and repair" `Quick test_wipe_and_repair ] );
+      ( "reachability",
+        [ Alcotest.test_case "stale cache" `Quick test_unreachable_uses_stale_cache;
+          Alcotest.test_case "no stale policy" `Quick test_unreachable_without_cache;
+          Alcotest.test_case "flush cache" `Quick test_flush_cache ] );
+      ("make-before-break", [ Alcotest.test_case "certify_key" `Quick test_certify_key ]) ]

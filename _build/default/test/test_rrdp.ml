@@ -1,0 +1,130 @@
+(* Tests for the RRDP-style delta protocol. *)
+
+open Rpki_repo
+
+let fresh_point () =
+  let pp = Pub_point.create ~uri:"rsync://x/repo" ~addr:0 ~host_asn:1 in
+  Pub_point.put pp ~filename:"a.roa" "bytes-a";
+  Pub_point.put pp ~filename:"b.cer" "bytes-b";
+  pp
+
+let files = Alcotest.(list (pair string string))
+
+let test_initial_snapshot () =
+  let pp = fresh_point () in
+  let server = Rrdp.create pp in
+  ignore (Rrdp.publish_now server);
+  let client = Rrdp.create_client () in
+  Alcotest.(check bool) "snapshot" true (Rrdp.sync client server = Rrdp.Full_snapshot);
+  Alcotest.check files "content" (Pub_point.files pp) (Rrdp.client_files client);
+  Alcotest.(check bool) "then up to date" true (Rrdp.sync client server = Rrdp.Up_to_date)
+
+let test_incremental () =
+  let pp = fresh_point () in
+  let server = Rrdp.create pp in
+  ignore (Rrdp.publish_now server);
+  let client = Rrdp.create_client () in
+  ignore (Rrdp.sync client server);
+  (* one overwrite, one delete, one add *)
+  Pub_point.put pp ~filename:"a.roa" "bytes-a2";
+  Pub_point.delete pp ~filename:"b.cer";
+  Pub_point.put pp ~filename:"c.mft" "bytes-c";
+  (match Rrdp.publish_now server with
+  | Some d ->
+    Alcotest.(check int) "publishes" 2 (List.length d.Rrdp.publishes);
+    Alcotest.(check int) "withdraws" 1 (List.length d.Rrdp.withdraws)
+  | None -> Alcotest.fail "expected a delta");
+  Alcotest.(check bool) "applied one delta" true (Rrdp.sync client server = Rrdp.Applied_deltas 1);
+  Alcotest.check files "converged" (Pub_point.files pp) (Rrdp.client_files client)
+
+let test_no_change_no_delta () =
+  let pp = fresh_point () in
+  let server = Rrdp.create pp in
+  ignore (Rrdp.publish_now server);
+  Alcotest.(check bool) "no delta" true (Rrdp.publish_now server = None)
+
+let test_window_eviction_forces_snapshot () =
+  let pp = fresh_point () in
+  let server = Rrdp.create ~history_limit:3 pp in
+  ignore (Rrdp.publish_now server);
+  let client = Rrdp.create_client () in
+  ignore (Rrdp.sync client server);
+  for i = 0 to 9 do
+    Pub_point.put pp ~filename:"a.roa" (Printf.sprintf "v%d" i);
+    ignore (Rrdp.publish_now server)
+  done;
+  Alcotest.(check bool) "fell back to snapshot" true (Rrdp.sync client server = Rrdp.Full_snapshot);
+  Alcotest.check files "converged" (Pub_point.files pp) (Rrdp.client_files client)
+
+let test_session_change_forces_snapshot () =
+  let pp = fresh_point () in
+  let server = Rrdp.create ~session_seed:"one" pp in
+  ignore (Rrdp.publish_now server);
+  let client = Rrdp.create_client () in
+  ignore (Rrdp.sync client server);
+  (* server reset: new session over the same point *)
+  let server2 = Rrdp.create ~session_seed:"two" pp in
+  ignore (Rrdp.publish_now server2);
+  Alcotest.(check bool) "snapshot on new session" true
+    (Rrdp.sync client server2 = Rrdp.Full_snapshot)
+
+let test_desync_detected () =
+  let client = Rrdp.create_client () in
+  client.Rrdp.c_files <- [ ("a.roa", "bytes-a") ];
+  client.Rrdp.c_serial <- 1;
+  (* withdraw with a wrong hash *)
+  let bad =
+    { Rrdp.d_serial = 2; publishes = [];
+      withdraws = [ { Rrdp.w_filename = "a.roa"; w_hash = String.make 32 'x' } ] }
+  in
+  Alcotest.(check bool) "hash mismatch raises" true
+    (try
+       Rrdp.apply_delta client bad;
+       false
+     with Rrdp.Desync _ -> true);
+  (* serial gap *)
+  let gap = { Rrdp.d_serial = 5; publishes = []; withdraws = [] } in
+  Alcotest.(check bool) "serial gap raises" true
+    (try
+       Rrdp.apply_delta client gap;
+       false
+     with Rrdp.Desync _ -> true)
+
+(* property: after any sequence of point mutations with a publish+sync per
+   step, the client equals the point *)
+let prop_converges =
+  let arb =
+    QCheck.make
+      ~print:(fun ops -> string_of_int (List.length ops))
+      QCheck.Gen.(
+        list_size (int_bound 20)
+          (oneof
+             [ map2 (fun i v -> `Put (Printf.sprintf "f%d.roa" (abs i mod 6), Printf.sprintf "v%d" v)) int int;
+               map (fun i -> `Del (Printf.sprintf "f%d.roa" (abs i mod 6))) int ]))
+  in
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:150 ~name:"client converges under arbitrary mutations" arb
+       (fun ops ->
+         let pp = Pub_point.create ~uri:"rsync://p/repo" ~addr:0 ~host_asn:1 in
+         let server = Rrdp.create ~history_limit:4 pp in
+         let client = Rrdp.create_client () in
+         List.for_all
+           (fun op ->
+             (match op with
+             | `Put (f, v) -> Pub_point.put pp ~filename:f v
+             | `Del f -> Pub_point.delete pp ~filename:f);
+             ignore (Rrdp.publish_now server);
+             ignore (Rrdp.sync client server);
+             Rrdp.client_files client = Pub_point.files pp)
+           ops))
+
+let () =
+  Alcotest.run "rrdp"
+    [ ( "protocol",
+        [ Alcotest.test_case "initial snapshot" `Quick test_initial_snapshot;
+          Alcotest.test_case "incremental delta" `Quick test_incremental;
+          Alcotest.test_case "idempotent publish" `Quick test_no_change_no_delta;
+          Alcotest.test_case "window eviction" `Quick test_window_eviction_forces_snapshot;
+          Alcotest.test_case "session change" `Quick test_session_change_forces_snapshot;
+          Alcotest.test_case "desync detection" `Quick test_desync_detected;
+          prop_converges ] ) ]

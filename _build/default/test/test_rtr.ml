@@ -1,0 +1,172 @@
+(* Tests for the RPKI-to-Router protocol (RFC 6810). *)
+
+open Rpki_core
+open Rpki_rtr
+open Rpki_ip
+
+let pdu = Alcotest.testable (fun fmt p -> Format.pp_print_string fmt (Pdu.to_string p)) ( = )
+
+(* --- PDU wire format --- *)
+
+let test_roundtrips () =
+  let cases =
+    [ Pdu.Serial_notify { session_id = 0x1234; serial = 42 };
+      Pdu.Serial_query { session_id = 0xffff; serial = 0 };
+      Pdu.Reset_query;
+      Pdu.Cache_response { session_id = 7 };
+      Pdu.Ipv4_prefix { flags = Pdu.Announce; prefix = V4.p "63.174.16.0/20"; max_len = 24; asn = 17054 };
+      Pdu.Ipv4_prefix { flags = Pdu.Withdraw; prefix = V4.p "0.0.0.0/0"; max_len = 0; asn = 0 };
+      Pdu.Ipv6_prefix { flags = Pdu.Announce; prefix6 = V6.p "2001:db8::/32"; max_len = 48; asn = 65001 };
+      Pdu.End_of_data { session_id = 9; serial = 77 };
+      Pdu.Cache_reset;
+      Pdu.Error_report { error_code = Pdu.err_corrupt_data; message = "broken" } ]
+  in
+  List.iter (fun p -> Alcotest.check pdu (Pdu.to_string p) p (Pdu.decode (Pdu.encode p))) cases
+
+let test_wire_layout () =
+  (* byte-exact check of one IPv4 prefix PDU against RFC 6810 section 5.6 *)
+  let p = Pdu.Ipv4_prefix { flags = Pdu.Announce; prefix = V4.p "10.0.0.0/8"; max_len = 24; asn = 65000 } in
+  let b = Pdu.encode p in
+  Alcotest.(check int) "length" 20 (String.length b);
+  Alcotest.(check int) "version" 0 (Char.code b.[0]);
+  Alcotest.(check int) "type" 4 (Char.code b.[1]);
+  Alcotest.(check int) "declared length" 20 (Char.code b.[7]);
+  Alcotest.(check int) "flags" 1 (Char.code b.[8]);
+  Alcotest.(check int) "prefix len" 8 (Char.code b.[9]);
+  Alcotest.(check int) "max len" 24 (Char.code b.[10]);
+  Alcotest.(check int) "first prefix byte" 10 (Char.code b.[12])
+
+let test_parse_errors () =
+  let expect s =
+    try
+      ignore (Pdu.decode s);
+      Alcotest.fail "expected parse error"
+    with Pdu.Parse_error _ -> ()
+  in
+  expect "";
+  expect "\x00\x02";
+  expect "\x01\x02\x00\x00\x00\x00\x00\x08" (* wrong version *);
+  expect "\x00\x63\x00\x00\x00\x00\x00\x08" (* unknown type *);
+  expect (Pdu.encode Pdu.Reset_query ^ "junk");
+  (* maxlen < prefix len must be rejected *)
+  let bad = Bytes.of_string (Pdu.encode (Pdu.Ipv4_prefix { flags = Pdu.Announce; prefix = V4.p "10.0.0.0/24"; max_len = 24; asn = 1 })) in
+  Bytes.set bad 10 '\x08';
+  expect (Bytes.to_string bad)
+
+let test_decode_all () =
+  let stream = Pdu.encode Pdu.Reset_query ^ Pdu.encode Pdu.Cache_reset in
+  Alcotest.(check int) "two pdus" 2 (List.length (Pdu.decode_all stream))
+
+(* --- session state machines --- *)
+
+let v1 = Vrp.make ~max_len:24 (V4.p "63.174.16.0/20") 17054
+let v2 = Vrp.make (V4.p "63.170.0.0/16") 19429
+let v3 = Vrp.make ~max_len:13 (V4.p "63.160.0.0/12") 1239
+
+let test_initial_sync () =
+  let cache = Session.create_cache () in
+  Session.publish cache [ v1; v2 ];
+  let router = Session.create_router () in
+  let got = Session.synchronize router cache in
+  Alcotest.(check int) "two vrps" 2 (List.length got);
+  Alcotest.(check int) "serial" 1 router.Session.r_serial
+
+let test_incremental_add_remove () =
+  let cache = Session.create_cache () in
+  Session.publish cache [ v1; v2 ];
+  let router = Session.create_router () in
+  ignore (Session.synchronize router cache);
+  Session.publish cache [ v2; v3 ];
+  let got = Session.synchronize router cache in
+  Alcotest.(check int) "two vrps" 2 (List.length got);
+  Alcotest.(check bool) "v3 in" true (List.exists (Vrp.equal v3) got);
+  Alcotest.(check bool) "v1 out" false (List.exists (Vrp.equal v1) got);
+  Alcotest.(check int) "serial advanced" 2 router.Session.r_serial
+
+let test_no_change_no_serial_bump () =
+  let cache = Session.create_cache () in
+  Session.publish cache [ v1 ];
+  Session.publish cache [ v1 ];
+  Alcotest.(check int) "serial stable" 1 cache.Session.serial
+
+let test_history_eviction_forces_reset () =
+  let cache = Session.create_cache ~history_limit:4 () in
+  let router = Session.create_router () in
+  Session.publish cache [ v1 ];
+  ignore (Session.synchronize router cache);
+  (* push the router's serial out of the retained window *)
+  for i = 0 to 9 do
+    Session.publish cache [ Vrp.make (V4.Prefix.make ((i + 1) lsl 24) 8) (1000 + i) ]
+  done;
+  let got = Session.synchronize router cache in
+  Alcotest.(check int) "resynced to one vrp" 1 (List.length got);
+  Alcotest.(check int) "at latest serial" cache.Session.serial router.Session.r_serial
+
+let test_session_mismatch_resets () =
+  let cache_a = Session.create_cache ~session_id:1 () in
+  let cache_b = Session.create_cache ~session_id:2 () in
+  Session.publish cache_a [ v1 ];
+  Session.publish cache_b [ v2 ];
+  let router = Session.create_router () in
+  ignore (Session.synchronize router cache_a);
+  (* fail over to a different cache: session ids differ, must resync fully *)
+  let got = Session.synchronize router cache_b in
+  Alcotest.(check int) "one vrp" 1 (List.length got);
+  Alcotest.(check bool) "it's v2" true (Vrp.equal v2 (List.hd got))
+
+let test_notify () =
+  let cache = Session.create_cache ~session_id:5 () in
+  Session.publish cache [ v1 ];
+  match Session.notify cache with
+  | Pdu.Serial_notify { session_id; serial } ->
+    Alcotest.(check int) "session" 5 session_id;
+    Alcotest.(check int) "serial" 1 serial
+  | _ -> Alcotest.fail "expected notify"
+
+let test_cache_serves_error_on_garbage () =
+  let cache = Session.create_cache () in
+  match Pdu.decode_all (Session.serve cache "nonsense") with
+  | [ Pdu.Error_report _ ] -> ()
+  | _ -> Alcotest.fail "expected error report"
+
+(* property: publishing any sequence of VRP sets, a router that syncs after
+   each publish always converges to the cache's current set *)
+let prop_converges =
+  let arb =
+    QCheck.make
+      ~print:(fun l -> string_of_int (List.length l))
+      QCheck.Gen.(
+        list_size (int_bound 8)
+          (list_size (int_bound 10)
+             (map2
+                (fun a asn -> Vrp.make (V4.Prefix.make (abs a mod (1 lsl 32)) 24) (abs asn mod 1000))
+                int int)))
+  in
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:100 ~name:"router converges to cache state" arb (fun sets ->
+         let cache = Session.create_cache () in
+         let router = Session.create_router () in
+         List.for_all
+           (fun vrps ->
+             Session.publish cache vrps;
+             let got = Session.synchronize router cache in
+             let want = List.sort_uniq Vrp.compare vrps in
+             List.length got = List.length want && List.for_all2 Vrp.equal got want)
+           sets))
+
+let () =
+  Alcotest.run "rtr"
+    [ ( "pdu",
+        [ Alcotest.test_case "roundtrips" `Quick test_roundtrips;
+          Alcotest.test_case "wire layout" `Quick test_wire_layout;
+          Alcotest.test_case "parse errors" `Quick test_parse_errors;
+          Alcotest.test_case "decode_all" `Quick test_decode_all ] );
+      ( "session",
+        [ Alcotest.test_case "initial sync" `Quick test_initial_sync;
+          Alcotest.test_case "incremental" `Quick test_incremental_add_remove;
+          Alcotest.test_case "idempotent publish" `Quick test_no_change_no_serial_bump;
+          Alcotest.test_case "history eviction" `Quick test_history_eviction_forces_reset;
+          Alcotest.test_case "session mismatch" `Quick test_session_mismatch_resets;
+          Alcotest.test_case "notify" `Quick test_notify;
+          Alcotest.test_case "garbage request" `Quick test_cache_serves_error_on_garbage;
+          prop_converges ] ) ]

@@ -1,0 +1,120 @@
+(* Tests for the closed-loop simulator (Side Effect 7) and the deployment
+   model (Side Effect 5). *)
+
+open Rpki_sim
+open Rpki_bgp
+
+let probe hist label t =
+  let r = List.nth hist (t - 1) in
+  match List.assoc_opt label r.Loop.probe_results with
+  | Some b -> b
+  | None -> Alcotest.failf "no probe %s at t%d" label t
+
+(* --- Side Effect 7 --- *)
+
+let test_se7_drop_invalid_persists () =
+  let _, hist = Loop.run_section6 ~policy:Policy.Drop_invalid () in
+  Alcotest.(check int) "seven ticks" 7 (List.length hist);
+  (* healthy before the fault *)
+  Alcotest.(check bool) "t1 up" true (probe hist "continental-repo" 1);
+  Alcotest.(check bool) "t2 up" true (probe hist "continental-repo" 2);
+  (* the corruption lands at t3 and the repo becomes unreachable *)
+  Alcotest.(check bool) "t3 down" false (probe hist "continental-repo" 3);
+  (* the repository is repaired before t4, yet the failure persists *)
+  Alcotest.(check bool) "t4 still down" false (probe hist "continental-repo" 4);
+  Alcotest.(check bool) "t7 still down" false (probe hist "continental-repo" 7);
+  (* the unrelated repository is never affected *)
+  List.iter (fun t -> Alcotest.(check bool) "sprint up" true (probe hist "sprint-repo" t)) [ 1; 7 ]
+
+let test_se7_depref_recovers () =
+  let _, hist = Loop.run_section6 ~policy:Policy.Depref_invalid () in
+  (* under depref the repo stays reachable (the invalid route is depreffed
+     but still selected), so the corrupt ROA is refetched after repair *)
+  Alcotest.(check bool) "t4 recovered" true (probe hist "continental-repo" 4);
+  Alcotest.(check bool) "t7 up" true (probe hist "continental-repo" 7)
+
+let test_se7_vrp_counts () =
+  let _, hist = Loop.run_section6 ~policy:Policy.Drop_invalid () in
+  let vrps t = (List.nth hist (t - 1)).Loop.vrp_count in
+  Alcotest.(check int) "nine before" 9 (vrps 2);
+  Alcotest.(check int) "eight during" 8 (vrps 3);
+  Alcotest.(check int) "still eight after repair" 8 (vrps 7)
+
+let test_se7_fetch_failures_recorded () =
+  let _, hist = Loop.run_section6 ~policy:Policy.Drop_invalid () in
+  let r4 = List.nth hist 3 in
+  Alcotest.(check bool) "continental fetch failed at t4" true
+    (List.mem "rsync://rpki.continental.net/repo" r4.Loop.fetch_failures)
+
+let test_se7_flush_cache_does_not_rescue () =
+  (* the paper: recovery needs a manual fix; merely dropping the stale cache
+     does not help because the repository is still unreachable *)
+  let _, hist = Loop.run_section6 ~policy:Policy.Drop_invalid ~flush_cache_at:(Some 6) () in
+  Alcotest.(check bool) "t7 still down" false (probe hist "continental-repo" 7)
+
+let test_se7_ignore_rpki_immune () =
+  let _, hist = Loop.run_section6 ~policy:Policy.Ignore_rpki () in
+  List.iter
+    (fun t -> Alcotest.(check bool) "always up" true (probe hist "continental-repo" t))
+    [ 1; 3; 4; 7 ]
+
+(* --- Side Effect 5 --- *)
+
+let test_se5_monotone () =
+  let rows = Deployment.sweep () in
+  Alcotest.(check int) "six rows" 6 (List.length rows);
+  (* flips decrease monotonically with adoption *)
+  let flips = List.map (fun (r : Deployment.row) -> r.Deployment.flips) rows in
+  let rec decreasing = function
+    | a :: b :: rest -> a >= b && decreasing (b :: rest)
+    | _ -> true
+  in
+  Alcotest.(check bool) "monotone" true (decreasing flips);
+  (* zero adoption: every customer route flips *)
+  let r0 = List.hd rows in
+  Alcotest.(check int) "all customers flip at 0"
+    (Deployment.default_spec.Deployment.n_providers
+    * Deployment.default_spec.Deployment.customers_per_provider)
+    r0.Deployment.flips;
+  (* full adoption: nothing flips *)
+  let r1 = List.nth rows 5 in
+  Alcotest.(check int) "none at 1.0" 0 r1.Deployment.flips
+
+let test_se5_no_invalid_before () =
+  List.iter
+    (fun (r : Deployment.row) ->
+      Alcotest.(check int) "before: no invalid" 0 r.Deployment.before.Deployment.invalid)
+    (Deployment.sweep ())
+
+let test_se5_provider_routes_always_fine () =
+  (* the provider's own route is valid after it issues its ROA *)
+  let r = Deployment.run_once { Deployment.default_spec with Deployment.customer_adoption = 0.0 } in
+  Alcotest.(check int) "providers valid after"
+    Deployment.default_spec.Deployment.n_providers r.Deployment.after.Deployment.valid
+
+let test_ordering_ablation () =
+  let cover = Deployment.invalid_window ~spec:Deployment.default_spec Deployment.Cover_first in
+  let sub = Deployment.invalid_window ~spec:Deployment.default_spec Deployment.Subprefixes_first in
+  Alcotest.(check bool) "cover-first opens a window" true (cover > 0);
+  Alcotest.(check int) "subprefixes-first is safe" 0 sub
+
+let test_deployment_deterministic () =
+  let a = Deployment.run_once Deployment.default_spec in
+  let b = Deployment.run_once Deployment.default_spec in
+  Alcotest.(check int) "same flips" a.Deployment.flips b.Deployment.flips
+
+let () =
+  Alcotest.run "sim"
+    [ ( "side-effect-7",
+        [ Alcotest.test_case "drop-invalid persists" `Quick test_se7_drop_invalid_persists;
+          Alcotest.test_case "depref recovers" `Quick test_se7_depref_recovers;
+          Alcotest.test_case "vrp counts" `Quick test_se7_vrp_counts;
+          Alcotest.test_case "fetch failures" `Quick test_se7_fetch_failures_recorded;
+          Alcotest.test_case "cache flush does not rescue" `Quick test_se7_flush_cache_does_not_rescue;
+          Alcotest.test_case "ignore-rpki immune" `Quick test_se7_ignore_rpki_immune ] );
+      ( "side-effect-5",
+        [ Alcotest.test_case "monotone in adoption" `Quick test_se5_monotone;
+          Alcotest.test_case "no invalid before" `Quick test_se5_no_invalid_before;
+          Alcotest.test_case "provider routes valid" `Quick test_se5_provider_routes_always_fine;
+          Alcotest.test_case "ordering ablation" `Quick test_ordering_ablation;
+          Alcotest.test_case "deterministic" `Quick test_deployment_deterministic ] ) ]
