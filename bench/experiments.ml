@@ -14,6 +14,10 @@ module Table = Rpki_util.Table
 let header title =
   Printf.printf "\n==== %s ====\n\n" title
 
+let quick = ref false
+(* set by the driver's --quick flag: shrink problem sizes so the whole
+   suite can run as a smoke test under `dune runtest` *)
+
 (* ------------------------------------------------------------------ *)
 (* Figure 2: the model RPKI                                            *)
 (* ------------------------------------------------------------------ *)
@@ -181,13 +185,13 @@ let fig5 () =
   header "Figure 5: route validity for 63.160.0.0/12 and its subprefixes";
   let m = Model.build () in
   let rp = Model.relying_party m in
-  let _, left = Relying_party.sync_index rp ~now:1 ~universe:m.Model.universe () in
+  let left = (Relying_party.sync rp ~now:1 ~universe:m.Model.universe ()).Relying_party.index in
   fig5_samples left "LEFT: the RPKI of Figure 2";
   fig5_tree left ~origin:17054 "LEFT";
   fig5_grid left ~origin:1239 "LEFT";
   (* add the covering ROA and recompute *)
   let _ = Model.add_fig5_right_roa m ~now:1 in
-  let _, right = Relying_party.sync_index rp ~now:1 ~universe:m.Model.universe () in
+  let right = (Relying_party.sync rp ~now:1 ~universe:m.Model.universe ()).Relying_party.index in
   Printf.printf "\n";
   fig5_samples right "RIGHT: after Sprint issues (63.160.0.0/12-13, AS 1239)";
   fig5_tree right ~origin:17054 "RIGHT";
@@ -328,7 +332,8 @@ let se6 () =
   header "Side Effect 6: a missing ROA makes a route invalid, not unknown";
   let t = Table.create [ "scenario"; "route"; "state"; "validation issues" ] in
   let classify (m : Model.t) rp route =
-    let r, idx = Relying_party.sync_index rp ~now:1 ~universe:m.Model.universe () in
+    let r = Relying_party.sync rp ~now:1 ~universe:m.Model.universe () in
+    let idx = r.Relying_party.index in
     ( Origin_validation.state_to_string (Origin_validation.classify idx route),
       string_of_int (List.length r.Relying_party.issues) )
   in
@@ -338,18 +343,18 @@ let se6 () =
   let rp = Model.relying_party m in
   let st, issues = classify m rp route22 in
   Table.add_row t [ "healthy RPKI"; Route.to_string route22; st; issues ];
-  let _ = Fault.delete_object m.Model.continental.Authority.pub ~filename:m.Model.roa_target22 in
+  let _ = Fault.delete_object (Authority.pub m.Model.continental) ~filename:m.Model.roa_target22 in
   let st, issues = classify m rp route22 in
   Table.add_row t
     [ "ROA (63.174.16.0/22, AS7341) missing"; Route.to_string route22; st; issues ];
   let m2 = Model.build () in
   let rp2 = Model.relying_party m2 in
-  let _ = Fault.corrupt_object m2.Model.continental.Authority.pub ~filename:m2.Model.roa_target22 () in
+  let _ = Fault.corrupt_object (Authority.pub m2.Model.continental) ~filename:m2.Model.roa_target22 () in
   let st, issues = classify m2 rp2 route22 in
   Table.add_row t [ "same ROA corrupted on disk"; Route.to_string route22; st; issues ];
   let m3 = Model.build () in
   let rp3 = Model.relying_party m3 in
-  let _ = Fault.delete_object m3.Model.continental.Authority.pub ~filename:m3.Model.roa_target20 in
+  let _ = Fault.delete_object (Authority.pub m3.Model.continental) ~filename:m3.Model.roa_target20 in
   let st, issues = classify m3 rp3 route20 in
   Table.add_row t
     [ "ROA (63.174.16.0/20, AS17054) missing (no covering ROA)"; Route.to_string route20; st;
@@ -553,7 +558,7 @@ let build_chain depth =
         Authority.issue_simple_roa a ~asid:999 ~prefix:(V4.Prefix.make (40 lsl 24) (len + 2))
           ~now:0 ()
       in
-      (universe, ta, a.Authority.name, target)
+      (universe, ta, (Authority.name a), target)
     end
     else extend a (level + 1)
   in
@@ -606,7 +611,82 @@ let depth () =
     "\nEach extra level of depth costs one more suspiciously-reissued RC — the paper's\n\
      Side Effect 4: deeper whacking stays feasible but gets easier to detect.\n"
 
+(* ------------------------------------------------------------------ *)
+(* Incremental sync: cold full validation vs. warm delta tick          *)
+(* ------------------------------------------------------------------ *)
+
+(* A flat deployment: [n_points] sibling CAs under one TA, the target VRP
+   count spread over multi-entry ROAs so RSA key generation stays cheap.
+   Each child holds a /15 slice of 30.0.0.0/8. *)
+let build_flat_universe ~n_points ~n_vrps =
+  let universe = Universe.create () in
+  let ta =
+    Authority.create_trust_anchor ~name:"TA"
+      ~resources:(Resources.of_v4_strings [ "30.0.0.0/8" ])
+      ~uri:"rsync://ta/repo" ~addr:1 ~host_asn:1 ~now:0 ~universe ()
+  in
+  let per_point = (n_vrps + n_points - 1) / n_points in
+  let children =
+    Array.init n_points (fun c ->
+        let base = (30 lsl 24) lor (c lsl 17) in
+        let child =
+          Authority.create_child ta
+            ~name:(Printf.sprintf "C%03d" c)
+            ~resources:(Resources.make ~v4:(V4.Set.of_prefix (V4.Prefix.make base 15)) ())
+            ~uri:(Printf.sprintf "rsync://c%03d/repo" c)
+            ~addr:(base + 1) ~host_asn:(100 + c) ~now:0 ~universe ()
+        in
+        let entries =
+          List.init per_point (fun i ->
+              Roa.entry
+                ~max_len:(24 + (i / 512))
+                (V4.Prefix.make (base lor ((i mod 512) lsl 8)) 24))
+        in
+        ignore (Authority.issue_roa child ~asid:(1000 + c) ~v4_entries:entries ~now:0 ());
+        child)
+  in
+  (universe, ta, children)
+
+let time_ms f =
+  let t0 = Sys.time () in
+  let r = f () in
+  (r, (Sys.time () -. t0) *. 1000.)
+
+let sync_incremental () =
+  header "Incremental sync: cold full validation vs. warm tick (1 point touched)";
+  let sizes = if !quick then [ (16, 2_000) ] else [ (100, 10_000); (100, 40_000) ] in
+  let t =
+    Table.create
+      ~aligns:[ Table.Right; Table.Right; Table.Right; Table.Right; Table.Right; Table.Right ]
+      [ "VRPs"; "points"; "cold (ms)"; "warm (ms)"; "warm/cold"; "reused/revalidated" ]
+  in
+  List.iter
+    (fun (n_points, n_vrps) ->
+      let universe, ta, children = build_flat_universe ~n_points ~n_vrps in
+      let rp =
+        Relying_party.create ~name:"bench-rp" ~asn:1
+          ~tals:[ Relying_party.tal_of_authority ta ] ()
+      in
+      let cold_r, cold_ms = time_ms (fun () -> Relying_party.sync rp ~now:1 ~universe ()) in
+      (* the warm tick: one publication point refreshes its CRL + manifest *)
+      Authority.refresh children.(0) ~now:2;
+      let warm_r, warm_ms = time_ms (fun () -> Relying_party.sync rp ~now:2 ~universe ()) in
+      assert (List.length warm_r.Relying_party.vrps = List.length cold_r.Relying_party.vrps);
+      Table.add_row t
+        [ string_of_int (List.length cold_r.Relying_party.vrps);
+          string_of_int (n_points + 1);
+          Printf.sprintf "%.1f" cold_ms;
+          Printf.sprintf "%.1f" warm_ms;
+          Printf.sprintf "%.3f" (warm_ms /. cold_ms);
+          Printf.sprintf "%d/%d" warm_r.Relying_party.points_reused
+            warm_r.Relying_party.points_revalidated ])
+    sizes;
+  Table.print t;
+  Printf.printf
+    "\nA warm tick re-validates only the touched point; everything else is\n\
+     replayed from the per-point memo and the index is patched by the diff.\n"
+
 let all : (string * (unit -> unit)) list =
   [ ("fig2", fig2); ("fig3", fig3); ("tab4", tab4); ("fig5", fig5); ("tab6", tab6);
     ("se5", se5); ("se6", se6); ("se7", se7); ("campaign", campaign); ("adoption", adoption);
-    ("depth", depth) ]
+    ("depth", depth); ("sync-incremental", sync_incremental) ]

@@ -145,7 +145,12 @@ let run_perf () =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
   in
   let instances = Instance.[ monotonic_clock ] in
-  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true () in
+  let cfg =
+    if !Experiments.quick then
+      (* smoke mode: one short pass per benchmark, numbers are rough *)
+      Benchmark.cfg ~limit:50 ~quota:(Time.second 0.01) ~stabilize:false ()
+    else Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true ()
+  in
   let raw = Benchmark.all cfg instances tests in
   let results = List.map (fun instance -> Analyze.all ols instance raw) instances in
   let merged = Analyze.merge ols instances results in
@@ -184,6 +189,16 @@ let () =
   let known = Experiments.all @ [ ("perf", run_perf) ] in
   let args = List.filter (fun a -> a <> Sys.argv.(0)) (Array.to_list Sys.argv) in
   let args = List.filter (fun a -> a <> "--") args in
+  let args =
+    List.filter
+      (fun a ->
+        if a = "--quick" then begin
+          Experiments.quick := true;
+          false
+        end
+        else true)
+      args
+  in
   match args with
   | [] -> List.iter (fun (_, f) -> f ()) known
   | selected ->

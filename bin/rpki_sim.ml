@@ -27,7 +27,8 @@ let build_model ~right =
 
 let sync_model m =
   let rp = Model.relying_party m in
-  Relying_party.sync_index rp ~now:1 ~universe:m.Model.universe ()
+  let r = Relying_party.sync rp ~now:1 ~universe:m.Model.universe () in
+  (r, r.Relying_party.index)
 
 (* --- show --- *)
 

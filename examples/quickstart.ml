@@ -43,7 +43,8 @@ let () =
     Relying_party.create ~name:"rp" ~asn:64999
       ~tals:[ Relying_party.tal_of_authority registry ] ()
   in
-  let result, index = Relying_party.sync_index rp ~now:(Rtime.add now 1) ~universe () in
+  let result = Relying_party.sync rp ~now:(Rtime.add now 1) ~universe () in
+  let index = result.Relying_party.index in
   Printf.printf "validated %d ROA payload(s):\n" (List.length result.Relying_party.vrps);
   List.iter (fun v -> Printf.printf "  %s\n" (Vrp.to_string v)) result.Relying_party.vrps;
 
@@ -66,4 +67,4 @@ let () =
   let router = Rpki_rtr.Session.create_router () in
   let received = Rpki_rtr.Session.synchronize router cache in
   Printf.printf "router received %d VRP(s) over RTR (serial %d)\n" (List.length received)
-    router.Rpki_rtr.Session.r_serial
+    (Rpki_rtr.Session.router_serial router)

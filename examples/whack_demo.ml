@@ -20,7 +20,7 @@ let () =
   print_string (Model.render m);
 
   (* the states before the attack *)
-  let _, before = Relying_party.sync_index rp ~now:1 ~universe:m.Model.universe () in
+  let before = (Relying_party.sync rp ~now:1 ~universe:m.Model.universe ()).Relying_party.index in
   let target = Route.make (V4.p "63.174.16.0/22") 7341 in
   let bystander = Route.make (V4.p "63.174.25.0/24") 17054 in
   let show idx label =
@@ -46,7 +46,7 @@ let () =
   Printf.printf "executed; %d object(s) reissued by Sprint\n" (List.length reissued);
 
   (* the target is whacked, the bystanders are untouched *)
-  let _, after = Relying_party.sync_index rp ~now:2 ~universe:m.Model.universe () in
+  let after = (Relying_party.sync rp ~now:2 ~universe:m.Model.universe ()).Relying_party.index in
   show after "\nafter the attack";
 
   (* ... but the monitor sees it *)

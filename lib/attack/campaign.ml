@@ -44,7 +44,7 @@ let plan ~(manipulator : Authority.t) ~objective =
     List.filter_map
       (fun (filename, roa) ->
         if roa_matches objective roa then Some (Revoke_own { filename; roa }) else None)
-      manipulator.Authority.roas
+      (Authority.roas manipulator)
   in
   let steps = ref own in
   let unplannable = ref [] in
@@ -53,14 +53,14 @@ let plan ~(manipulator : Authority.t) ~objective =
         (fun (filename, roa) ->
           if roa_matches objective roa then begin
             match
-              Whack.plan_targeted ~manipulator ~target_issuer:issuer.Authority.name
+              Whack.plan_targeted ~manipulator ~target_issuer:(Authority.name issuer)
                 ~target_filename:filename
             with
             | p -> steps := Whack_step p :: !steps
             | exception Whack.Cannot_whack reason ->
-              unplannable := (issuer.Authority.name, filename, reason) :: !unplannable
+              unplannable := ((Authority.name issuer), filename, reason) :: !unplannable
           end)
-        issuer.Authority.roas);
+        (Authority.roas issuer));
   { objective; steps = List.rev !steps; unplannable = List.rev !unplannable }
 
 let targets plan =

@@ -47,10 +47,10 @@ type plan = {
    is neither an obstacle nor worth reissuing.  (Relevant when chaining
    whacks, as in a censorship campaign.) *)
 let roa_live (authority : Authority.t) (roa : Roa.t) =
-  Resources.subset (Roa.resources roa) authority.Authority.cert.Cert.resources
+  Resources.subset (Roa.resources roa) (Authority.cert authority).Cert.resources
 
 let rc_live (authority : Authority.t) (child : Authority.t) =
-  Resources.subset child.Authority.cert.Cert.resources authority.Authority.cert.Cert.resources
+  Resources.subset (Authority.cert child).Cert.resources (Authority.cert authority).Cert.resources
 
 (* All non-path live objects issued by [authority], as (description, v4 space). *)
 let sibling_spaces (authority : Authority.t) ~except_child ~except_roa =
@@ -60,19 +60,19 @@ let sibling_spaces (authority : Authority.t) ~except_child ~except_roa =
         if Some filename = except_roa || not (roa_live authority roa) then None
         else
           Some
-            ( Printf.sprintf "ROA %s by %s" (Roa.to_string roa) authority.Authority.name,
+            ( Printf.sprintf "ROA %s by %s" (Roa.to_string roa) (Authority.name authority),
               (Roa.resources roa).Resources.v4 ))
-      authority.Authority.roas
+      (Authority.roas authority)
   in
   let rcs =
     List.filter_map
       (fun (c : Authority.t) ->
-        if Some c.Authority.name = except_child || not (rc_live authority c) then None
+        if Some (Authority.name c) = except_child || not (rc_live authority c) then None
         else
           Some
-            ( Printf.sprintf "RC %s by %s" c.Authority.name authority.Authority.name,
-              c.Authority.cert.Cert.resources.Resources.v4 ))
-      authority.Authority.children
+            ( Printf.sprintf "RC %s by %s" (Authority.name c) (Authority.name authority),
+              (Authority.cert c).Cert.resources.Resources.v4 ))
+      (Authority.children authority)
   in
   roas @ rcs
 
@@ -94,18 +94,18 @@ let atoms space obstacles =
    [target_issuer] (inclusive). *)
 let path_to ~(manipulator : Authority.t) ~(target_issuer : string) =
   let rec go (a : Authority.t) =
-    if a.Authority.name = target_issuer then Some [ a ]
+    if (Authority.name a) = target_issuer then Some [ a ]
     else
-      List.find_map (fun c -> Option.map (fun rest -> a :: rest) (go c)) a.Authority.children
+      List.find_map (fun c -> Option.map (fun rest -> a :: rest) (go c)) (Authority.children a)
   in
-  List.find_map go manipulator.Authority.children
+  List.find_map go (Authority.children manipulator)
 
 exception Cannot_whack of string
 
 (* Build the targeted-whack plan.  Raises [Cannot_whack] when the target is
    not a strict descendant's ROA. *)
 let plan_targeted ~(manipulator : Authority.t) ~(target_issuer : string) ~(target_filename : string) =
-  if manipulator.Authority.name = target_issuer then
+  if (Authority.name manipulator) = target_issuer then
     raise
       (Cannot_whack "target is the manipulator's own ROA; use revoke/stealth-delete instead");
   let path =
@@ -115,11 +115,11 @@ let plan_targeted ~(manipulator : Authority.t) ~(target_issuer : string) ~(targe
       raise
         (Cannot_whack
            (Printf.sprintf "%s is not a descendant of %s" target_issuer
-              manipulator.Authority.name))
+              (Authority.name manipulator)))
   in
   let issuer = List.nth path (List.length path - 1) in
   let target =
-    match List.assoc_opt target_filename issuer.Authority.roas with
+    match List.assoc_opt target_filename (Authority.roas issuer) with
     | Some r -> r
     | None -> raise (Cannot_whack (Printf.sprintf "no ROA %s at %s" target_filename target_issuer))
   in
@@ -132,7 +132,7 @@ let plan_targeted ~(manipulator : Authority.t) ~(target_issuer : string) ~(targe
       (List.mapi
          (fun i (a : Authority.t) ->
            let next_child =
-             if i + 1 < List.length path then Some (List.nth path (i + 1)).Authority.name
+             if i + 1 < List.length path then Some (Authority.name (List.nth path (i + 1)))
              else None
            in
            let except_roa = if i = List.length path - 1 then Some target_filename else None in
@@ -174,10 +174,10 @@ let plan_targeted ~(manipulator : Authority.t) ~(target_issuer : string) ~(targe
     List.map
       (fun (a : Authority.t) ->
         Reissue_rc
-          { subject = a.Authority.name;
+          { subject = (Authority.name a);
             new_resources =
-              { a.Authority.cert.Cert.resources with
-                Resources.v4 = V4.Set.diff a.Authority.cert.Cert.resources.Resources.v4 sliver } })
+              { (Authority.cert a).Cert.resources with
+                Resources.v4 = V4.Set.diff (Authority.cert a).Cert.resources.Resources.v4 sliver } })
       (List.tl path)
   in
   (* ... and damaged sibling ROAs get re-signed by the manipulator *)
@@ -186,25 +186,25 @@ let plan_targeted ~(manipulator : Authority.t) ~(target_issuer : string) ~(targe
       (fun (a : Authority.t) ->
         List.filter_map
           (fun (filename, roa) ->
-            if (filename = target_filename && a.Authority.name = target_issuer)
+            if (filename = target_filename && (Authority.name a) = target_issuer)
                || not (roa_live a roa)
             then None
             else if V4.Set.overlaps (Roa.resources roa).Resources.v4 sliver then
               Some
                 (Reissue_roa
                    { asid = roa.Roa.asid; v4_entries = roa.Roa.v4_entries;
-                     original_issuer = a.Authority.name })
+                     original_issuer = (Authority.name a) })
             else None)
-          a.Authority.roas)
+          (Authority.roas a))
       path
   in
   let shrink_child_to =
-    { child.Authority.cert.Cert.resources with
-      Resources.v4 = V4.Set.diff child.Authority.cert.Cert.resources.Resources.v4 sliver }
+    { (Authority.cert child).Cert.resources with
+      Resources.v4 = V4.Set.diff (Authority.cert child).Cert.resources.Resources.v4 sliver }
   in
-  { manipulator = manipulator.Authority.name;
-    child = child.Authority.name;
-    path = List.map (fun (a : Authority.t) -> a.Authority.name) path;
+  { manipulator = (Authority.name manipulator);
+    child = (Authority.name child);
+    path = List.map (fun (a : Authority.t) -> (Authority.name a)) path;
     target_issuer;
     target_filename;
     target;
@@ -219,7 +219,7 @@ let needs_make_before_break plan = plan.reissues <> []
 (* Execute: reissues first (make before...), then the RC overwrite
    (...break). *)
 let execute ~(manipulator : Authority.t) (plan : plan) ~now =
-  if manipulator.Authority.name <> plan.manipulator then
+  if (Authority.name manipulator) <> plan.manipulator then
     invalid_arg "Whack.execute: wrong manipulator";
   let reissued =
     List.map
@@ -233,8 +233,8 @@ let execute ~(manipulator : Authority.t) (plan : plan) ~now =
           | None -> raise (Cannot_whack ("lost descendant " ^ subject))
           | Some a ->
             let filename, _ =
-              Authority.certify_key manipulator ~subject ~public_key:a.Authority.key.Rpki_crypto.Rsa.public
-                ~resources:new_resources ~repo_uri:a.Authority.pub.Pub_point.uri
+              Authority.certify_key manipulator ~subject ~public_key:(Authority.key a).Rpki_crypto.Rsa.public
+                ~resources:new_resources ~repo_uri:(Pub_point.uri (Authority.pub a))
                 ~manifest_uri:(subject ^ ".mft") ~now
             in
             `Rc filename))
@@ -242,8 +242,8 @@ let execute ~(manipulator : Authority.t) (plan : plan) ~now =
   in
   let child =
     match
-      List.find_opt (fun (c : Authority.t) -> c.Authority.name = plan.child)
-        manipulator.Authority.children
+      List.find_opt (fun (c : Authority.t) -> (Authority.name c) = plan.child)
+        (Authority.children manipulator)
     with
     | Some c -> c
     | None -> raise (Cannot_whack ("lost child " ^ plan.child))

@@ -52,9 +52,7 @@ let summarize_length idx ~root ~len ~origin =
     let plen = V4.Prefix.len prefix in
     if plen = len then bump (Origin_validation.classify idx (Route.make prefix origin)) 1
     else begin
-      let below = V4.Trie.covered (Origin_validation.trie_of idx) prefix in
-      let strictly_below = List.filter (fun (p, _) -> not (V4.Prefix.equal p prefix)) below in
-      if strictly_below = [] then begin
+      if not (Origin_validation.covered_strictly_below idx prefix) then begin
         (* homogeneous: every length-[len] subprefix classifies identically *)
         let state = Origin_validation.classify idx (Route.make prefix origin) in
         (* a /len route under this node may still differ when maxLength cuts

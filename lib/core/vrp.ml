@@ -24,6 +24,52 @@ let equal a b = compare a b = 0
 let of_roa (roa : Roa.t) =
   List.map (fun (e : Roa.v4_entry) -> { prefix = e.Roa.prefix; max_len = e.Roa.max_len; asn = roa.Roa.asid }) roa.Roa.v4_entries
 
+let normalize vrps = List.sort_uniq compare vrps
+
+type diff = { added : t list; removed : t list }
+
+let empty_diff = { added = []; removed = [] }
+let diff_is_empty d = d.added = [] && d.removed = []
+let diff_size d = List.length d.added + List.length d.removed
+
+(* Sorted-merge set difference in both directions: O(|before| + |after|). *)
+let diff_of ~before ~after =
+  let rec go before after added removed =
+    match (before, after) with
+    | [], [] -> { added = List.rev added; removed = List.rev removed }
+    | [], a :: rest -> go [] rest (a :: added) removed
+    | b :: rest, [] -> go rest [] added (b :: removed)
+    | b :: brest, a :: arest ->
+      let c = compare b a in
+      if c = 0 then go brest arest added removed
+      else if c < 0 then go brest after added (b :: removed)
+      else go before arest (a :: added) removed
+  in
+  go before after [] []
+
+(* Patch a sorted set: drop [removed], merge in [added]. *)
+let apply_diff set d =
+  let rec drop set removed =
+    match (set, removed) with
+    | _, [] | [], _ -> set
+    | s :: srest, r :: rrest ->
+      let c = compare s r in
+      if c = 0 then drop srest rrest
+      else if c < 0 then s :: drop srest removed
+      else drop set rrest
+  in
+  let rec merge set added =
+    match (set, added) with
+    | _, [] -> set
+    | [], _ -> added
+    | s :: srest, a :: arest ->
+      let c = compare s a in
+      if c = 0 then s :: merge srest arest
+      else if c < 0 then s :: merge srest added
+      else a :: merge set arest
+  in
+  merge (drop set d.removed) d.added
+
 let to_string t =
   if t.max_len = V4.Prefix.len t.prefix then
     Printf.sprintf "(%s, AS%d)" (V4.Prefix.to_string t.prefix) t.asn

@@ -15,5 +15,34 @@ val equal : t -> t -> bool
 val of_roa : Roa.t -> t list
 (** One VRP per IPv4 entry of the ROA. *)
 
+(** {2 Set operations}
+
+    VRP sets are represented as sorted ({!compare}) duplicate-free lists;
+    {!normalize} produces that form.  Diffs are the currency of the
+    incremental pipeline: the relying party emits one per sync, the
+    origin-validation index patches its trie with it, and the RTR cache
+    serves it as a serial-numbered delta. *)
+
+val normalize : t list -> t list
+(** Sort and de-duplicate. *)
+
+type diff = {
+  added : t list;    (** present after, absent before *)
+  removed : t list;  (** present before, absent after *)
+}
+
+val empty_diff : diff
+val diff_is_empty : diff -> bool
+val diff_size : diff -> int
+
+val diff_of : before:t list -> after:t list -> diff
+(** Set difference in both directions.  Both inputs must be normalized
+    (sorted, duplicate-free); the result lists are normalized too.  Runs in
+    linear time by sorted merge. *)
+
+val apply_diff : t list -> diff -> t list
+(** Patch a normalized set with a diff, returning a normalized set.
+    [apply_diff before (diff_of ~before ~after) = after]. *)
+
 val to_string : t -> string
 val pp : Format.formatter -> t -> unit

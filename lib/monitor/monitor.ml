@@ -38,7 +38,7 @@ let decode_point (pp : Rpki_repo.Pub_point.t) =
       | Ok (Obj.Crl c) -> crl := Some c
       | Ok (Obj.Manifest _) | Error _ -> ())
     (Rpki_repo.Pub_point.snapshot pp);
-  { uri = pp.Rpki_repo.Pub_point.uri; certs = !certs; roas = !roas; crl = !crl }
+  { uri = (Rpki_repo.Pub_point.uri pp); certs = !certs; roas = !roas; crl = !crl }
 
 let take ~now universe =
   { taken_at = now; points = List.map decode_point (Rpki_repo.Universe.points universe) }

@@ -30,6 +30,18 @@ type t = {
   refresh_interval : int; (* ticks of CRL/manifest currency *)
 }
 
+(* Read-only accessors: the record itself stays private so every state
+   change flows through the operations below (and thus republishes). *)
+let name t = t.name
+let key t = t.key
+let ee_key t = t.ee_key
+let cert t = t.cert
+let parent t = t.parent
+let pub t = t.pub
+let children t = t.children
+let roas t = t.roas
+let revoked t = t.revoked
+
 let crl_filename t = t.name ^ ".crl"
 let manifest_filename t = t.name ^ ".mft"
 let cert_filename name = name ^ ".cer"
@@ -88,7 +100,7 @@ let create_trust_anchor ~name ~resources ~uri ~addr ~host_asn ~now ~universe
 (* The TAL a relying party needs to start from this trust anchor. *)
 let tal t =
   if t.parent <> None then invalid_arg "Authority.tal: not a trust anchor";
-  (t.name, t.key.Rsa.public, t.pub.Pub_point.uri, cert_filename t.name)
+  (t.name, t.key.Rsa.public, (Pub_point.uri t.pub), cert_filename t.name)
 
 (* Issue a child CA with its own key, certificate and publication point. *)
 let create_child parent ~name ~resources ~uri ~addr ~host_asn ~now ~universe
@@ -103,7 +115,7 @@ let create_child parent ~name ~resources ~uri ~addr ~host_asn ~now ~universe
   let cert =
     Cert.issue ~issuer_key:parent.key.Rsa.private_ ~serial ~issuer:parent.name ~subject:name
       ~public_key:key.Rsa.public ~resources ~not_before:now ~not_after:(Rtime.add now validity)
-      ~is_ca:true ~crl_uri:(crl_filename parent) ~aia_uri:parent.pub.Pub_point.uri ~repo_uri:uri
+      ~is_ca:true ~crl_uri:(crl_filename parent) ~aia_uri:(Pub_point.uri parent.pub) ~repo_uri:uri
       ~manifest_uri:(name ^ ".mft") ()
   in
   let pub = Pub_point.create ~uri ~addr ~host_asn in
@@ -125,7 +137,7 @@ let issue_roa t ~asid ~v4_entries ?(v6_entries = []) ~now () =
     Roa.issue ~ca_key:t.key.Rsa.private_ ~ca_subject:t.name ~serial ~rng:t.rng
       ~ee_key:t.ee_key ~asid ~v4_entries ~v6_entries ~not_before:now
       ~not_after:(Rtime.add now t.validity) ~crl_uri:(crl_filename t)
-      ~aia_uri:t.pub.Pub_point.uri ()
+      ~aia_uri:(Pub_point.uri t.pub) ()
   in
   let filename = Printf.sprintf "roa-%d.roa" serial in
   t.roas <- t.roas @ [ (filename, roa) ];
@@ -153,7 +165,7 @@ let renew_roa t ~filename ~now =
       Roa.issue ~ca_key:t.key.Rsa.private_ ~ca_subject:t.name ~serial ~rng:t.rng
         ~ee_key:t.ee_key ~asid:roa.Roa.asid ~v4_entries:roa.Roa.v4_entries
         ~v6_entries:roa.Roa.v6_entries ~not_before:now ~not_after:(Rtime.add now t.validity)
-        ~crl_uri:(crl_filename t) ~aia_uri:t.pub.Pub_point.uri ()
+        ~crl_uri:(crl_filename t) ~aia_uri:(Pub_point.uri t.pub) ()
     in
     t.roas <- List.map (fun (f, r) -> if f = filename then (f, roa') else (f, r)) t.roas;
     Pub_point.put t.pub ~filename (Roa.encode roa');
@@ -206,7 +218,7 @@ let shrink_child_cert t (child : t) ~resources ~now =
     Cert.issue ~issuer_key:t.key.Rsa.private_ ~serial ~issuer:t.name ~subject:child.name
       ~public_key:child.key.Rsa.public ~resources ~not_before:now
       ~not_after:(Rtime.add now t.validity) ~is_ca:true ~crl_uri:(crl_filename t)
-      ~aia_uri:t.pub.Pub_point.uri ~repo_uri:child.pub.Pub_point.uri
+      ~aia_uri:(Pub_point.uri t.pub) ~repo_uri:(Pub_point.uri child.pub)
       ~manifest_uri:(child.name ^ ".mft") ()
   in
   child.cert <- cert';
@@ -224,7 +236,7 @@ let certify_key t ~subject ~public_key ~resources ~repo_uri ~manifest_uri ~now =
   let cert =
     Cert.issue ~issuer_key:t.key.Rsa.private_ ~serial ~issuer:t.name ~subject
       ~public_key ~resources ~not_before:now ~not_after:(Rtime.add now t.validity) ~is_ca:true
-      ~crl_uri:(crl_filename t) ~aia_uri:t.pub.Pub_point.uri ~repo_uri ~manifest_uri ()
+      ~crl_uri:(crl_filename t) ~aia_uri:(Pub_point.uri t.pub) ~repo_uri ~manifest_uri ()
   in
   let filename = Printf.sprintf "%s-reissued-by-%s.cer" subject t.name in
   Pub_point.put t.pub ~filename (Cert.encode cert);
@@ -244,7 +256,7 @@ let rec roll_key t ~now =
   | None ->
     t.cert <-
       Cert.self_signed ~key:new_key ~subject:t.name ~resources:t.cert.Cert.resources
-        ~not_before:now ~not_after:(Rtime.add now t.validity) ~repo_uri:t.pub.Pub_point.uri
+        ~not_before:now ~not_after:(Rtime.add now t.validity) ~repo_uri:(Pub_point.uri t.pub)
         ~manifest_uri:(manifest_filename t) ();
     Pub_point.put t.pub ~filename:(cert_filename t.name) (Cert.encode t.cert)
   | Some parent ->
@@ -254,7 +266,7 @@ let rec roll_key t ~now =
       Cert.issue ~issuer_key:parent.key.Rsa.private_ ~serial ~issuer:parent.name ~subject:t.name
         ~public_key:new_key.Rsa.public ~resources:t.cert.Cert.resources ~not_before:now
         ~not_after:(Rtime.add now t.validity) ~is_ca:true ~crl_uri:(crl_filename parent)
-        ~aia_uri:parent.pub.Pub_point.uri ~repo_uri:t.pub.Pub_point.uri
+        ~aia_uri:(Pub_point.uri parent.pub) ~repo_uri:(Pub_point.uri t.pub)
         ~manifest_uri:(manifest_filename t) ();
     Pub_point.put parent.pub ~filename:(cert_filename t.name) (Cert.encode t.cert);
     republish parent ~now);
@@ -268,7 +280,7 @@ let rec roll_key t ~now =
           Roa.issue ~ca_key:t.key.Rsa.private_ ~ca_subject:t.name ~serial ~rng:t.rng
             ~ee_key:t.ee_key ~asid:roa.Roa.asid ~v4_entries:roa.Roa.v4_entries
             ~v6_entries:roa.Roa.v6_entries ~not_before:now ~not_after:(Rtime.add now t.validity)
-            ~crl_uri:(crl_filename t) ~aia_uri:t.pub.Pub_point.uri ()
+            ~crl_uri:(crl_filename t) ~aia_uri:(Pub_point.uri t.pub) ()
         in
         Pub_point.put t.pub ~filename (Roa.encode roa');
         (filename, roa'))
@@ -283,7 +295,7 @@ and reissue_child_cert t (child : t) ~now =
     Cert.issue ~issuer_key:t.key.Rsa.private_ ~serial ~issuer:t.name ~subject:child.name
       ~public_key:child.key.Rsa.public ~resources:child.cert.Cert.resources ~not_before:now
       ~not_after:(Rtime.add now t.validity) ~is_ca:true ~crl_uri:(crl_filename t)
-      ~aia_uri:t.pub.Pub_point.uri ~repo_uri:child.pub.Pub_point.uri
+      ~aia_uri:(Pub_point.uri t.pub) ~repo_uri:(Pub_point.uri child.pub)
       ~manifest_uri:(manifest_filename child) ();
   Pub_point.put t.pub ~filename:(cert_filename child.name) (Cert.encode child.cert)
 

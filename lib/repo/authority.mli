@@ -11,23 +11,30 @@
 open Rpki_core
 open Rpki_crypto
 
-type t = {
-  name : string;
-  mutable key : Rsa.keypair;   (** mutable for RFC 6489 key rollover *)
-  ee_key : Rsa.keypair;        (** reused for EE certs; cuts keygen cost *)
-  key_bits : int;
-  rng : Rpki_util.Rng.t;       (** deterministic per-authority entropy *)
-  mutable cert : Cert.t;       (** current RC *)
-  parent : t option;
-  pub : Pub_point.t;
-  mutable next_serial : int;
-  mutable revoked : int list;
-  mutable manifest_number : int;
-  mutable children : t list;
-  mutable roas : (string * Roa.t) list; (** filename -> current ROA *)
-  validity : int;              (** ticks of validity for issued objects *)
-  refresh_interval : int;      (** ticks of CRL/manifest currency *)
-}
+type t
+(** Opaque; every state change flows through the operations below, so the
+    publication point is always republished consistently. *)
+
+val name : t -> string
+
+val key : t -> Rsa.keypair
+(** The current CA keypair (changes across RFC 6489 key rollover). *)
+
+val ee_key : t -> Rsa.keypair
+(** Reused for EE certificates; reuse is permitted and cuts keygen cost. *)
+
+val cert : t -> Cert.t
+(** The current RC (parent-signed, or self-signed for a trust anchor). *)
+
+val parent : t -> t option
+val pub : t -> Pub_point.t
+val children : t -> t list
+
+val roas : t -> (string * Roa.t) list
+(** Currently issued ROAs, filename first. *)
+
+val revoked : t -> int list
+(** Serials on this authority's CRL. *)
 
 val crl_filename : t -> string
 val manifest_filename : t -> string

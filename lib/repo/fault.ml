@@ -16,7 +16,7 @@ let delete_object (pp : Pub_point.t) ~filename =
   | Some original ->
     Pub_point.delete pp ~filename;
     Some
-      { description = Printf.sprintf "deleted %s from %s" filename pp.Pub_point.uri;
+      { description = Printf.sprintf "deleted %s from %s" filename (Pub_point.uri pp);
         undo = (fun () -> Pub_point.put pp ~filename original) }
 
 let corrupt_object (pp : Pub_point.t) ~filename ?(byte_index = 7) () =
@@ -26,14 +26,14 @@ let corrupt_object (pp : Pub_point.t) ~filename ?(byte_index = 7) () =
     if not (Pub_point.corrupt pp ~filename ~byte_index) then None
     else
       Some
-        { description = Printf.sprintf "corrupted %s at %s" filename pp.Pub_point.uri;
+        { description = Printf.sprintf "corrupted %s at %s" filename (Pub_point.uri pp);
           undo = (fun () -> Pub_point.put pp ~filename original) }
 
 (* Replace every file with garbage: total repository loss. *)
 let wipe (pp : Pub_point.t) =
   let originals = Pub_point.files pp in
   List.iter (fun (filename, _) -> Pub_point.delete pp ~filename) originals;
-  { description = Printf.sprintf "wiped %s" pp.Pub_point.uri;
+  { description = Printf.sprintf "wiped %s" (Pub_point.uri pp);
     undo = (fun () -> List.iter (fun (filename, bytes) -> Pub_point.put pp ~filename bytes) originals) }
 
 let repair (a : applied) = a.undo ()

@@ -134,14 +134,14 @@ let render t =
     Buffer.add_string buf
       (Printf.sprintf "%s%s  RC [%s]\n"
          (String.make (2 * depth) ' ')
-         a.Authority.name
-         (Resources.to_string a.Authority.cert.Cert.resources));
+         (Authority.name a)
+         (Resources.to_string (Authority.cert a).Cert.resources));
     List.iter
       (fun (_, roa) ->
         Buffer.add_string buf
           (Printf.sprintf "%s- %s\n" (String.make ((2 * depth) + 2) ' ') (Roa.to_string roa)))
-      a.Authority.roas;
-    List.iter (fun c -> go c (depth + 1)) a.Authority.children
+      (Authority.roas a);
+    List.iter (fun c -> go c (depth + 1)) (Authority.children a)
   in
   go t.arin 0;
   Buffer.contents buf

@@ -5,7 +5,24 @@
    simulation that oracle is the RP's own BGP data plane, which is how the
    paper's Section 6 circularity arises.  Like rsync, the RP keeps the last
    successfully fetched copy of each publication point and falls back to it
-   when the point is unreachable. *)
+   when the point is unreachable.
+
+   Sync is incremental.  Each publication point's listing carries a SHA-256
+   fingerprint; per (point, issuing certificate) the RP memoizes the full
+   validation outcome — VRPs, issues, child CA certificates — together with
+   every validity-window boundary that outcome depended on.  A warm tick
+   re-fetches (cheap: the fingerprint is cached on the point) but only
+   re-validates points whose fingerprint, parent certificate, or
+   time-window side changed.  The resulting VRP set is diffed against the
+   previous tick's and the diff patches the origin-validation index in
+   place; the same diff feeds the RTR cache as a serial delta.
+
+   Equivalence invariant: a warm sync produces exactly the VRP set, index
+   and classification results a cold from-scratch sync would.  Reuse is
+   only ever taken when (a) the listing bytes are fingerprint-identical,
+   (b) the issuing certificate is byte-identical, and (c) [now] sits on the
+   same side of every validity boundary the original validation consulted —
+   validation's only dependence on time is those window comparisons. *)
 
 open Rpki_core
 
@@ -37,6 +54,28 @@ type sync_result = {
   issues : issue list;
   fetches : (string * fetch_status) list;
   cas_validated : string list;
+  index : Origin_validation.index;
+  diff : Vrp.diff;
+  points_reused : int;
+  points_revalidated : int;
+}
+
+(* The memoized outcome of validating one publication point under one
+   issuing certificate. *)
+type memo_entry = {
+  m_parent_fp : string;          (* digest of the issuing cert's encoding *)
+  m_snap_fp : string;            (* fingerprint of the listing validated *)
+  m_at : Rtime.t;                (* when it was validated *)
+  m_boundaries : Rtime.t list;   (* every validity boundary consulted *)
+  m_subject : string;
+  m_vrps : Vrp.t list;           (* this point's direct VRP contribution *)
+  m_issues : issue list;
+  m_children : Cert.t list;      (* validated child CA certs, in file order *)
+}
+
+type cached_point = {
+  cp_files : (string * string) list;
+  cp_fp : string;
 }
 
 type t = {
@@ -49,27 +88,55 @@ type t = {
      when set, a VRP that disappears keeps being used for this many ticks
      after it was last seen, softening Side Effects 6 and 7 — at the price
      of delaying legitimate revocations by the same window. *)
-  mutable cache : (string * (string * string) list) list; (* uri -> snapshot *)
+  mutable cache : (string * cached_point) list; (* uri -> last good copy *)
+  memo : (string, memo_entry) Hashtbl.t; (* uri + parent key id -> outcome *)
   mutable vrp_memory : (Vrp.t * Rtime.t) list; (* vrp -> last time seen *)
   mutable last_result : sync_result option;
+  mutable effective_vrps : Vrp.t list; (* baseline the next diff is against *)
+  mutable index : Origin_validation.index;
 }
 
 let create ~name ~asn ~tals ?(use_stale = true) ?grace () =
-  { name; asn; tals; use_stale; grace; cache = []; vrp_memory = []; last_result = None }
+  { name; asn; tals; use_stale; grace; cache = []; memo = Hashtbl.create 64;
+    vrp_memory = []; last_result = None; effective_vrps = [];
+    index = Origin_validation.empty_index }
 
-(* Drop a cached snapshot (manual operator intervention; the paper notes
-   recovery from Side Effect 7 requires exactly this kind of manual fix). *)
+let name t = t.name
+let asn t = t.asn
+let last_result t = t.last_result
+let cached_points t = List.rev_map fst t.cache
+
+(* Drop cached snapshots, memoized validations and grace memory (manual
+   operator intervention; the paper notes recovery from Side Effect 7
+   requires exactly this kind of manual fix).  The diff baseline survives:
+   the next sync still reports the change relative to the last result. *)
 let flush_cache t =
   t.cache <- [];
+  Hashtbl.reset t.memo;
   t.vrp_memory <- []
+
+let cert_fp cert = Rpki_crypto.Sha256.digest (Cert.encode cert)
+
+(* A memo entry survives a change of [now] iff [now] falls on the same side
+   of every boundary the original validation compared against. *)
+let side a b = compare (Rtime.compare a b) 0
+
+let entry_current entry ~now =
+  Rtime.compare entry.m_at now = 0
+  || List.for_all (fun b -> side now b = side entry.m_at b) entry.m_boundaries
 
 let sync t ~now ~universe ?(reachable = fun (_ : Pub_point.t) -> true) () =
   let issues = ref [] in
   let vrps = ref [] in
   let fetches = ref [] in
   let cas = ref [] in
+  let reused = ref 0 in
+  let revalidated = ref 0 in
   let seen_keys = Hashtbl.create 16 in
   let problem ~uri ?filename reason = issues := { uri; filename; reason } :: !issues in
+  let remember uri snap fp =
+    t.cache <- (uri, { cp_files = snap; cp_fp = fp }) :: List.remove_assoc uri t.cache
+  in
   let fetch uri =
     let record st = fetches := (uri, st) :: !fetches in
     match Universe.find universe uri with
@@ -80,9 +147,10 @@ let sync t ~now ~universe ?(reachable = fun (_ : Pub_point.t) -> true) () =
     | Some pp ->
       if reachable pp then begin
         let snap = Pub_point.snapshot pp in
-        t.cache <- (uri, snap) :: List.remove_assoc uri t.cache;
+        let fp = Pub_point.fingerprint pp in
+        remember uri snap fp;
         record Fetched;
-        Some snap
+        Some (snap, fp)
       end
       else begin
         (* primary unreachable: try registered mirrors first, then the
@@ -93,17 +161,18 @@ let sync t ~now ~universe ?(reachable = fun (_ : Pub_point.t) -> true) () =
         match reachable_mirror with
         | Some mirror ->
           let snap = Pub_point.snapshot mirror in
-          t.cache <- (uri, snap) :: List.remove_assoc uri t.cache;
+          let fp = Pub_point.fingerprint mirror in
+          remember uri snap fp;
           record Fetched_mirror;
           problem ~uri
-            (Printf.sprintf "primary unreachable; fetched mirror %s" mirror.Pub_point.uri);
-          Some snap
+            (Printf.sprintf "primary unreachable; fetched mirror %s" (Pub_point.uri mirror));
+          Some (snap, fp)
         | None -> (
           match List.assoc_opt uri t.cache with
-          | Some snap when t.use_stale ->
+          | Some cp when t.use_stale ->
             record Stale_cache;
             problem ~uri "publication point unreachable; using stale cache";
-            Some snap
+            Some (cp.cp_files, cp.cp_fp)
           | _ ->
             record Unavailable;
             problem ~uri "publication point unreachable";
@@ -122,96 +191,139 @@ let sync t ~now ~universe ?(reachable = fun (_ : Pub_point.t) -> true) () =
       | Some uri -> (
         match fetch uri with
         | None -> ()
-        | Some snapshot ->
-          let decode_file filename =
-            match List.assoc_opt filename snapshot with
-            | None -> None
-            | Some bytes -> (
-              match Obj.decode ~filename bytes with
-              | Ok o -> Some o
-              | Error e ->
-                problem ~uri ~filename e;
-                None)
+        | Some (snapshot, snap_fp) ->
+          let memo_key = uri ^ "\x00" ^ key in
+          let parent_fp = cert_fp ca_cert in
+          let entry =
+            match Hashtbl.find_opt t.memo memo_key with
+            | Some e
+              when String.equal e.m_parent_fp parent_fp
+                   && String.equal e.m_snap_fp snap_fp && entry_current e ~now ->
+              incr reused;
+              e
+            | _ ->
+              incr revalidated;
+              let e = validate_point ~uri ~ca_cert ~parent_fp ~snapshot ~snap_fp in
+              Hashtbl.replace t.memo memo_key e;
+              e
           in
-          (* the CA's own manifest, if present and well-formed *)
-          let mft_name =
-            Option.value ca_cert.Cert.manifest_uri ~default:(ca_cert.Cert.subject ^ ".mft")
-          in
-          let manifest =
-            match decode_file mft_name with
-            | Some (Obj.Manifest m) -> (
-              match Validation.validate_manifest ~now ~parent:ca_cert m with
-              | Ok () -> Some m
-              | Error f ->
-                problem ~uri ~filename:mft_name (Validation.failure_to_string f);
-                None)
-            | Some _ ->
-              problem ~uri ~filename:mft_name "manifest slot holds a different object";
-              None
-            | None ->
-              problem ~uri ~filename:mft_name "manifest missing or undecodable";
-              None
-          in
-          (* manifest completeness / integrity check *)
-          (match manifest with
-          | None -> ()
-          | Some m ->
-            List.iter
-              (fun (e : Manifest.entry) ->
-                match List.assoc_opt e.Manifest.filename snapshot with
-                | None ->
-                  problem ~uri ~filename:e.Manifest.filename "listed on manifest but missing"
-                | Some bytes ->
-                  if not (Rpki_crypto.Hmac.equal_digest (Rpki_crypto.Sha256.digest bytes) e.Manifest.hash)
-                  then problem ~uri ~filename:e.Manifest.filename "hash mismatch with manifest")
-              m.Manifest.entries;
-            List.iter
-              (fun (filename, _) ->
-                if filename <> mft_name && Manifest.find m filename = None then
-                  problem ~uri ~filename "present but not listed on manifest")
-              snapshot);
-          (* the CA's CRL for the objects it issued *)
-          let crl_name = ca_cert.Cert.subject ^ ".crl" in
-          let crl =
-            match decode_file crl_name with
-            | Some (Obj.Crl c) -> (
-              match Validation.validate_crl ~now ~parent:ca_cert c with
-              | Ok () -> Some c
-              | Error f ->
-                problem ~uri ~filename:crl_name (Validation.failure_to_string f);
-                None)
-            | Some _ | None ->
-              problem ~uri ~filename:crl_name "CRL missing or undecodable";
-              None
-          in
-          (* process every other object at the point *)
-          List.iter
-            (fun (filename, _) ->
-              if filename = mft_name || filename = crl_name then ()
-              else begin
-                match decode_file filename with
-                | None -> ()
-                | Some (Obj.Cert c) -> (
-                  match Validation.validate_cert ~now ~parent:ca_cert ?crl c with
-                  | Ok () -> if c.Cert.is_ca then process_ca c
-                  | Error f -> problem ~uri ~filename (Validation.failure_to_string f))
-                | Some (Obj.Roa r) -> (
-                  match Validation.validate_roa ~now ~parent:ca_cert ?crl r with
-                  | Ok vs -> vrps := vs @ !vrps
-                  | Error f -> problem ~uri ~filename (Validation.failure_to_string f))
-                | Some (Obj.Crl _) ->
-                  problem ~uri ~filename "unexpected extra CRL"
-                | Some (Obj.Manifest _) ->
-                  problem ~uri ~filename "unexpected extra manifest"
-              end)
-            snapshot)
+          issues := List.rev_append entry.m_issues !issues;
+          vrps := entry.m_vrps @ !vrps;
+          List.iter process_ca entry.m_children)
     end
+  (* From-scratch validation of one point's contents, recording every
+     validity boundary consulted so the outcome can be replayed at a
+     different [now]. *)
+  and validate_point ~uri ~ca_cert ~parent_fp ~snapshot ~snap_fp =
+    let local_issues = ref [] in
+    let local_vrps = ref [] in
+    let children = ref [] in
+    let boundaries = ref [ ca_cert.Cert.not_before; ca_cert.Cert.not_after ] in
+    let window (c : Cert.t) = boundaries := c.Cert.not_before :: c.Cert.not_after :: !boundaries in
+    let problem ?filename reason =
+      local_issues := { uri; filename; reason } :: !local_issues
+    in
+    let decode_file filename =
+      match List.assoc_opt filename snapshot with
+      | None -> None
+      | Some bytes -> (
+        match Obj.decode ~filename bytes with
+        | Ok o ->
+          (match o with
+          | Obj.Cert c -> window c
+          | Obj.Roa r -> window r.Roa.ee
+          | Obj.Crl c -> boundaries := c.Crl.this_update :: c.Crl.next_update :: !boundaries
+          | Obj.Manifest m ->
+            window m.Manifest.ee;
+            boundaries := m.Manifest.this_update :: m.Manifest.next_update :: !boundaries);
+          Some o
+        | Error e ->
+          problem ~filename e;
+          None)
+    in
+    (* the CA's own manifest, if present and well-formed *)
+    let mft_name =
+      Option.value ca_cert.Cert.manifest_uri ~default:(ca_cert.Cert.subject ^ ".mft")
+    in
+    let manifest =
+      match decode_file mft_name with
+      | Some (Obj.Manifest m) -> (
+        match Validation.validate_manifest ~now ~parent:ca_cert m with
+        | Ok () -> Some m
+        | Error f ->
+          problem ~filename:mft_name (Validation.failure_to_string f);
+          None)
+      | Some _ ->
+        problem ~filename:mft_name "manifest slot holds a different object";
+        None
+      | None ->
+        problem ~filename:mft_name "manifest missing or undecodable";
+        None
+    in
+    (* manifest completeness / integrity check *)
+    (match manifest with
+    | None -> ()
+    | Some m ->
+      List.iter
+        (fun (e : Manifest.entry) ->
+          match List.assoc_opt e.Manifest.filename snapshot with
+          | None -> problem ~filename:e.Manifest.filename "listed on manifest but missing"
+          | Some bytes ->
+            if not (Rpki_crypto.Hmac.equal_digest (Rpki_crypto.Sha256.digest bytes) e.Manifest.hash)
+            then problem ~filename:e.Manifest.filename "hash mismatch with manifest")
+        m.Manifest.entries;
+      List.iter
+        (fun (filename, _) ->
+          if filename <> mft_name && Manifest.find m filename = None then
+            problem ~filename "present but not listed on manifest")
+        snapshot);
+    (* the CA's CRL for the objects it issued *)
+    let crl_name = ca_cert.Cert.subject ^ ".crl" in
+    let crl =
+      match decode_file crl_name with
+      | Some (Obj.Crl c) -> (
+        match Validation.validate_crl ~now ~parent:ca_cert c with
+        | Ok () -> Some c
+        | Error f ->
+          problem ~filename:crl_name (Validation.failure_to_string f);
+          None)
+      | Some _ | None ->
+        problem ~filename:crl_name "CRL missing or undecodable";
+        None
+    in
+    (* process every other object at the point *)
+    List.iter
+      (fun (filename, _) ->
+        if filename = mft_name || filename = crl_name then ()
+        else begin
+          match decode_file filename with
+          | None -> ()
+          | Some (Obj.Cert c) -> (
+            match Validation.validate_cert ~now ~parent:ca_cert ?crl c with
+            | Ok () -> if c.Cert.is_ca then children := c :: !children
+            | Error f -> problem ~filename (Validation.failure_to_string f))
+          | Some (Obj.Roa r) -> (
+            match Validation.validate_roa ~now ~parent:ca_cert ?crl r with
+            | Ok vs -> local_vrps := vs @ !local_vrps
+            | Error f -> problem ~filename (Validation.failure_to_string f))
+          | Some (Obj.Crl _) -> problem ~filename "unexpected extra CRL"
+          | Some (Obj.Manifest _) -> problem ~filename "unexpected extra manifest"
+        end)
+      snapshot;
+    { m_parent_fp = parent_fp;
+      m_snap_fp = snap_fp;
+      m_at = now;
+      m_boundaries = !boundaries;
+      m_subject = ca_cert.Cert.subject;
+      m_vrps = !local_vrps;
+      m_issues = List.rev !local_issues;
+      m_children = List.rev !children }
   in
   List.iter
     (fun tal ->
       match fetch tal.ta_uri with
       | None -> ()
-      | Some snapshot -> (
+      | Some (snapshot, _) -> (
         match List.assoc_opt tal.ta_cert_filename snapshot with
         | None -> problem ~uri:tal.ta_uri ~filename:tal.ta_cert_filename "TA certificate missing"
         | Some bytes -> (
@@ -255,16 +367,27 @@ let sync t ~now ~universe ?(reachable = fun (_ : Pub_point.t) -> true) () =
         held;
       List.sort_uniq Vrp.compare (current @ held)
   in
+  (* The diff against the previous sync is the currency everything
+     downstream consumes: it patches the trie here and becomes the RTR
+     serial delta in the simulation loop. *)
+  let diff = Vrp.diff_of ~before:t.effective_vrps ~after:effective in
+  t.index <- Origin_validation.apply_diff t.index diff;
+  t.effective_vrps <- effective;
   let result =
     { vrps = effective;
       issues = List.rev !issues;
       fetches = List.rev !fetches;
-      cas_validated = List.rev !cas }
+      cas_validated = List.rev !cas;
+      index = t.index;
+      diff;
+      points_reused = !reused;
+      points_revalidated = !revalidated }
   in
   t.last_result <- Some result;
   result
 
-(* Sync and build the origin-validation index in one step. *)
+(* Deprecated pre-incremental entry point: the index now rides on the sync
+   result itself. *)
 let sync_index t ~now ~universe ?reachable () =
   let result = sync t ~now ~universe ?reachable () in
-  (result, Origin_validation.build result.vrps)
+  (result, result.index)

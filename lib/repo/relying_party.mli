@@ -5,7 +5,19 @@
     simulation that oracle is the RP's own BGP data plane, which is how the
     paper's Section 6 circularity arises.  Like rsync, the RP keeps the last
     successfully fetched copy of each publication point and falls back to it
-    when the point is unreachable. *)
+    when the point is unreachable.
+
+    Sync is incremental: per publication point the RP memoizes the
+    validation outcome keyed by the point's content fingerprint, the
+    issuing certificate, and the validity windows consulted; unchanged
+    points are not re-validated.  Each {!sync} also reports the VRP
+    {!Vrp.diff} against the previous sync and maintains an
+    {!Origin_validation.index} patched in place by that diff.  A warm sync
+    is guaranteed to produce exactly the VRP set and classification results
+    of a from-scratch sync.
+
+    The relying-party state is opaque; all incremental bookkeeping is
+    internal and can only be dropped wholesale via {!flush_cache}. *)
 
 open Rpki_core
 
@@ -33,33 +45,44 @@ type issue = {
 (** One fetch or validation problem, attributed to a location. *)
 
 type sync_result = {
-  vrps : Vrp.t list;                       (** the effective VRP set *)
+  vrps : Vrp.t list;                       (** the effective VRP set, sorted *)
   issues : issue list;
   fetches : (string * fetch_status) list;
   cas_validated : string list;
+  index : Origin_validation.index;         (** index over [vrps], maintained
+                                               incrementally across syncs *)
+  diff : Vrp.diff;                         (** change since the previous sync *)
+  points_reused : int;                     (** points whose memoized validation
+                                               was replayed *)
+  points_revalidated : int;                (** points validated from scratch *)
 }
 
-type t = {
-  name : string;
-  asn : int;                (** the AS where this relying party sits *)
-  tals : tal list;
-  use_stale : bool;
-  grace : int option;
-    (** Suspenders-style fail-safe (the paper's ref [25]): when set, a VRP
-        that disappears keeps being used for this many ticks after it was
-        last seen — softening Side Effects 6 and 7 at the price of delaying
-        legitimate revocations by the same window. *)
-  mutable cache : (string * (string * string) list) list;
-  mutable vrp_memory : (Vrp.t * Rtime.t) list;
-  mutable last_result : sync_result option;
-}
+type t
+(** Opaque relying-party state. *)
 
 val create :
   name:string -> asn:int -> tals:tal list -> ?use_stale:bool -> ?grace:int -> unit -> t
+(** [grace] is the Suspenders-style fail-safe (the paper's ref [25]): when
+    set, a VRP that disappears keeps being used for this many ticks after it
+    was last seen — softening Side Effects 6 and 7 at the price of delaying
+    legitimate revocations by the same window. *)
+
+val name : t -> string
+
+val asn : t -> int
+(** The AS where this relying party sits. *)
+
+val last_result : t -> sync_result option
+(** The most recent {!sync} result, if any. *)
+
+val cached_points : t -> string list
+(** URIs with a locally cached snapshot (stale-cache fallback material). *)
 
 val flush_cache : t -> unit
-(** Drop cached snapshots and grace memory (the manual operator intervention
-    the paper mentions for Side Effect 7 recovery). *)
+(** Drop cached snapshots, memoized validations and grace memory (the manual
+    operator intervention the paper mentions for Side Effect 7 recovery).
+    The next sync revalidates everything from scratch; its [diff] is still
+    relative to the last result. *)
 
 val sync :
   t ->
@@ -69,8 +92,10 @@ val sync :
   unit ->
   sync_result
 (** Fetch from every trust anchor down, validate top-down (manifest and CRL
-    checks included), and return the validated ROA payloads together with
-    every problem encountered. *)
+    checks included) skipping fingerprint-unchanged points, and return the
+    validated ROA payloads together with every problem encountered, the
+    updated origin-validation index, and the VRP diff since the previous
+    sync. *)
 
 val sync_index :
   t ->
@@ -79,4 +104,5 @@ val sync_index :
   ?reachable:(Pub_point.t -> bool) ->
   unit ->
   sync_result * Origin_validation.index
-(** {!sync} plus the origin-validation index over its VRPs. *)
+  [@@deprecated "use sync; the index now rides on the sync_result"]
+(** @deprecated The index is carried by {!sync}'s result. *)

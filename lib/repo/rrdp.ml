@@ -35,7 +35,7 @@ type server = {
 }
 
 let create ?(session_seed = "rrdp-session") ?(history_limit = 32) (point : Pub_point.t) =
-  { session = Rpki_util.Hex.abbrev ~len:16 (Rpki_crypto.Sha256.digest (session_seed ^ point.Pub_point.uri));
+  { session = Rpki_util.Hex.abbrev ~len:16 (Rpki_crypto.Sha256.digest (session_seed ^ Pub_point.uri point));
     point; serial = 0; published = []; deltas = []; history_limit }
 
 (* Version the point's current content: compute the delta since the last
@@ -94,7 +94,11 @@ type client = {
   mutable c_files : (string * string) list;
 }
 
-let create_client () = { c_session = None; c_serial = 0; c_files = [] }
+let create_client ?session ?(serial = 0) ?(files = []) () =
+  { c_session = session; c_serial = serial; c_files = files }
+
+let client_session client = client.c_session
+let client_serial client = client.c_serial
 
 exception Desync of string
 (** A withdraw whose hash does not match is a protocol violation. *)

@@ -32,13 +32,16 @@ val snapshot : server -> int * (string * string) list
 val deltas_since : server -> serial:int -> delta list option
 (** Oldest-first deltas from [serial] to now; [None] when out of window. *)
 
-type client = {
-  mutable c_session : string option;
-  mutable c_serial : int;
-  mutable c_files : (string * string) list;
-}
+type client
+(** Opaque client state: (session, serial) plus the mirrored files. *)
 
-val create_client : unit -> client
+val create_client :
+  ?session:string -> ?serial:int -> ?files:(string * string) list -> unit -> client
+(** A fresh client knows nothing; the optional arguments seed a client at a
+    chosen (session, serial, files) state, e.g. to simulate desync. *)
+
+val client_session : client -> string option
+val client_serial : client -> int
 
 exception Desync of string
 

@@ -13,9 +13,10 @@ type t = {
 let create () = { points = []; mirrors = [] }
 
 let add t (p : Pub_point.t) =
-  if List.mem_assoc p.Pub_point.uri t.points then
-    invalid_arg (Printf.sprintf "Universe.add: duplicate uri %s" p.Pub_point.uri);
-  t.points <- (p.Pub_point.uri, p) :: t.points
+  let uri = Pub_point.uri p in
+  if List.mem_assoc uri t.points then
+    invalid_arg (Printf.sprintf "Universe.add: duplicate uri %s" uri);
+  t.points <- (uri, p) :: t.points
 
 let find t uri = List.assoc_opt uri t.points
 let points t = List.map snd t.points
@@ -37,7 +38,7 @@ let refresh_mirrors t =
     (fun (uri, (mirror : Pub_point.t)) ->
       match find t uri with
       | None -> ()
-      | Some primary -> mirror.Pub_point.files <- Pub_point.snapshot primary)
+      | Some primary -> Pub_point.replace_files mirror (Pub_point.snapshot primary))
     t.mirrors
 
 let find_exn t uri =

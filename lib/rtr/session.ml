@@ -1,46 +1,91 @@
 (* RTR cache server and router client state machines (RFC 6810 section 4).
 
-   The cache holds serial-numbered versions of the relying party's VRP set;
-   routers synchronise with Reset Query (full state) or Serial Query
-   (incremental deltas).  Wire format is the byte-exact [Pdu] encoding, so a
+   The cache stores the current VRP set plus a window of serial-numbered
+   *deltas* (the same `Vrp.diff` the relying party emits per sync), so a
+   Serial Query is answered by composing stored deltas instead of diffing
+   two full snapshots.  Wire format is the byte-exact [Pdu] encoding, so a
    round trip through [encode]/[decode] happens on every exchange even
    though transport is an in-memory string. *)
 
 open Rpki_core
-
-module Vrp_set = struct
-  let diff ~from ~to_ =
-    let withdrawn = List.filter (fun v -> not (List.exists (Vrp.equal v) to_)) from in
-    let announced = List.filter (fun v -> not (List.exists (Vrp.equal v) from)) to_ in
-    (announced, withdrawn)
-end
 
 (* --- cache (server) side --- *)
 
 type cache = {
   session_id : int;
   mutable serial : int;
-  mutable current : Vrp.t list;
-  mutable versions : (int * Vrp.t list) list; (* serial -> snapshot, newest first *)
+  mutable current : Vrp.t list; (* normalized *)
+  mutable deltas : (int * Vrp.diff) list; (* serial -> diff from serial-1, newest first *)
   history_limit : int;
 }
 
 let create_cache ?(session_id = 0x5c1) ?(history_limit = 16) () =
-  { session_id; serial = 0; current = []; versions = [ (0, []) ]; history_limit }
+  { session_id; serial = 0; current = []; deltas = []; history_limit }
 
-(* Install a new VRP set (e.g. after each relying-party sync). *)
-let publish cache vrps =
-  let vrps = List.sort_uniq Vrp.compare vrps in
-  if vrps <> cache.current then begin
+let cache_session_id cache = cache.session_id
+let cache_serial cache = cache.serial
+let cache_vrps cache = cache.current
+
+(* Install a new (normalized) VRP set; bump the serial and record the delta
+   only when something actually changed. *)
+let install cache vrps =
+  let d = Vrp.diff_of ~before:cache.current ~after:vrps in
+  if not (Vrp.diff_is_empty d) then begin
     cache.serial <- cache.serial + 1;
     cache.current <- vrps;
-    cache.versions <- (cache.serial, vrps) :: cache.versions;
-    if List.length cache.versions > cache.history_limit then
-      cache.versions <-
-        List.filteri (fun i _ -> i < cache.history_limit) cache.versions
+    cache.deltas <- (cache.serial, d) :: cache.deltas;
+    if List.length cache.deltas > cache.history_limit then
+      cache.deltas <- List.filteri (fun i _ -> i < cache.history_limit) cache.deltas
   end
 
+let publish cache vrps = install cache (Vrp.normalize vrps)
+
+(* Install the relying party's sync diff directly as the next serial delta.
+   The diff must be relative to the cache's current set — which holds when
+   the cache is fed every sync of one relying party, diff-empty syncs
+   included (they are no-ops here). *)
+let publish_diff cache diff = install cache (Vrp.apply_diff cache.current diff)
+
 let notify cache = Pdu.Serial_notify { session_id = cache.session_id; serial = cache.serial }
+
+(* The net announce/withdraw sets between [serial] and now, by composing the
+   stored deltas oldest-first; [None] when the window no longer reaches back
+   that far.  Composition cancels flapping: a VRP removed then re-added (or
+   added then removed) across the window must not appear at all, or the
+   router would see a withdrawal of a VRP it never had. *)
+module VMap = Map.Make (Vrp)
+
+let changes_since cache ~serial =
+  if serial = cache.serial then Some ([], [])
+  else if serial > cache.serial || serial < cache.serial - List.length cache.deltas then None
+  else begin
+    let window =
+      List.rev (List.filter_map (fun (s, d) -> if s > serial then Some d else None) cache.deltas)
+    in
+    let record op m v =
+      VMap.update v
+        (function None -> Some (op, op) | Some (first, _) -> Some (first, op))
+        m
+    in
+    let m =
+      List.fold_left
+        (fun m (d : Vrp.diff) ->
+          let m = List.fold_left (record `Withdraw) m d.Vrp.removed in
+          List.fold_left (record `Announce) m d.Vrp.added)
+        VMap.empty window
+    in
+    (* first op tells the state at [serial] (a withdraw implies it was
+       present); last op tells the state now.  Only genuine transitions are
+       emitted. *)
+    Some
+      (VMap.fold
+         (fun v (first, last) (announced, withdrawn) ->
+           match (first, last) with
+           | `Announce, `Announce -> (v :: announced, withdrawn)
+           | `Withdraw, `Withdraw -> (announced, v :: withdrawn)
+           | `Announce, `Withdraw | `Withdraw, `Announce -> (announced, withdrawn))
+         m ([], []))
+  end
 
 (* Serve one client request; returns the response PDU sequence (as bytes). *)
 let serve cache (request_bytes : string) =
@@ -54,10 +99,9 @@ let serve cache (request_bytes : string) =
   | Pdu.Serial_query { session_id; serial } ->
     if session_id <> cache.session_id then respond [ Pdu.Cache_reset ]
     else begin
-      match List.assoc_opt serial cache.versions with
+      match changes_since cache ~serial with
       | None -> respond [ Pdu.Cache_reset ] (* too old: client must reset *)
-      | Some old ->
-        let announced, withdrawn = Vrp_set.diff ~from:old ~to_:cache.current in
+      | Some (announced, withdrawn) ->
         respond
           ((Pdu.Cache_response { session_id = cache.session_id }
            :: List.map (Pdu.of_vrp ~flags:Pdu.Announce) announced)
@@ -79,6 +123,10 @@ type router = {
 }
 
 let create_router () = { r_session = None; r_serial = 0; r_vrps = [] }
+
+let router_session router = router.r_session
+let router_serial router = router.r_serial
+let router_vrps router = router.r_vrps
 
 exception Protocol_error of string
 

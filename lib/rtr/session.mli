@@ -1,35 +1,45 @@
 (** RTR cache-server and router-client state machines (RFC 6810 section 4).
 
-    The cache holds serial-numbered versions of the relying party's VRP set;
-    routers synchronise with Reset Query (full state) or Serial Query
-    (incremental deltas).  Every exchange round-trips through the byte-exact
-    {!Pdu} encoding. *)
+    The cache stores the current VRP set plus a window of serial-numbered
+    deltas — the same {!Vrp.diff} the relying party emits per sync — so a
+    Serial Query is answered by composing stored deltas rather than
+    diffing full snapshots.  Every exchange round-trips through the
+    byte-exact {!Pdu} encoding. *)
 
 open Rpki_core
 
-module Vrp_set : sig
-  val diff : from:Vrp.t list -> to_:Vrp.t list -> Vrp.t list * Vrp.t list
-  (** [(announced, withdrawn)]. *)
-end
-
 (** {2 Cache (server) side} *)
 
-type cache = {
-  session_id : int;
-  mutable serial : int;
-  mutable current : Vrp.t list;
-  mutable versions : (int * Vrp.t list) list; (** serial -> snapshot *)
-  history_limit : int;
-}
+type cache
+(** Opaque cache state: session id, serial, current set, delta window. *)
 
 val create_cache : ?session_id:int -> ?history_limit:int -> unit -> cache
+(** [history_limit] bounds the retained delta window; serial queries from
+    before the window are answered with Cache Reset. *)
+
+val cache_session_id : cache -> int
+val cache_serial : cache -> int
+
+val cache_vrps : cache -> Vrp.t list
+(** The currently installed (normalized) VRP set. *)
 
 val publish : cache -> Vrp.t list -> unit
 (** Install a new VRP set (e.g. after each relying-party sync); bumps the
-    serial only when the set actually changed. *)
+    serial and records a delta only when the set actually changed. *)
+
+val publish_diff : cache -> Vrp.diff -> unit
+(** Install a relying party's sync diff directly as the next serial delta.
+    The diff must be relative to the cache's current set — which holds when
+    the cache is fed every sync of one relying party (empty diffs are
+    no-ops). *)
 
 val notify : cache -> Pdu.t
 (** The Serial Notify a cache would push to connected routers. *)
+
+val changes_since : cache -> serial:int -> (Vrp.t list * Vrp.t list) option
+(** [(announced, withdrawn)] net of delta composition since [serial] —
+    VRPs that flapped within the window are cancelled out; [None] when
+    [serial] has left the retained window. *)
 
 val serve : cache -> string -> string
 (** Handle one encoded client request, returning the encoded response
@@ -38,13 +48,14 @@ val serve : cache -> string -> string
 
 (** {2 Router (client) side} *)
 
-type router = {
-  mutable r_session : int option;
-  mutable r_serial : int;
-  mutable r_vrps : Vrp.t list;
-}
+type router
+(** Opaque router state: (session, serial) plus the VRPs it holds. *)
 
 val create_router : unit -> router
+
+val router_session : router -> int option
+val router_serial : router -> int
+val router_vrps : router -> Vrp.t list
 
 exception Protocol_error of string
 

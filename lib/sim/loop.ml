@@ -6,7 +6,12 @@
    point can be fetched only if the RP currently has a working route to the
    repository's address.  A transient fault that invalidates the route to a
    repository therefore prevents the fetch that would repair it — the
-   paper's persistent-failure mechanism. *)
+   paper's persistent-failure mechanism.
+
+   The sync is incremental across ticks: the relying party carries its
+   origin-validation index forward and each tick's VRP diff is pushed into
+   an RTR cache as a serial-numbered delta, so attached routers receive
+   genuine RFC 6810 incremental updates rather than full resets. *)
 
 open Rpki_core
 open Rpki_repo
@@ -24,6 +29,7 @@ type t = {
   topo : Topology.t;
   policy : Policy.t;              (* uniform policy at every AS *)
   rp : Relying_party.t;
+  rtr : Rpki_rtr.Session.cache;   (* fed one serial delta per changed tick *)
   announcements : Propagation.announcement list;
   probes : probe list;
   mutable net : Data_plane.network option; (* data plane after the last tick *)
@@ -36,10 +42,17 @@ and tick_record = {
   issue_count : int;
   fetch_failures : string list; (* URIs not freshly fetched *)
   probe_results : (string * bool) list;
+  vrp_diff : Vrp.diff;          (* change relative to the previous tick *)
+  rtr_serial : int;             (* RTR cache serial after this tick *)
+  points_reused : int;          (* publication points replayed from memo *)
+  points_revalidated : int;     (* publication points validated from scratch *)
 }
 
 let create ~universe ~topo ~policy ~rp ~announcements ~probes =
-  { universe; topo; policy; rp; announcements; probes; net = None; history = [] }
+  { universe; topo; policy; rp; rtr = Rpki_rtr.Session.create_cache (); announcements; probes;
+    net = None; history = [] }
+
+let rtr_cache t = t.rtr
 
 (* Reachability of a publication point from the RP's AS, judged on the data
    plane computed at the previous tick.  Before the first tick the RP has
@@ -49,17 +62,19 @@ let point_reachable t (pp : Pub_point.t) =
   match t.net with
   | None -> true
   | Some net ->
-    Data_plane.reaches net ~src:t.rp.Relying_party.asn ~addr:pp.Pub_point.addr
-      ~expected:pp.Pub_point.host_asn
+    Data_plane.reaches net ~src:(Relying_party.asn t.rp) ~addr:(Pub_point.addr pp)
+      ~expected:(Pub_point.host_asn pp)
 
 let step t ~now =
   Universe.refresh_mirrors t.universe;
-  let result, idx =
-    Relying_party.sync_index t.rp ~now ~universe:t.universe
+  let result =
+    Relying_party.sync t.rp ~now ~universe:t.universe
       ~reachable:(fun pp -> point_reachable t pp)
       ()
   in
-  let validity_of r = Origin_validation.classify idx r in
+  (* the sync's diff becomes the RTR cache's next serial delta *)
+  Rpki_rtr.Session.publish_diff t.rtr result.Relying_party.diff;
+  let validity_of r = Origin_validation.classify result.Relying_party.index r in
   let net =
     Data_plane.build ~topo:t.topo ~policy_of:(fun _ -> t.policy) ~validity_of t.announcements
   in
@@ -68,7 +83,7 @@ let step t ~now =
     List.map
       (fun p ->
         ( p.label,
-          Data_plane.reaches net ~src:t.rp.Relying_party.asn ~addr:p.addr
+          Data_plane.reaches net ~src:(Relying_party.asn t.rp) ~addr:p.addr
             ~expected:p.expected_origin ))
       t.probes
   in
@@ -85,7 +100,11 @@ let step t ~now =
       vrp_count = List.length result.Relying_party.vrps;
       issue_count = List.length result.Relying_party.issues;
       fetch_failures;
-      probe_results }
+      probe_results;
+      vrp_diff = result.Relying_party.diff;
+      rtr_serial = Rpki_rtr.Session.cache_serial t.rtr;
+      points_reused = result.Relying_party.points_reused;
+      points_revalidated = result.Relying_party.points_revalidated }
   in
   t.history <- record :: t.history;
   record
@@ -93,9 +112,13 @@ let step t ~now =
 let history t = List.rev t.history
 
 let pp_record fmt r =
-  Format.fprintf fmt "%a: %d VRPs, %d issues, %d fetch failures, probes: %s" Rtime.pp r.time
-    r.vrp_count r.issue_count
+  Format.fprintf fmt "%a: %d VRPs (%+d/-%d), %d issues, %d fetch failures, rtr#%d, probes: %s"
+    Rtime.pp r.time r.vrp_count
+    (List.length r.vrp_diff.Vrp.added)
+    (List.length r.vrp_diff.Vrp.removed)
+    r.issue_count
     (List.length r.fetch_failures)
+    r.rtr_serial
     (String.concat ", "
        (List.map (fun (l, ok) -> Printf.sprintf "%s=%s" l (if ok then "up" else "DOWN"))
           r.probe_results))
@@ -139,7 +162,7 @@ let section6_scenario ?(policy = Policy.Drop_invalid) ?grace ?(mirrored = false)
         ~addr:(V4.addr_of_string_exn "63.161.200.1") ~host_asn:Model.as_sprint
     in
     Universe.add_mirror model.Model.universe
-      ~of_uri:model.Model.continental.Rpki_repo.Authority.pub.Pub_point.uri mirror
+      ~of_uri:(Pub_point.uri (Authority.pub model.Model.continental)) mirror
   end;
   let probes =
     [ { label = "continental-repo"; addr = Model.continental_repo_addr;
@@ -147,7 +170,7 @@ let section6_scenario ?(policy = Policy.Drop_invalid) ?grace ?(mirrored = false)
       { label = "sprint-repo"; addr = Model.sprint_repo_addr; expected_origin = Model.as_sprint } ]
   in
   let sim = create ~universe:model.Model.universe ~topo ~policy ~rp ~announcements ~probes in
-  let continental_repo = model.Model.continental.Rpki_repo.Authority.pub in
+  let continental_repo = Authority.pub model.Model.continental in
   { sim; model; continental_repo; target_filename = model.Model.roa_target20 }
 
 (* Run the Side Effect 7 timeline: healthy ticks, a transient corruption of

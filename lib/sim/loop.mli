@@ -6,7 +6,11 @@
     publication point can be fetched only if the RP currently has a working
     route to the repository's address.  A transient fault that invalidates
     the route to a repository therefore prevents the fetch that would repair
-    it — Side Effect 7's persistent-failure mechanism. *)
+    it — Side Effect 7's persistent-failure mechanism.
+
+    Sync is incremental across ticks: the relying party carries its
+    origin-validation index forward, and each tick's VRP diff feeds an RTR
+    cache as a serial-numbered delta. *)
 
 open Rpki_core
 open Rpki_repo
@@ -23,6 +27,7 @@ type t = {
   topo : Topology.t;
   policy : Policy.t;                         (** uniform at every AS *)
   rp : Relying_party.t;
+  rtr : Rpki_rtr.Session.cache;              (** fed one delta per changed tick *)
   announcements : Propagation.announcement list;
   probes : probe list;
   mutable net : Data_plane.network option;
@@ -35,6 +40,10 @@ and tick_record = {
   issue_count : int;
   fetch_failures : string list;
   probe_results : (string * bool) list;
+  vrp_diff : Vrp.diff;          (** change relative to the previous tick *)
+  rtr_serial : int;             (** RTR cache serial after this tick *)
+  points_reused : int;          (** publication points replayed from memo *)
+  points_revalidated : int;     (** publication points validated from scratch *)
 }
 
 val create :
@@ -46,13 +55,18 @@ val create :
   probes:probe list ->
   t
 
+val rtr_cache : t -> Rpki_rtr.Session.cache
+(** The RTR cache fed by the loop; attach routers to it with
+    {!Rpki_rtr.Session.synchronize}. *)
+
 val point_reachable : t -> Pub_point.t -> bool
 (** Reachability of a publication point from the RP's AS, judged on the data
     plane of the previous tick (everything is reachable before the first). *)
 
 val step : t -> now:Rtime.t -> tick_record
-(** One tick: refresh mirrors, sync the RP over the previous data plane,
-    recompute the data plane, run the probes. *)
+(** One tick: refresh mirrors, sync the RP over the previous data plane
+    (incrementally), push the VRP diff into the RTR cache, recompute the
+    data plane, run the probes. *)
 
 val history : t -> tick_record list
 val pp_record : Format.formatter -> tick_record -> unit

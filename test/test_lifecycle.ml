@@ -22,7 +22,7 @@ let refresh_all (m : Model.t) ~now =
 let renew_all (m : Model.t) ~now =
   List.iter
     (fun (a : Authority.t) ->
-      List.iter (fun (f, _) -> ignore (Authority.renew_roa a ~filename:f ~now)) a.Authority.roas)
+      List.iter (fun (f, _) -> ignore (Authority.renew_roa a ~filename:f ~now)) (Authority.roas a))
     [ m.Model.arin; m.Model.sprint; m.Model.etb; m.Model.continental ]
 
 let test_operational_year () =
@@ -71,7 +71,7 @@ let test_operational_year () =
   (* month 8: a disk fault corrupts a ROA, found and repaired next day *)
   let t8 = 8 * Rtime.month in
   refresh_all m ~now:t8;
-  let fault = Fault.corrupt_object m.Model.continental.Authority.pub ~filename:m.Model.roa_cb_26 () in
+  let fault = Fault.corrupt_object (Authority.pub m.Model.continental) ~filename:m.Model.roa_cb_26 () in
   let n, issues = vrps_of m rp ~now:t8 in
   Alcotest.(check int) "m8 fault: one vrp lost" 8 n;
   Alcotest.(check bool) "m8 fault: issues visible" true (issues > 0);

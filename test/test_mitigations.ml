@@ -16,10 +16,10 @@ let sync (m : Model.t) rp ~now = Relying_party.sync rp ~now ~universe:m.Model.un
 let test_rollover_child () =
   let m = Model.build () in
   let rp = Model.relying_party m in
-  let old_key = m.Model.sprint.Authority.key.Rpki_crypto.Rsa.public in
+  let old_key = (Authority.key m.Model.sprint).Rpki_crypto.Rsa.public in
   Authority.roll_key m.Model.sprint ~now:2;
   Alcotest.(check bool) "key changed" false
-    (Rpki_crypto.Rsa.equal_public old_key m.Model.sprint.Authority.key.Rpki_crypto.Rsa.public);
+    (Rpki_crypto.Rsa.equal_public old_key (Authority.key m.Model.sprint).Rpki_crypto.Rsa.public);
   (* the whole subtree must still validate: Sprint's children were re-signed *)
   let r = sync m rp ~now:3 in
   Alcotest.(check int) "all eight VRPs survive" 8 (List.length r.Relying_party.vrps);
@@ -54,24 +54,24 @@ let test_rollover_is_benign_to_monitor () =
 
 let test_rollover_revokes_old_serial () =
   let m = Model.build () in
-  let old_serial = m.Model.etb.Authority.cert.Cert.serial in
+  let old_serial = (Authority.cert m.Model.etb).Cert.serial in
   Authority.roll_key m.Model.etb ~now:2;
   Alcotest.(check bool) "old serial revoked by Sprint" true
-    (List.mem old_serial m.Model.sprint.Authority.revoked)
+    (List.mem old_serial (Authority.revoked m.Model.sprint))
 
 (* --- mirrored publication points --- *)
 
 let test_mirror_serves_when_primary_down () =
   let m = Model.build () in
-  let primary = m.Model.continental.Authority.pub in
+  let primary = (Authority.pub m.Model.continental) in
   let mirror =
     Pub_point.create ~uri:"rsync://mirror.example/continental"
       ~addr:(V4.addr_of_string_exn "63.161.200.1") ~host_asn:Model.as_sprint
   in
-  Universe.add_mirror m.Model.universe ~of_uri:primary.Pub_point.uri mirror;
+  Universe.add_mirror m.Model.universe ~of_uri:(Pub_point.uri primary) mirror;
   Universe.refresh_mirrors m.Model.universe;
   let rp = Model.relying_party ~use_stale:false m in
-  let unreachable (pp : Pub_point.t) = pp.Pub_point.uri <> primary.Pub_point.uri in
+  let unreachable (pp : Pub_point.t) = (Pub_point.uri pp) <> (Pub_point.uri primary) in
   let r =
     Relying_party.sync rp ~now:1 ~universe:m.Model.universe ~reachable:unreachable ()
   in
@@ -81,12 +81,12 @@ let test_mirror_serves_when_primary_down () =
 
 let test_mirror_lags_until_refreshed () =
   let m = Model.build () in
-  let primary = m.Model.continental.Authority.pub in
+  let primary = (Authority.pub m.Model.continental) in
   let mirror =
     Pub_point.create ~uri:"rsync://mirror.example/continental"
       ~addr:(V4.addr_of_string_exn "63.161.200.1") ~host_asn:Model.as_sprint
   in
-  Universe.add_mirror m.Model.universe ~of_uri:primary.Pub_point.uri mirror;
+  Universe.add_mirror m.Model.universe ~of_uri:(Pub_point.uri primary) mirror;
   (* not refreshed: the mirror is empty *)
   Alcotest.(check int) "empty before refresh" 0 (List.length (Pub_point.files mirror));
   Universe.refresh_mirrors m.Model.universe;
@@ -124,7 +124,7 @@ let test_grace_masks_missing_roa () =
   let m = Model.build () in
   let rp = Model.relying_party ~grace:5 m in
   let _ = sync m rp ~now:1 in
-  let _ = Fault.delete_object m.Model.continental.Authority.pub ~filename:m.Model.roa_target22 in
+  let _ = Fault.delete_object (Authority.pub m.Model.continental) ~filename:m.Model.roa_target22 in
   let r = sync m rp ~now:2 in
   (* within the window the disappeared VRP is held: Side Effect 6 masked *)
   Alcotest.(check int) "still eight VRPs" 8 (List.length r.Relying_party.vrps);
@@ -162,7 +162,7 @@ let test_grace_flush_forgets () =
   let rp = Model.relying_party ~grace:5 m in
   let _ = sync m rp ~now:1 in
   Relying_party.flush_cache rp;
-  let _ = Fault.delete_object m.Model.continental.Authority.pub ~filename:m.Model.roa_target22 in
+  let _ = Fault.delete_object (Authority.pub m.Model.continental) ~filename:m.Model.roa_target22 in
   let r = sync m rp ~now:2 in
   Alcotest.(check int) "no memory after flush" 7 (List.length r.Relying_party.vrps)
 

@@ -121,11 +121,11 @@ let test_rewrite_roa_warning () =
   (* overwriting a ROA file with different content *)
   let alerts =
     observe (fun m ->
-        let pp = m.Model.continental.Authority.pub in
+        let pp = (Authority.pub m.Model.continental) in
         let other =
-          Rpki_core.Roa.issue ~ca_key:m.Model.continental.Authority.key.Rpki_crypto.Rsa.private_
+          Rpki_core.Roa.issue ~ca_key:(Authority.key m.Model.continental).Rpki_crypto.Rsa.private_
             ~ca_subject:"Continental" ~serial:99 ~rng:(Rpki_util.Rng.create 5)
-            ~ee_key:m.Model.continental.Authority.ee_key ~asid:64999
+            ~ee_key:(Authority.ee_key m.Model.continental) ~asid:64999
             ~v4_entries:[ Rpki_core.Roa.entry (Rpki_ip.V4.p "63.174.30.0/24") ]
             ~not_before:0 ~not_after:100 ()
         in

@@ -14,7 +14,8 @@ let sync ?reachable ?(now = 1) (m : Model.t) rp =
   Relying_party.sync rp ~now ~universe:m.Model.universe ?reachable ()
 
 let sync_index ?(now = 1) (m : Model.t) rp =
-  Relying_party.sync_index rp ~now ~universe:m.Model.universe ()
+  let r = Relying_party.sync rp ~now ~universe:m.Model.universe () in
+  (r, r.Relying_party.index)
 
 let vrp_strings (r : Relying_party.sync_result) =
   List.map Vrp.to_string r.Relying_party.vrps
@@ -157,7 +158,7 @@ let test_se6_missing_roa_invalid_not_unknown () =
   let m = fresh_model () in
   let rp = Model.relying_party m in
   let fault =
-    Fault.delete_object m.Model.continental.Authority.pub ~filename:m.Model.roa_target22
+    Fault.delete_object (Authority.pub m.Model.continental) ~filename:m.Model.roa_target22
   in
   Alcotest.(check bool) "fault applied" true (fault <> None);
   let r, idx = sync_index m rp in
@@ -182,7 +183,7 @@ let test_se6_corrupt_roa () =
   let m = fresh_model () in
   let rp = Model.relying_party m in
   let fault =
-    Fault.corrupt_object m.Model.continental.Authority.pub ~filename:m.Model.roa_target22 ()
+    Fault.corrupt_object (Authority.pub m.Model.continental) ~filename:m.Model.roa_target22 ()
   in
   Alcotest.(check bool) "fault applied" true (fault <> None);
   let r, idx = sync_index m rp in
@@ -197,7 +198,7 @@ let test_se6_corrupt_roa () =
   (* by contrast, corrupting the /20 ROA leaves its route merely unknown:
      nothing else covers it *)
   Option.iter Fault.repair fault;
-  let _ = Fault.corrupt_object m.Model.continental.Authority.pub ~filename:m.Model.roa_target20 () in
+  let _ = Fault.corrupt_object (Authority.pub m.Model.continental) ~filename:m.Model.roa_target20 () in
   let _, idx2 = sync_index m rp in
   Alcotest.(check string) "no covering => unknown" "unknown"
     (Origin_validation.state_to_string
@@ -206,7 +207,7 @@ let test_se6_corrupt_roa () =
 let test_wipe_and_repair () =
   let m = fresh_model () in
   let rp = Model.relying_party m in
-  let fault = Fault.wipe m.Model.sprint.Authority.pub in
+  let fault = Fault.wipe (Authority.pub m.Model.sprint) in
   let r = sync m rp in
   (* Sprint's point is empty: its ROAs and both child certs are gone *)
   Alcotest.(check int) "nothing under sprint" 0 (List.length r.Relying_party.vrps);
@@ -221,7 +222,7 @@ let test_unreachable_uses_stale_cache () =
   let rp = Model.relying_party m in
   let _ = sync m rp in
   (* now continental becomes unreachable; stale cache keeps its VRPs *)
-  let unreachable (pp : Pub_point.t) = pp.Pub_point.uri <> "rsync://rpki.continental.net/repo" in
+  let unreachable (pp : Pub_point.t) = (Pub_point.uri pp) <> "rsync://rpki.continental.net/repo" in
   let r = sync ~reachable:unreachable ~now:2 m rp in
   Alcotest.(check int) "still eight via cache" 8 (List.length r.Relying_party.vrps);
   Alcotest.(check bool) "stale fetch recorded" true
@@ -233,7 +234,7 @@ let test_unreachable_without_cache () =
   let m = fresh_model () in
   let rp = Model.relying_party ~use_stale:false m in
   let _ = sync m rp in
-  let unreachable (pp : Pub_point.t) = pp.Pub_point.uri <> "rsync://rpki.continental.net/repo" in
+  let unreachable (pp : Pub_point.t) = (Pub_point.uri pp) <> "rsync://rpki.continental.net/repo" in
   let r = sync ~reachable:unreachable ~now:2 m rp in
   Alcotest.(check int) "continental VRPs lost" 3 (List.length r.Relying_party.vrps)
 
@@ -254,9 +255,9 @@ let test_certify_key () =
   (* ARIN certifies Continental directly (as a manipulator would) *)
   let _, cert =
     Authority.certify_key m.Model.arin ~subject:"Continental"
-      ~public_key:m.Model.continental.Authority.key.Rpki_crypto.Rsa.public
-      ~resources:m.Model.continental.Authority.cert.Cert.resources
-      ~repo_uri:m.Model.continental.Authority.pub.Pub_point.uri ~manifest_uri:"Continental.mft"
+      ~public_key:(Authority.key m.Model.continental).Rpki_crypto.Rsa.public
+      ~resources:(Authority.cert m.Model.continental).Cert.resources
+      ~repo_uri:(Pub_point.uri (Authority.pub m.Model.continental)) ~manifest_uri:"Continental.mft"
       ~now:1
   in
   Alcotest.(check string) "issuer" "ARIN" cert.Cert.issuer;

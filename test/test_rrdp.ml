@@ -69,9 +69,7 @@ let test_session_change_forces_snapshot () =
     (Rrdp.sync client server2 = Rrdp.Full_snapshot)
 
 let test_desync_detected () =
-  let client = Rrdp.create_client () in
-  client.Rrdp.c_files <- [ ("a.roa", "bytes-a") ];
-  client.Rrdp.c_serial <- 1;
+  let client = Rrdp.create_client ~serial:1 ~files:[ ("a.roa", "bytes-a") ] () in
   (* withdraw with a wrong hash *)
   let bad =
     { Rrdp.d_serial = 2; publishes = [];

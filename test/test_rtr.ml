@@ -69,7 +69,7 @@ let test_initial_sync () =
   let router = Session.create_router () in
   let got = Session.synchronize router cache in
   Alcotest.(check int) "two vrps" 2 (List.length got);
-  Alcotest.(check int) "serial" 1 router.Session.r_serial
+  Alcotest.(check int) "serial" 1 (Session.router_serial router)
 
 let test_incremental_add_remove () =
   let cache = Session.create_cache () in
@@ -81,13 +81,13 @@ let test_incremental_add_remove () =
   Alcotest.(check int) "two vrps" 2 (List.length got);
   Alcotest.(check bool) "v3 in" true (List.exists (Vrp.equal v3) got);
   Alcotest.(check bool) "v1 out" false (List.exists (Vrp.equal v1) got);
-  Alcotest.(check int) "serial advanced" 2 router.Session.r_serial
+  Alcotest.(check int) "serial advanced" 2 (Session.router_serial router)
 
 let test_no_change_no_serial_bump () =
   let cache = Session.create_cache () in
   Session.publish cache [ v1 ];
   Session.publish cache [ v1 ];
-  Alcotest.(check int) "serial stable" 1 cache.Session.serial
+  Alcotest.(check int) "serial stable" 1 (Session.cache_serial cache)
 
 let test_history_eviction_forces_reset () =
   let cache = Session.create_cache ~history_limit:4 () in
@@ -100,7 +100,7 @@ let test_history_eviction_forces_reset () =
   done;
   let got = Session.synchronize router cache in
   Alcotest.(check int) "resynced to one vrp" 1 (List.length got);
-  Alcotest.(check int) "at latest serial" cache.Session.serial router.Session.r_serial
+  Alcotest.(check int) "at latest serial" (Session.cache_serial cache) (Session.router_serial router)
 
 let test_session_mismatch_resets () =
   let cache_a = Session.create_cache ~session_id:1 () in
