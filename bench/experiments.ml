@@ -18,6 +18,20 @@ let quick = ref false
 (* set by the driver's --quick flag: shrink problem sizes so the whole
    suite can run as a smoke test under `dune runtest` *)
 
+let json = ref false
+(* set by the driver's --json flag: experiments that support it also write
+   their rows to BENCH_<name>.json in the working directory *)
+
+let write_json ~name body =
+  if !json then begin
+    let file = Printf.sprintf "BENCH_%s.json" name in
+    let oc = open_out file in
+    output_string oc body;
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "(wrote %s)\n" file
+  end
+
 (* ------------------------------------------------------------------ *)
 (* Figure 2: the model RPKI                                            *)
 (* ------------------------------------------------------------------ *)
@@ -686,7 +700,169 @@ let sync_incremental () =
     "\nA warm tick re-validates only the touched point; everything else is\n\
      replayed from the per-point memo and the index is patched by the diff.\n"
 
+(* ------------------------------------------------------------------ *)
+(* Stalloris: stall intensity x fetch policy                           *)
+(* ------------------------------------------------------------------ *)
+
+(* The transport-level downgrade: a Stalloris-style adversary throttles the
+   victim's publication point while every authority performs perfect upkeep
+   (short validity windows, re-signed every tick).  A relying party that
+   cannot complete fetches serves ever-staler cache until the cached
+   objects' validity windows lapse; under drop-invalid the victim's route
+   then flips valid -> invalid (Sprint's covering /12-13 ROA stays fresh —
+   it lives at an unstalled point fetched earlier in the walk).  The fetch
+   policy decides the blast radius: [naive] burns its whole budget on the
+   stalled point (starving innocent points behind it in the walk), while
+   bounded retries plus mirror/RRDP fallback confine the damage to nothing
+   but slightly higher fetch latency. *)
+let stall () =
+  header "Stalloris: stall intensity x fetch policy (drop-invalid, perfect upkeep)";
+  let ticks = if !quick then 9 else 14 in
+  let validity = if !quick then 5 else 8 in
+  let refresh_interval = 3 in
+  let attack_at = 3 in
+  let intensities = if !quick then [ 0; 256 ] else [ 0; 4; 32; 256 ] in
+  let policies =
+    [ ("naive", Relying_party.naive_policy);
+      ("default", Relying_party.default_policy);
+      ("resilient", Relying_party.resilient_policy) ]
+  in
+  let victim_route = Route.make (V4.p "63.174.16.0/20") Model.as_continental in
+  let run_cell ~policy ~intensity =
+    let sc =
+      Rpki_sim.Loop.section6_scenario ~mirrored:true ~rrdp:true ~validity ~refresh_interval ()
+    in
+    let sim = sc.Rpki_sim.Loop.sim in
+    Rpki_sim.Loop.set_fetch_policy sim policy;
+    let plan =
+      if intensity = 0 then None
+      else Some (Stall.plan_against ~victim:sc.Rpki_sim.Loop.model.Model.continental ~intensity)
+    in
+    let continental_uri = Pub_point.uri sc.Rpki_sim.Loop.continental_repo in
+    List.init ticks (fun i ->
+        let now = i + 1 in
+        if now = attack_at then
+          Option.iter (fun p -> Stall.apply p (Rpki_sim.Loop.transport sim)) plan;
+        Authority.maintain sc.Rpki_sim.Loop.model.Model.arin ~now;
+        let r = Rpki_sim.Loop.step sim ~now in
+        let result = Option.get (Relying_party.last_result sim.Rpki_sim.Loop.rp) in
+        let state = Origin_validation.classify result.Relying_party.index victim_route in
+        let channel =
+          match
+            List.find_opt
+              (fun (tr : Relying_party.transfer) -> tr.Relying_party.t_uri = continental_uri)
+              result.Relying_party.transfers
+          with
+          | Some tr -> tr.Relying_party.t_channel
+          | None -> "-"
+        in
+        (now, state, channel, r))
+  in
+  let short_channel c =
+    match String.index_opt c ':' with Some i -> String.sub c 0 i | None -> c
+  in
+  let cell_summary timeline =
+    let _, final_state, final_channel, _ = List.nth timeline (ticks - 1) in
+    let first_bad =
+      List.find_map
+        (fun (now, st, _, _) -> if st <> Origin_validation.Valid then Some now else None)
+        timeline
+    in
+    let worst_age =
+      List.fold_left (fun acc (_, _, _, r) -> max acc r.Rpki_sim.Loop.max_data_age) 0 timeline
+    in
+    match first_bad with
+    | None ->
+      Printf.sprintf "valid (%s%s)" (short_channel final_channel)
+        (if worst_age > 0 then Printf.sprintf ", age<=%d" worst_age else "")
+    | Some t ->
+      Printf.sprintf "%s@t%d (%s, age %d)"
+        (String.uppercase_ascii (Origin_validation.state_to_string final_state))
+        t (short_channel final_channel) worst_age
+  in
+  let grid = (* (intensity, (policy_name, timeline) list) list *)
+    List.map
+      (fun intensity ->
+        (intensity, List.map (fun (pn, p) -> (pn, run_cell ~policy:p ~intensity)) policies))
+      intensities
+  in
+  let t =
+    Table.create
+      ~aligns:(Table.Right :: List.map (fun _ -> Table.Left) policies)
+      ("stall x" :: List.map fst policies)
+  in
+  List.iter
+    (fun (intensity, cells) ->
+      Table.add_row t
+        (string_of_int intensity :: List.map (fun (_, tl) -> cell_summary tl) cells))
+    grid;
+  Table.print t;
+  Printf.printf
+    "\nVictim route: 63.174.16.0/20 via AS %d; Sprint's covering /12-13 ROA stays\n\
+     fresh, so once the stalled cache's ROAs expire the route turns INVALID and\n\
+     is dropped.  Mirror/RRDP fallback keeps serving fresh data instead.\n"
+    Model.as_continental;
+  (* the two extreme cells, tick by tick *)
+  let worst = List.fold_left max 0 intensities in
+  List.iter
+    (fun pn ->
+      match List.assoc_opt worst grid with
+      | None -> ()
+      | Some cells ->
+        let timeline = List.assoc pn cells in
+        Printf.printf "\n%s policy under stall x%d:\n" pn worst;
+        let tt =
+          Table.create
+            ~aligns:[ Table.Right; Table.Left; Table.Left; Table.Left; Table.Right; Table.Right ]
+            [ "tick"; "continental via"; "route"; "probe"; "data age"; "sync time" ]
+        in
+        List.iter
+          (fun (now, state, channel, (r : Rpki_sim.Loop.tick_record)) ->
+            Table.add_row tt
+              [ string_of_int now;
+                channel;
+                Origin_validation.state_to_string state;
+                (if List.assoc "continental-repo" r.Rpki_sim.Loop.probe_results then "up"
+                 else "DOWN");
+                string_of_int r.Rpki_sim.Loop.max_data_age;
+                Printf.sprintf "%d%s" r.Rpki_sim.Loop.sync_elapsed
+                  (if r.Rpki_sim.Loop.budget_exhausted then "!" else "") ])
+          timeline;
+        Table.print tt)
+    [ "naive"; "resilient" ];
+  Printf.printf
+    "\n'!' marks a sync whose fetch budget ran out.  The naive policy spends its\n\
+     entire budget re-trying the stalled point (starving points after it in the\n\
+     walk); the resilient policy cuts losses and falls back to mirror/RRDP.\n";
+  (* machine-readable grid *)
+  let json_body =
+    let cell_json (intensity, cells) =
+      List.map
+        (fun (pn, timeline) ->
+          let tick_json (now, state, channel, (r : Rpki_sim.Loop.tick_record)) =
+            Printf.sprintf
+              "{\"tick\":%d,\"route\":\"%s\",\"channel\":\"%s\",\"probe_up\":%b,\
+               \"data_age\":%d,\"sync_elapsed\":%d,\"budget_exhausted\":%b}"
+              now
+              (Origin_validation.state_to_string state)
+              channel
+              (List.assoc "continental-repo" r.Rpki_sim.Loop.probe_results)
+              r.Rpki_sim.Loop.max_data_age r.Rpki_sim.Loop.sync_elapsed
+              r.Rpki_sim.Loop.budget_exhausted
+          in
+          Printf.sprintf "{\"policy\":\"%s\",\"intensity\":%d,\"timeline\":[%s]}" pn intensity
+            (String.concat "," (List.map tick_json timeline)))
+        cells
+    in
+    Printf.sprintf
+      "{\"experiment\":\"stall\",\"ticks\":%d,\"attack_at\":%d,\"validity\":%d,\
+       \"refresh_interval\":%d,\"cells\":[%s]}"
+      ticks attack_at validity refresh_interval
+      (String.concat "," (List.concat_map cell_json grid))
+  in
+  write_json ~name:"stall" json_body
+
 let all : (string * (unit -> unit)) list =
   [ ("fig2", fig2); ("fig3", fig3); ("tab4", tab4); ("fig5", fig5); ("tab6", tab6);
     ("se5", se5); ("se6", se6); ("se7", se7); ("campaign", campaign); ("adoption", adoption);
-    ("depth", depth); ("sync-incremental", sync_incremental) ]
+    ("depth", depth); ("sync-incremental", sync_incremental); ("stall", stall) ]

@@ -3,7 +3,9 @@
    With no arguments, every experiment runs (the tables/figures of the
    paper) followed by the Bechamel microbenchmark suite.  Individual
    experiments can be selected by id: fig2 fig3 tab4 fig5 tab6 se5 se6 se7
-   campaign adoption depth perf. *)
+   campaign adoption depth sync-incremental stall perf.  `--quick` shrinks
+   every experiment to a smoke pass; `--json` additionally writes
+   BENCH_<name>.json for experiments that support it (stall, perf). *)
 
 open Bechamel
 open Toolkit
@@ -176,10 +178,18 @@ let run_perf () =
     else if ns < 1e9 then Printf.sprintf "%.2f ms" (ns /. 1e6)
     else Printf.sprintf "%.2f s" (ns /. 1e9)
   in
-  List.iter
-    (fun (name, est) -> Rpki_util.Table.add_row t [ name; humanize est ])
-    (List.sort (fun (a, _) (b, _) -> String.compare a b) rows);
-  Rpki_util.Table.print t
+  let sorted = List.sort (fun (a, _) (b, _) -> String.compare a b) rows in
+  List.iter (fun (name, est) -> Rpki_util.Table.add_row t [ name; humanize est ]) sorted;
+  Rpki_util.Table.print t;
+  Experiments.write_json ~name:"perf"
+    (Printf.sprintf "{\"experiment\":\"perf\",\"quick\":%b,\"benchmarks\":[%s]}"
+       !Experiments.quick
+       (String.concat ","
+          (List.map
+             (fun (name, est) ->
+               Printf.sprintf "{\"benchmark\":\"%s\",\"ns_per_run\":%s}" name
+                 (if Float.is_nan est then "null" else Printf.sprintf "%.1f" est))
+             sorted)))
 
 (* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
@@ -194,6 +204,11 @@ let () =
       (fun a ->
         if a = "--quick" then begin
           Experiments.quick := true;
+          false
+        end
+        else if a = "--json" then begin
+          (* experiments that support it also write BENCH_<name>.json *)
+          Experiments.json := true;
           false
         end
         else true)

@@ -115,7 +115,15 @@ let decode_length cur =
     let n = first land 0x7f in
     if n = 0 then decode_error "indefinite length is not DER";
     if n > 4 then decode_error "length of length %d too large" n;
-    let rec go i acc = if i = 0 then acc else go (i - 1) ((acc lsl 8) lor byte cur) in
+    let rec go i acc =
+      if i = 0 then acc
+      else begin
+        let b = byte cur in
+        (* a leading zero byte means fewer length bytes would have done *)
+        if i = n && b = 0 then decode_error "non-minimal length encoding";
+        go (i - 1) ((acc lsl 8) lor b)
+      end
+    in
     let len = go n 0 in
     if len < 0x80 && n = 1 then decode_error "non-minimal length encoding";
     len

@@ -201,5 +201,44 @@ let diff ~(before : snapshot) ~(after : snapshot) =
     subjects;
   List.rev !alerts
 
+(* Freshness monitoring: a content monitor sees what is published; this
+   watches what a relying party actually *used*.  A point served from stale
+   cache is degraded service; served stale beyond [threshold] ticks — or not
+   served at all — it is exactly the downgrade a stalling adversary
+   (Stalloris) or a misbehaving authority's outage produces, and worth an
+   alarm even though every published object still verifies. *)
+let staleness_alerts ?(threshold = 2) (result : Rpki_repo.Relying_party.sync_result) =
+  let open Rpki_repo.Relying_party in
+  let point_alerts =
+    List.filter_map
+      (fun tr ->
+        match tr.t_status with
+        | Fetched -> None
+        | Fetched_mirror | Fetched_rrdp ->
+          Some
+            { severity = Info; uri = tr.t_uri;
+              what = Printf.sprintf "served via fallback channel %s" tr.t_channel }
+        | Stale_cache ->
+          let severity = if tr.t_data_age > threshold then Alarm else Warning in
+          Some
+            { severity; uri = tr.t_uri;
+              what =
+                Printf.sprintf "served from stale cache, data %d tick(s) old%s" tr.t_data_age
+                  (if tr.t_data_age > threshold then
+                     Printf.sprintf " (over the %d-tick staleness threshold)" threshold
+                   else "") }
+        | Unavailable ->
+          Some { severity = Alarm; uri = tr.t_uri; what = "no copy obtained on any channel" })
+      result.transfers
+  in
+  if result.budget_exhausted then
+    { severity = Alarm; uri = "-";
+      what =
+        Printf.sprintf
+          "sync budget exhausted after %d transport tick(s): fetches were abandoned"
+          result.sync_elapsed }
+    :: point_alerts
+  else point_alerts
+
 let alarms alerts = List.filter (fun a -> a.severity = Alarm) alerts
 let warnings alerts = List.filter (fun a -> a.severity = Warning) alerts

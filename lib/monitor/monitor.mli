@@ -44,5 +44,16 @@ val diff : before:snapshot -> after:snapshot -> alert list
     revocations are [Warning]; stealthy removals, RC shrinks and correlated
     make-before-break patterns are [Alarm]. *)
 
+val staleness_alerts :
+  ?threshold:int -> Rpki_repo.Relying_party.sync_result -> alert list
+(** Freshness monitoring from a relying party's own sync accounting: points
+    served via a fallback channel are [Info]; points served from stale cache
+    are [Warning], escalating to [Alarm] when the data is older than
+    [threshold] ticks (default 2); points with no copy at all — and a sync
+    whose fetch budget ran out — are [Alarm].  This catches transport-level
+    downgrade (a Stalloris-style stalling adversary, or an authority outage)
+    that a content diff cannot see, since every published object still
+    verifies. *)
+
 val alarms : alert list -> alert list
 val warnings : alert list -> alert list

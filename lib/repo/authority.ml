@@ -312,6 +312,29 @@ let rec find_descendant t ~name =
   if t.name = name then Some t
   else List.find_map (fun c -> find_descendant c ~name) t.children
 
+(* Full upkeep of an authority subtree: re-sign every RC and ROA and refresh
+   each CRL/manifest window — what a healthy operator's cron job does each
+   period.  The stall experiments run this every tick for everyone, so only
+   a relying party that cannot *fetch* sees objects age toward expiry. *)
+let maintain t ~now =
+  let upkeep a =
+    (match a.parent with
+    | None ->
+      (* the trust anchor re-signs its own certificate; same key, so TALs
+         stay valid *)
+      a.cert <-
+        Cert.self_signed ~key:a.key ~subject:a.name ~resources:a.cert.Cert.resources
+          ~not_before:now ~not_after:(Rtime.add now a.validity) ~repo_uri:(Pub_point.uri a.pub)
+          ~manifest_uri:(manifest_filename a) ();
+      Pub_point.put a.pub ~filename:(cert_filename a.name) (Cert.encode a.cert)
+    | Some _ -> () (* re-signed by its parent's [upkeep] *));
+    List.iter (fun child -> reissue_child_cert a child ~now) a.children;
+    List.iter (fun (filename, _) -> ignore (renew_roa a ~filename ~now)) a.roas;
+    refresh a ~now
+  in
+  upkeep t;
+  iter_descendants t ~f:upkeep
+
 (* Every ROA currently published by [t] or any descendant, with its issuer. *)
 let all_roas t =
   let acc = ref (List.map (fun (f, r) -> (t, f, r)) t.roas) in

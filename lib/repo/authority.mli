@@ -105,6 +105,12 @@ val refresh : t -> now:Rtime.t -> unit
 val renew_roa : t -> filename:string -> now:Rtime.t -> Roa.t
 (** Re-sign an expiring ROA in place. *)
 
+val maintain : t -> now:Rtime.t -> unit
+(** Full upkeep of the whole subtree rooted here: re-sign every ROA and
+    refresh every CRL/manifest window — a healthy operator's cron job.  The
+    stall experiments run it every tick, so only a relying party that cannot
+    {e fetch} sees objects age toward expiry. *)
+
 val roll_key : t -> now:Rtime.t -> unit
 (** RFC 6489 key rollover: new keypair, new RC from the parent (old serial
     revoked), every issued object re-signed.  Filenames persist. *)

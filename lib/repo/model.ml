@@ -57,12 +57,14 @@ let continental_repo_addr = V4.addr_of_string_exn "63.174.23.0"
 
 let as_arin_host = 3856 (* ARIN's own network *)
 
-let build ?(now = Rtime.epoch) ?(key_bits = Rpki_crypto.Rsa.default_bits) () =
+let build ?(now = Rtime.epoch) ?(key_bits = Rpki_crypto.Rsa.default_bits)
+    ?(validity = Authority.default_validity) ?(refresh_interval = Authority.default_refresh) () =
   let universe = Universe.create () in
+  (* children inherit validity / refresh_interval from their parent *)
   let arin =
     Authority.create_trust_anchor ~name:"ARIN" ~resources:(Resources.of_v4_strings [ "63.0.0.0/8" ])
       ~uri:"rsync://rpki.arin.net/repo" ~addr:arin_repo_addr ~host_asn:as_arin_host ~now ~universe
-      ~key_bits ()
+      ~key_bits ~validity ~refresh_interval ()
   in
   let sprint =
     Authority.create_child arin ~name:"Sprint"

@@ -36,8 +36,13 @@ val continental_repo_addr : Rpki_ip.Addr.V4.t
 (** The paper's 63.174.23.0 — inside Continental's own certified space,
     which is what makes Section 6 circular. *)
 
-val build : ?now:Rtime.t -> ?key_bits:int -> unit -> t
-(** Construct the full hierarchy with real keys and publication points. *)
+val build :
+  ?now:Rtime.t -> ?key_bits:int -> ?validity:int -> ?refresh_interval:int -> unit -> t
+(** Construct the full hierarchy with real keys and publication points.
+    [validity] / [refresh_interval] (defaults
+    {!Authority.default_validity} / {!Authority.default_refresh}) apply to
+    every authority — short windows let the stall experiments age a starved
+    relying party's cache to expiry within a few ticks. *)
 
 val add_fig5_right_roa : t -> now:Rtime.t -> string
 (** Issue Sprint's covering ROA (63.160.0.0/12-13, AS 1239) — the Figure 5

@@ -1,11 +1,15 @@
 (* The relying party: fetches the distributed RPKI and computes the set of
    validated ROA payloads (RFC 6480 section 6, RFC 6483).
 
-   Fetching is subject to a reachability oracle — in the closed-loop
-   simulation that oracle is the RP's own BGP data plane, which is how the
-   paper's Section 6 circularity arises.  Like rsync, the RP keeps the last
-   successfully fetched copy of each publication point and falls back to it
-   when the point is unreachable.
+   Fetching goes through an explicit {!Transport}: every request has a time
+   cost (in the closed-loop simulation, derived from the RP's own BGP data
+   plane — the paper's Section 6 circularity expressed as latency) and a
+   publication point may be slow, stalling or unreachable.  A {!fetch_policy}
+   governs how the RP spends time: a per-point timeout, a total sync budget,
+   bounded retries with deterministic backoff, and a fallback ladder
+   live -> mirror -> RRDP -> stale cache.  Like rsync, the RP keeps the last
+   successfully fetched copy of each publication point; when it has to fall
+   back to it, the age of that copy is recorded on the sync result.
 
    Sync is incremental.  Each publication point's listing carries a SHA-256
    fingerprint; per (point, issuing certificate) the RP memoizes the full
@@ -39,9 +43,37 @@ let tal_of_authority a =
 
 type fetch_status =
   | Fetched                 (* live copy obtained *)
-  | Fetched_mirror          (* primary unreachable; a mirror served the copy *)
-  | Stale_cache             (* unreachable; last-known snapshot used *)
-  | Unavailable             (* unreachable and nothing cached *)
+  | Fetched_mirror          (* primary failed; a mirror served the copy *)
+  | Fetched_rrdp            (* primary failed; the RRDP delta service served it *)
+  | Stale_cache             (* all channels failed; last-known snapshot used *)
+  | Unavailable             (* all channels failed and nothing cached *)
+
+(* How the RP spends transport time during one sync. *)
+type fetch_policy = {
+  point_timeout : int;      (* cap on any single request *)
+  sync_budget : int;        (* cap on the whole sync's transport time *)
+  retries : int;            (* extra live attempts after a stalled request *)
+  backoff : int;            (* base backoff between retries; 0 = none *)
+  use_mirrors : bool;
+  use_rrdp : bool;
+  use_stale : bool;         (* combined with the RP's own use_stale flag *)
+}
+
+let default_policy =
+  { point_timeout = 64; sync_budget = 4096; retries = 2; backoff = 2;
+    use_mirrors = true; use_rrdp = true; use_stale = true }
+
+(* The Stalloris victim: patient timeouts, eager retries, no alternate
+   channels — a stalling repository eats the whole budget. *)
+let naive_policy =
+  { point_timeout = 512; sync_budget = 2048; retries = 8; backoff = 0;
+    use_mirrors = false; use_rrdp = false; use_stale = true }
+
+(* Short timeouts, one retry, every fallback channel: the damage-confining
+   counter-policy. *)
+let resilient_policy =
+  { point_timeout = 16; sync_budget = 1024; retries = 1; backoff = 2;
+    use_mirrors = true; use_rrdp = true; use_stale = true }
 
 type issue = {
   uri : string;
@@ -49,10 +81,23 @@ type issue = {
   reason : string;
 }
 
+(* The transport-level story of one publication point's fetch. *)
+type transfer = {
+  t_uri : string;
+  t_status : fetch_status;
+  t_channel : string;       (* "live" | "mirror:<uri>" | "rrdp:<uri>" | "cache" | "none" *)
+  t_attempts : int;         (* requests issued across all channels *)
+  t_elapsed : int;          (* transport time spent on this point *)
+  t_data_age : int;         (* age of the data used; 0 unless a stale copy *)
+}
+
 type sync_result = {
   vrps : Vrp.t list;
   issues : issue list;
   fetches : (string * fetch_status) list;
+  transfers : transfer list;
+  sync_elapsed : int;
+  budget_exhausted : bool;
   cas_validated : string list;
   index : Origin_validation.index;
   diff : Vrp.diff;
@@ -76,6 +121,7 @@ type memo_entry = {
 type cached_point = {
   cp_files : (string * string) list;
   cp_fp : string;
+  cp_at : Rtime.t; (* when this copy was last confirmed fresh *)
 }
 
 type t = {
@@ -89,6 +135,7 @@ type t = {
      after it was last seen, softening Side Effects 6 and 7 — at the price
      of delaying legitimate revocations by the same window. *)
   mutable cache : (string * cached_point) list; (* uri -> last good copy *)
+  rrdp_clients : (string, Rrdp.client) Hashtbl.t; (* primary uri -> RRDP state *)
   memo : (string, memo_entry) Hashtbl.t; (* uri + parent key id -> outcome *)
   mutable vrp_memory : (Vrp.t * Rtime.t) list; (* vrp -> last time seen *)
   mutable last_result : sync_result option;
@@ -97,7 +144,8 @@ type t = {
 }
 
 let create ~name ~asn ~tals ?(use_stale = true) ?grace () =
-  { name; asn; tals; use_stale; grace; cache = []; memo = Hashtbl.create 64;
+  { name; asn; tals; use_stale; grace; cache = [];
+    rrdp_clients = Hashtbl.create 4; memo = Hashtbl.create 64;
     vrp_memory = []; last_result = None; effective_vrps = [];
     index = Origin_validation.empty_index }
 
@@ -112,6 +160,7 @@ let cached_points t = List.rev_map fst t.cache
    the next sync still reports the change relative to the last result. *)
 let flush_cache t =
   t.cache <- [];
+  Hashtbl.reset t.rrdp_clients;
   Hashtbl.reset t.memo;
   t.vrp_memory <- []
 
@@ -125,59 +174,177 @@ let entry_current entry ~now =
   Rtime.compare entry.m_at now = 0
   || List.for_all (fun b -> side now b = side entry.m_at b) entry.m_boundaries
 
-let sync t ~now ~universe ?(reachable = fun (_ : Pub_point.t) -> true) () =
+(* Deterministic retry backoff: exponential in the attempt number plus a
+   per-(uri, attempt) jitter derived by hashing — no RNG state, so a sync
+   under a fault-free transport never consults it and stays bit-for-bit
+   reproducible. *)
+let backoff_delay policy ~uri ~attempt =
+  if policy.backoff <= 0 then 0
+  else (policy.backoff * (1 lsl min attempt 6)) + (Hashtbl.hash (uri, attempt) mod policy.backoff)
+
+let sync t ~now ~universe ?reachable ?transport ?(policy = default_policy) () =
+  let transport =
+    match (transport, reachable) with
+    | Some tr, _ -> tr
+    | None, Some oracle -> Transport.of_oracle oracle
+    | None, None -> Transport.instant ()
+  in
+  let allow_stale = policy.use_stale && t.use_stale in
   let issues = ref [] in
   let vrps = ref [] in
   let fetches = ref [] in
+  let transfers = ref [] in
   let cas = ref [] in
   let reused = ref 0 in
   let revalidated = ref 0 in
+  let clock = ref 0 in
+  let exhausted = ref false in
   let seen_keys = Hashtbl.create 16 in
   let problem ~uri ?filename reason = issues := { uri; filename; reason } :: !issues in
   let remember uri snap fp =
-    t.cache <- (uri, { cp_files = snap; cp_fp = fp }) :: List.remove_assoc uri t.cache
+    t.cache <- (uri, { cp_files = snap; cp_fp = fp; cp_at = now }) :: List.remove_assoc uri t.cache
+  in
+  let spend dt = clock := !clock + dt in
+  let remaining () = policy.sync_budget - !clock in
+  let out_of_budget () =
+    if remaining () <= 0 then (exhausted := true; true) else false
   in
   let fetch uri =
-    let record st = fetches := (uri, st) :: !fetches in
+    let attempts = ref 0 in
+    let spent_before = !clock in
+    let record status channel data_age =
+      transfers :=
+        { t_uri = uri; t_status = status; t_channel = channel; t_attempts = !attempts;
+          t_elapsed = !clock - spent_before; t_data_age = data_age }
+        :: !transfers;
+      fetches := (uri, status) :: !fetches
+    in
     match Universe.find universe uri with
     | None ->
-      record Unavailable;
+      record Unavailable "none" 0;
       problem ~uri "no such publication point";
       None
     | Some pp ->
-      if reachable pp then begin
-        let snap = Pub_point.snapshot pp in
-        let fp = Pub_point.fingerprint pp in
-        remember uri snap fp;
-        record Fetched;
-        Some (snap, fp)
-      end
-      else begin
-        (* primary unreachable: try registered mirrors first, then the
-           stale local cache *)
-        let reachable_mirror =
-          List.find_opt reachable (Universe.mirrors_of universe uri)
+      (* channel 1: the live primary, with bounded retries on a stall *)
+      let rec live attempt =
+        if out_of_budget () then `Give_up
+        else begin
+          incr attempts;
+          let timeout = min policy.point_timeout (remaining ()) in
+          match Transport.fetch transport ~point:pp ~timeout with
+          | Transport.Served { files; fp; elapsed } ->
+            spend elapsed;
+            `Served (files, fp)
+          | Transport.Stalled { elapsed } ->
+            spend elapsed;
+            if attempt < policy.retries then begin
+              spend (min (backoff_delay policy ~uri ~attempt) (max 0 (remaining ())));
+              live (attempt + 1)
+            end
+            else `Failed "stalled past the fetch timeout"
+          | Transport.Unroutable { elapsed } ->
+            (* no route: retrying within this sync cannot help *)
+            spend elapsed;
+            `Failed "unreachable"
+        end
+      in
+      (* channel 2: rsync mirrors, in registration order *)
+      let try_mirrors () =
+        if not policy.use_mirrors then None
+        else
+          List.fold_left
+            (fun acc mirror ->
+              match acc with
+              | Some _ -> acc
+              | None ->
+                if out_of_budget () then None
+                else begin
+                  incr attempts;
+                  let timeout = min policy.point_timeout (remaining ()) in
+                  match Transport.fetch transport ~point:mirror ~timeout with
+                  | Transport.Served { files; fp; elapsed } ->
+                    spend elapsed;
+                    Some (mirror, files, fp)
+                  | Transport.Stalled { elapsed } | Transport.Unroutable { elapsed } ->
+                    spend elapsed;
+                    None
+                end)
+            None (Universe.mirrors_of universe uri)
+      in
+      (* channel 3: the RRDP delta service (RFC 8182), priced and faulted
+         through its own endpoint *)
+      let try_rrdp () =
+        if not policy.use_rrdp then None
+        else
+          match Universe.rrdp_of universe uri with
+          | None -> None
+          | Some (endpoint, server) ->
+            if out_of_budget () then None
+            else begin
+              incr attempts;
+              let timeout = min policy.point_timeout (remaining ()) in
+              match Transport.probe transport ~point:endpoint ~timeout with
+              | `Stalled dt | `Unroutable dt ->
+                spend dt;
+                None
+              | `Ok dt -> (
+                spend dt;
+                let client =
+                  match Hashtbl.find_opt t.rrdp_clients uri with
+                  | Some c -> c
+                  | None ->
+                    let c = Rrdp.create_client () in
+                    Hashtbl.replace t.rrdp_clients uri c;
+                    c
+                in
+                match Rrdp.sync client server with
+                | exception Rrdp.Desync msg ->
+                  problem ~uri (Printf.sprintf "RRDP desync: %s" msg);
+                  Hashtbl.remove t.rrdp_clients uri;
+                  None
+                | _ ->
+                  let files = Rrdp.client_files client in
+                  Some (Pub_point.uri endpoint, files, Pub_point.fingerprint_of_listing files))
+            end
+      in
+      (* channel 4: the stale local copy, its age on the record *)
+      let stale why =
+        match List.assoc_opt uri t.cache with
+        | Some cp when allow_stale ->
+          record Stale_cache "cache" (Rtime.diff now cp.cp_at);
+          problem ~uri (Printf.sprintf "publication point %s; using stale cache" why);
+          Some (cp.cp_files, cp.cp_fp)
+        | _ ->
+          record Unavailable "none" 0;
+          problem ~uri (Printf.sprintf "publication point %s" why);
+          None
+      in
+      (match live 0 with
+      | `Served (files, fp) ->
+        remember uri files fp;
+        record Fetched "live" 0;
+        Some (files, fp)
+      | (`Failed _ | `Give_up) as failure -> (
+        let why =
+          match failure with
+          | `Failed reason -> reason
+          | `Give_up -> "skipped: sync budget exhausted"
         in
-        match reachable_mirror with
-        | Some mirror ->
-          let snap = Pub_point.snapshot mirror in
-          let fp = Pub_point.fingerprint mirror in
-          remember uri snap fp;
-          record Fetched_mirror;
+        match try_mirrors () with
+        | Some (mirror, files, fp) ->
+          remember uri files fp;
+          record Fetched_mirror ("mirror:" ^ Pub_point.uri mirror) 0;
           problem ~uri
-            (Printf.sprintf "primary unreachable; fetched mirror %s" (Pub_point.uri mirror));
-          Some (snap, fp)
+            (Printf.sprintf "primary %s; fetched mirror %s" why (Pub_point.uri mirror));
+          Some (files, fp)
         | None -> (
-          match List.assoc_opt uri t.cache with
-          | Some cp when t.use_stale ->
-            record Stale_cache;
-            problem ~uri "publication point unreachable; using stale cache";
-            Some (cp.cp_files, cp.cp_fp)
-          | _ ->
-            record Unavailable;
-            problem ~uri "publication point unreachable";
-            None)
-      end
+          match try_rrdp () with
+          | Some (ep_uri, files, fp) ->
+            remember uri files fp;
+            record Fetched_rrdp ("rrdp:" ^ ep_uri) 0;
+            problem ~uri (Printf.sprintf "primary %s; synced via RRDP %s" why ep_uri);
+            Some (files, fp)
+          | None -> stale why)))
   in
   (* Validate and walk one CA's publication point. *)
   let rec process_ca (ca_cert : Cert.t) =
@@ -377,6 +544,9 @@ let sync t ~now ~universe ?(reachable = fun (_ : Pub_point.t) -> true) () =
     { vrps = effective;
       issues = List.rev !issues;
       fetches = List.rev !fetches;
+      transfers = List.rev !transfers;
+      sync_elapsed = !clock;
+      budget_exhausted = !exhausted;
       cas_validated = List.rev !cas;
       index = t.index;
       diff;
@@ -386,8 +556,8 @@ let sync t ~now ~universe ?(reachable = fun (_ : Pub_point.t) -> true) () =
   t.last_result <- Some result;
   result
 
-(* Deprecated pre-incremental entry point: the index now rides on the sync
-   result itself. *)
-let sync_index t ~now ~universe ?reachable () =
-  let result = sync t ~now ~universe ?reachable () in
-  (result, result.index)
+(* The worst data staleness a sync accepted: 0 when every point came from a
+   fresh channel, the oldest cache age otherwise.  Monitors alarm on it and
+   the RTR layer surfaces it next to its serial. *)
+let max_data_age (result : sync_result) =
+  List.fold_left (fun acc tr -> max acc tr.t_data_age) 0 result.transfers

@@ -1,11 +1,15 @@
 (** The relying party: fetches the distributed RPKI and computes the set of
     validated ROA payloads (RFC 6480 section 6, RFC 6483).
 
-    Fetching is subject to a reachability oracle — in the closed-loop
-    simulation that oracle is the RP's own BGP data plane, which is how the
-    paper's Section 6 circularity arises.  Like rsync, the RP keeps the last
-    successfully fetched copy of each publication point and falls back to it
-    when the point is unreachable.
+    Fetching goes through an explicit {!Transport}: every request costs
+    transport time (in the closed-loop simulation that cost is derived from
+    the RP's own BGP data plane — the paper's Section 6 circularity expressed
+    as latency) and a publication point may be slow, stalling or unreachable.
+    A {!fetch_policy} governs how the RP spends that time: per-point timeout,
+    total sync budget, bounded retries with deterministic backoff, and a
+    fallback ladder live -> mirror -> RRDP -> stale cache.  Whatever channel
+    ultimately served each point — and how stale its data was — is recorded
+    as a {!transfer} on the sync result.
 
     Sync is incremental: per publication point the RP memoizes the
     validation outcome keyed by the point's content fingerprint, the
@@ -14,7 +18,8 @@
     {!Vrp.diff} against the previous sync and maintains an
     {!Origin_validation.index} patched in place by that diff.  A warm sync
     is guaranteed to produce exactly the VRP set and classification results
-    of a from-scratch sync.
+    of a from-scratch sync; under a zero-latency fault-free transport this
+    holds bit-for-bit against the pre-transport behaviour.
 
     The relying-party state is opaque; all incremental bookkeeping is
     internal and can only be dropped wholesale via {!flush_cache}. *)
@@ -33,9 +38,32 @@ val tal_of_authority : Authority.t -> tal
 
 type fetch_status =
   | Fetched          (** live copy obtained *)
-  | Fetched_mirror   (** primary unreachable; a mirror served the copy *)
-  | Stale_cache      (** unreachable; last-known snapshot used *)
-  | Unavailable      (** unreachable and nothing cached *)
+  | Fetched_mirror   (** primary failed; a mirror served the copy *)
+  | Fetched_rrdp     (** primary failed; the RRDP delta service served it *)
+  | Stale_cache      (** all channels failed; last-known snapshot used *)
+  | Unavailable      (** all channels failed and nothing cached *)
+
+type fetch_policy = {
+  point_timeout : int;  (** cap on any single request, in transport ticks *)
+  sync_budget : int;    (** cap on the whole sync's transport time *)
+  retries : int;        (** extra live attempts after a stalled request *)
+  backoff : int;        (** base backoff between retries; 0 disables it *)
+  use_mirrors : bool;
+  use_rrdp : bool;
+  use_stale : bool;     (** ANDed with the RP's own [use_stale] flag *)
+}
+(** How the RP spends transport time during one sync. *)
+
+val default_policy : fetch_policy
+(** Moderate timeouts, two retries, every fallback channel enabled. *)
+
+val naive_policy : fetch_policy
+(** The Stalloris victim: patient timeouts, eager retries, no alternate
+    channels — a single stalling repository can eat the whole sync budget. *)
+
+val resilient_policy : fetch_policy
+(** Short timeouts, one retry, every fallback channel: confines a stalling
+    adversary's damage to added staleness on the targeted points. *)
 
 type issue = {
   uri : string;
@@ -44,10 +72,25 @@ type issue = {
 }
 (** One fetch or validation problem, attributed to a location. *)
 
+type transfer = {
+  t_uri : string;
+  t_status : fetch_status;
+  t_channel : string;  (** ["live"], ["mirror:<uri>"], ["rrdp:<uri>"],
+                           ["cache"] or ["none"] *)
+  t_attempts : int;    (** requests issued across all channels *)
+  t_elapsed : int;     (** transport time spent on this point *)
+  t_data_age : int;    (** age of the data used; 0 unless a stale copy *)
+}
+(** The transport-level story of one publication point's fetch. *)
+
 type sync_result = {
   vrps : Vrp.t list;                       (** the effective VRP set, sorted *)
   issues : issue list;
   fetches : (string * fetch_status) list;
+  transfers : transfer list;               (** per-point transport accounting *)
+  sync_elapsed : int;                      (** total transport time spent *)
+  budget_exhausted : bool;                 (** the sync budget ran out before
+                                               every point was tried *)
   cas_validated : string list;
   index : Origin_validation.index;         (** index over [vrps], maintained
                                                incrementally across syncs *)
@@ -56,6 +99,10 @@ type sync_result = {
                                                was replayed *)
   points_revalidated : int;                (** points validated from scratch *)
 }
+
+val max_data_age : sync_result -> int
+(** The worst data staleness the sync accepted: 0 when every point came from
+    a fresh channel (live, mirror or RRDP), the oldest cache age otherwise. *)
 
 type t
 (** Opaque relying-party state. *)
@@ -79,30 +126,29 @@ val cached_points : t -> string list
 (** URIs with a locally cached snapshot (stale-cache fallback material). *)
 
 val flush_cache : t -> unit
-(** Drop cached snapshots, memoized validations and grace memory (the manual
-    operator intervention the paper mentions for Side Effect 7 recovery).
-    The next sync revalidates everything from scratch; its [diff] is still
-    relative to the last result. *)
+(** Drop cached snapshots, RRDP client state, memoized validations and grace
+    memory (the manual operator intervention the paper mentions for Side
+    Effect 7 recovery).  The next sync revalidates everything from scratch;
+    its [diff] is still relative to the last result. *)
 
 val sync :
   t ->
   now:Rtime.t ->
   universe:Universe.t ->
   ?reachable:(Pub_point.t -> bool) ->
+  ?transport:Transport.t ->
+  ?policy:fetch_policy ->
   unit ->
   sync_result
 (** Fetch from every trust anchor down, validate top-down (manifest and CRL
     checks included) skipping fingerprint-unchanged points, and return the
     validated ROA payloads together with every problem encountered, the
-    updated origin-validation index, and the VRP diff since the previous
-    sync. *)
+    updated origin-validation index, the VRP diff since the previous sync,
+    and the per-point transport accounting.
 
-val sync_index :
-  t ->
-  now:Rtime.t ->
-  universe:Universe.t ->
-  ?reachable:(Pub_point.t -> bool) ->
-  unit ->
-  sync_result * Origin_validation.index
-  [@@deprecated "use sync; the index now rides on the sync_result"]
-(** @deprecated The index is carried by {!sync}'s result. *)
+    Fetching goes through [transport] under [policy] (default
+    {!default_policy}).  When no [transport] is given one is built: from
+    [reachable] as a zero-latency {!Transport.of_oracle} when that is
+    supplied (the PR-1 behaviour, kept for compatibility), otherwise
+    {!Transport.instant}.  [reachable] is ignored when [transport] is
+    given. *)

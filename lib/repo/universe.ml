@@ -5,12 +5,18 @@
    reachability oracle (the simulation layer wires that oracle to the BGP
    data plane, closing the paper's Figure 1 loop). *)
 
+type rrdp_endpoint = {
+  ep_point : Pub_point.t; (* addressing only: uri / addr / host AS *)
+  ep_server : Rrdp.server;
+}
+
 type t = {
   mutable points : (string * Pub_point.t) list;
   mutable mirrors : (string * Pub_point.t) list; (* primary uri -> mirror point *)
+  mutable rrdp : (string * rrdp_endpoint) list;  (* primary uri -> RRDP service *)
 }
 
-let create () = { points = []; mirrors = [] }
+let create () = { points = []; mirrors = []; rrdp = [] }
 
 let add t (p : Pub_point.t) =
   let uri = Pub_point.uri p in
@@ -40,6 +46,30 @@ let refresh_mirrors t =
       | None -> ()
       | Some primary -> Pub_point.replace_files mirror (Pub_point.snapshot primary))
     t.mirrors
+
+(* Register an RRDP service for [of_uri] (RFC 8182): the same objects,
+   delivered as serial-numbered deltas from a notification endpoint.  The
+   endpoint point carries only addressing (its own URI, host address and
+   AS) — which is what lets a transport price and fault it independently
+   of the rsync primary. *)
+let add_rrdp t ~of_uri (endpoint : Pub_point.t) =
+  match find t of_uri with
+  | None -> invalid_arg (Printf.sprintf "Universe.add_rrdp: no primary at %s" of_uri)
+  | Some primary ->
+    if List.mem_assoc of_uri t.rrdp then
+      invalid_arg (Printf.sprintf "Universe.add_rrdp: duplicate RRDP service for %s" of_uri);
+    let server = Rrdp.create primary in
+    ignore (Rrdp.publish_now server);
+    t.rrdp <- (of_uri, { ep_point = endpoint; ep_server = server }) :: t.rrdp
+
+let rrdp_of t uri =
+  Option.map (fun ep -> (ep.ep_point, ep.ep_server)) (List.assoc_opt uri t.rrdp)
+
+(* Version each RRDP server against its primary's current content (the
+   repository-side publication pipeline running; RRDP lags until then,
+   like mirrors do). *)
+let refresh_rrdp t =
+  List.iter (fun (_, ep) -> ignore (Rrdp.publish_now ep.ep_server)) t.rrdp
 
 let find_exn t uri =
   match find t uri with

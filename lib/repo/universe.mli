@@ -28,3 +28,17 @@ val mirrors_of : t -> string -> Pub_point.t list
 val refresh_mirrors : t -> unit
 (** Copy each primary's current files onto its mirrors.  Mirrors lag until
     refreshed, like real ones. *)
+
+val add_rrdp : t -> of_uri:string -> Pub_point.t -> unit
+(** Register an RRDP delta service (RFC 8182) for an existing primary.  The
+    given point carries addressing only (the notification endpoint's URI,
+    host address and AS), so a transport can price and fault the RRDP
+    channel independently of the rsync primary.  Raises [Invalid_argument]
+    when the primary is unknown or already has a service. *)
+
+val rrdp_of : t -> string -> (Pub_point.t * Rrdp.server) option
+(** The RRDP endpoint and server tracking a primary, if registered. *)
+
+val refresh_rrdp : t -> unit
+(** Version each RRDP server against its primary's current content.  Like
+    mirrors, RRDP lags until refreshed. *)

@@ -16,15 +16,23 @@ type cache = {
   mutable serial : int;
   mutable current : Vrp.t list; (* normalized *)
   mutable deltas : (int * Vrp.diff) list; (* serial -> diff from serial-1, newest first *)
+  mutable data_age : int; (* staleness of the RP data behind [current] *)
   history_limit : int;
 }
 
 let create_cache ?(session_id = 0x5c1) ?(history_limit = 16) () =
-  { session_id; serial = 0; current = []; deltas = []; history_limit }
+  { session_id; serial = 0; current = []; deltas = []; data_age = 0; history_limit }
 
 let cache_session_id cache = cache.session_id
 let cache_serial cache = cache.serial
 let cache_vrps cache = cache.current
+
+(* The serial says how current the *protocol* state is; the data age says
+   how current the *data* is.  A cache fed by a relying party syncing from
+   stale copies keeps bumping serials over old data — this is how routers
+   (and monitors) can tell the difference. *)
+let set_data_age cache age = cache.data_age <- max 0 age
+let cache_data_age cache = cache.data_age
 
 (* Install a new (normalized) VRP set; bump the serial and record the delta
    only when something actually changed. *)

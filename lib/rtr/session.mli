@@ -23,6 +23,16 @@ val cache_serial : cache -> int
 val cache_vrps : cache -> Vrp.t list
 (** The currently installed (normalized) VRP set. *)
 
+val set_data_age : cache -> int -> unit
+(** Record the staleness of the relying-party data behind the current set
+    (see {!Rpki_repo.Relying_party.max_data_age}).  Clamped at 0. *)
+
+val cache_data_age : cache -> int
+(** The serial says how current the {e protocol} state is; the data age says
+    how current the {e data} is.  A cache fed from stale copies keeps
+    bumping serials over old data — this is how routers and monitors can
+    tell the difference.  0 until {!set_data_age} is called. *)
+
 val publish : cache -> Vrp.t list -> unit
 (** Install a new VRP set (e.g. after each relying-party sync); bumps the
     serial and records a delta only when the set actually changed. *)

@@ -32,6 +32,9 @@ type t = {
   rtr : Rpki_rtr.Session.cache;   (* fed one serial delta per changed tick *)
   announcements : Propagation.announcement list;
   probes : probe list;
+  transport : Transport.t;        (* priced off the previous tick's data plane *)
+  mutable fetch_policy : Relying_party.fetch_policy;
+  mutable per_hop_latency : int;  (* transport ticks per forwarding hop *)
   mutable net : Data_plane.network option; (* data plane after the last tick *)
   mutable history : tick_record list;      (* newest first *)
 }
@@ -46,13 +49,38 @@ and tick_record = {
   rtr_serial : int;             (* RTR cache serial after this tick *)
   points_reused : int;          (* publication points replayed from memo *)
   points_revalidated : int;     (* publication points validated from scratch *)
+  sync_elapsed : int;           (* transport time the sync spent *)
+  max_data_age : int;           (* worst staleness the sync accepted *)
+  budget_exhausted : bool;      (* the fetch budget ran out this tick *)
 }
 
+(* Latency of one request to a publication point, from the data plane the
+   previous tick produced: the forwarding path's hop count times the per-hop
+   cost — the Section 6 circularity as time, not just a boolean.  Traffic
+   delivered to the wrong origin (a hijacker) is no route at all.  Before
+   the first tick routing works and nothing has been priced yet. *)
+let point_latency t (pp : Pub_point.t) =
+  match t.net with
+  | None -> Some 0
+  | Some net -> (
+    match Data_plane.trace net ~src:(Relying_party.asn t.rp) ~addr:(Pub_point.addr pp) with
+    | Data_plane.Delivered { origin; hops } when origin = Pub_point.host_asn pp ->
+      Some (t.per_hop_latency * List.length hops)
+    | Data_plane.Delivered _ | Data_plane.No_route _ | Data_plane.Loop _ -> None)
+
 let create ~universe ~topo ~policy ~rp ~announcements ~probes =
-  { universe; topo; policy; rp; rtr = Rpki_rtr.Session.create_cache (); announcements; probes;
-    net = None; history = [] }
+  let t =
+    { universe; topo; policy; rp; rtr = Rpki_rtr.Session.create_cache (); announcements; probes;
+      transport = Transport.create (); fetch_policy = Relying_party.default_policy;
+      per_hop_latency = 1; net = None; history = [] }
+  in
+  Transport.set_latency_of t.transport (point_latency t);
+  t
 
 let rtr_cache t = t.rtr
+let transport t = t.transport
+let set_fetch_policy t p = t.fetch_policy <- p
+let set_per_hop_latency t c = t.per_hop_latency <- max 0 c
 
 (* Reachability of a publication point from the RP's AS, judged on the data
    plane computed at the previous tick.  Before the first tick the RP has
@@ -67,13 +95,16 @@ let point_reachable t (pp : Pub_point.t) =
 
 let step t ~now =
   Universe.refresh_mirrors t.universe;
+  Universe.refresh_rrdp t.universe;
   let result =
-    Relying_party.sync t.rp ~now ~universe:t.universe
-      ~reachable:(fun pp -> point_reachable t pp)
-      ()
+    Relying_party.sync t.rp ~now ~universe:t.universe ~transport:t.transport
+      ~policy:t.fetch_policy ()
   in
-  (* the sync's diff becomes the RTR cache's next serial delta *)
+  (* the sync's diff becomes the RTR cache's next serial delta; the sync's
+     data staleness rides along so routers can tell fresh serials over old
+     data from fresh data *)
   Rpki_rtr.Session.publish_diff t.rtr result.Relying_party.diff;
+  Rpki_rtr.Session.set_data_age t.rtr (Relying_party.max_data_age result);
   let validity_of r = Origin_validation.classify result.Relying_party.index r in
   let net =
     Data_plane.build ~topo:t.topo ~policy_of:(fun _ -> t.policy) ~validity_of t.announcements
@@ -91,7 +122,8 @@ let step t ~now =
     List.filter_map
       (fun (uri, st) ->
         match st with
-        | Relying_party.Fetched | Relying_party.Fetched_mirror -> None
+        | Relying_party.Fetched | Relying_party.Fetched_mirror | Relying_party.Fetched_rrdp ->
+          None (* mirror and RRDP copies are fresh data, not failures *)
         | Relying_party.Stale_cache | Relying_party.Unavailable -> Some uri)
       result.Relying_party.fetches
   in
@@ -104,7 +136,10 @@ let step t ~now =
       vrp_diff = result.Relying_party.diff;
       rtr_serial = Rpki_rtr.Session.cache_serial t.rtr;
       points_reused = result.Relying_party.points_reused;
-      points_revalidated = result.Relying_party.points_revalidated }
+      points_revalidated = result.Relying_party.points_revalidated;
+      sync_elapsed = result.Relying_party.sync_elapsed;
+      max_data_age = Relying_party.max_data_age result;
+      budget_exhausted = result.Relying_party.budget_exhausted }
   in
   t.history <- record :: t.history;
   record
@@ -135,8 +170,9 @@ type section6 = {
 (* Figure 5 (right) state: model RPKI plus Sprint's covering ROA; the small
    topology with every repository host attached; Continental Broadband
    hosting its own repository inside 63.174.16.0/20 (AS 17054). *)
-let section6_scenario ?(policy = Policy.Drop_invalid) ?grace ?(mirrored = false) () =
-  let model = Model.build () in
+let section6_scenario ?(policy = Policy.Drop_invalid) ?grace ?(mirrored = false)
+    ?(rrdp = false) ?validity ?refresh_interval () =
+  let model = Model.build ?validity ?refresh_interval () in
   let _ = Model.add_fig5_right_roa model ~now:Rtime.epoch in
   let s = Topo_gen.small_scenario () in
   let topo = s.Topo_gen.small_topo in
@@ -163,6 +199,16 @@ let section6_scenario ?(policy = Policy.Drop_invalid) ?grace ?(mirrored = false)
     in
     Universe.add_mirror model.Model.universe
       ~of_uri:(Pub_point.uri (Authority.pub model.Model.continental)) mirror
+  end;
+  (* optional RRDP delta service (RFC 8182) for Continental's repository,
+     its notification endpoint likewise hosted in Sprint's address space *)
+  if rrdp then begin
+    let endpoint =
+      Pub_point.create ~uri:"https://rrdp.sprint.net/continental"
+        ~addr:(V4.addr_of_string_exn "63.161.200.2") ~host_asn:Model.as_sprint
+    in
+    Universe.add_rrdp model.Model.universe
+      ~of_uri:(Pub_point.uri (Authority.pub model.Model.continental)) endpoint
   end;
   let probes =
     [ { label = "continental-repo"; addr = Model.continental_repo_addr;

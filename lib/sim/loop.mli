@@ -30,6 +30,10 @@ type t = {
   rtr : Rpki_rtr.Session.cache;              (** fed one delta per changed tick *)
   announcements : Propagation.announcement list;
   probes : probe list;
+  transport : Transport.t;                   (** priced off the previous tick's
+                                                 data plane *)
+  mutable fetch_policy : Relying_party.fetch_policy;
+  mutable per_hop_latency : int;             (** transport ticks per hop *)
   mutable net : Data_plane.network option;
   mutable history : tick_record list;
 }
@@ -44,6 +48,9 @@ and tick_record = {
   rtr_serial : int;             (** RTR cache serial after this tick *)
   points_reused : int;          (** publication points replayed from memo *)
   points_revalidated : int;     (** publication points validated from scratch *)
+  sync_elapsed : int;           (** transport time the sync spent *)
+  max_data_age : int;           (** worst staleness the sync accepted *)
+  budget_exhausted : bool;      (** the fetch budget ran out this tick *)
 }
 
 val create :
@@ -57,7 +64,23 @@ val create :
 
 val rtr_cache : t -> Rpki_rtr.Session.cache
 (** The RTR cache fed by the loop; attach routers to it with
-    {!Rpki_rtr.Session.synchronize}. *)
+    {!Rpki_rtr.Session.synchronize}.  Its data age tracks the worst
+    staleness of each tick's sync. *)
+
+val transport : t -> Transport.t
+(** The loop's transport.  Its latency oracle is wired to the previous
+    tick's data plane ([per_hop_latency] transport ticks per forwarding
+    hop; no valid route — or traffic delivered to a hijacker — is no
+    route).  Adversaries ({!Rpki_attack.Stall}) and operators inject
+    faults here. *)
+
+val set_fetch_policy : t -> Relying_party.fetch_policy -> unit
+(** Replace the fetch policy used by subsequent {!step}s
+    (default {!Relying_party.default_policy}). *)
+
+val set_per_hop_latency : t -> int -> unit
+(** Transport ticks charged per forwarding hop (default 1; clamped at 0).
+    0 restores PR-1's boolean-reachability behaviour exactly. *)
 
 val point_reachable : t -> Pub_point.t -> bool
 (** Reachability of a publication point from the RP's AS, judged on the data
@@ -81,12 +104,23 @@ type section6 = {
 }
 
 val section6_scenario :
-  ?policy:Policy.t -> ?grace:int -> ?mirrored:bool -> unit -> section6
+  ?policy:Policy.t ->
+  ?grace:int ->
+  ?mirrored:bool ->
+  ?rrdp:bool ->
+  ?validity:int ->
+  ?refresh_interval:int ->
+  unit ->
+  section6
 (** Figure 5 (right) validity, the small topology with every repository host
     attached, Continental hosting its own repository inside its certified
     /20.  [mirrored] registers a mirror of Continental's repository inside
     Sprint's address space (the draft-multiple-publication-points
-    mitigation); [grace] enables the Suspenders-style hold on the RP. *)
+    mitigation); [rrdp] registers an RRDP delta service for it, endpoint
+    likewise in Sprint's space; [grace] enables the Suspenders-style hold on
+    the RP.  [validity] / [refresh_interval] shorten every authority's
+    issuance windows (see {!Model.build}) so stall experiments can age a
+    starved cache to expiry within a few ticks. *)
 
 val run_section6 :
   ?policy:Policy.t ->

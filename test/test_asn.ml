@@ -110,6 +110,49 @@ let prop_deterministic =
        (QCheck.make ~print:(Format.asprintf "%a" Der.pp) gen_der)
        (fun v -> String.equal (Der.encode v) (Der.encode (Der.decode_exn (Der.encode v)))))
 
+(* Malformed-input properties: structurally corrupted encodings must be
+   rejected outright, never misparsed into a different value. *)
+
+let rejects s = match Der.decode s with Ok _ -> false | Error _ -> true
+
+(* Every strict prefix of a valid encoding is a truncated TLV: either the
+   header is cut short or the body falls short of the declared length. *)
+let prop_truncated_rejected =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:200 ~name:"every strict prefix is rejected"
+       (QCheck.make ~print:(Format.asprintf "%a" Der.pp) gen_der)
+       (fun v ->
+         let s = Der.encode v in
+         let ok = ref true in
+         for n = 0 to String.length s - 1 do
+           if not (rejects (String.sub s 0 n)) then ok := false
+         done;
+         !ok))
+
+(* DER demands the minimal length form: a short-form-sized length written
+   in the 0x81 long form, or a long form with a leading zero byte, is BER
+   and must be refused. *)
+let prop_overlong_length_rejected =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:200 ~name:"non-minimal length forms are rejected"
+       QCheck.(string_of_size (Gen.int_bound 100))
+       (fun s ->
+         let n = Char.chr (String.length s) in
+         rejects (Printf.sprintf "\x04\x81%c%s" n s)
+         && rejects (Printf.sprintf "\x04\x82\x00%c%s" n s)))
+
+(* A non-negative INTEGER carries at most one leading zero byte, and only
+   when the next byte has the top bit set; an extra zero pad is non-minimal. *)
+let prop_padded_integer_rejected =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:200 ~name:"zero-padded INTEGERs are rejected"
+       QCheck.(int_bound 0x3FFFFFFF)
+       (fun i ->
+         let enc = Der.encode (Der.int_ i) in
+         let body = String.sub enc 2 (String.length enc - 2) in
+         rejects
+           (Printf.sprintf "\x02%c\x00%s" (Char.chr (String.length body + 1)) body)))
+
 let () =
   Alcotest.run "asn"
     [ ( "der-unit",
@@ -118,4 +161,6 @@ let () =
           Alcotest.test_case "long lengths" `Quick test_long_lengths;
           Alcotest.test_case "decode errors" `Quick test_decode_errors;
           Alcotest.test_case "helpers" `Quick test_helpers ] );
-      ("der-properties", [ prop_roundtrip; prop_deterministic ]) ]
+      ( "der-properties",
+        [ prop_roundtrip; prop_deterministic; prop_truncated_rejected;
+          prop_overlong_length_rejected; prop_padded_integer_rejected ] ) ]

@@ -177,6 +177,79 @@ let prop_equivalence =
        (QCheck.make ~print:string_of_int QCheck.Gen.(int_range 1 1000))
        incremental_equiv)
 
+(* The transport refactor must be invisible when the network is perfect: an
+   RP syncing through an explicit zero-latency fault-free transport under
+   the default fetch policy is bit-for-bit the PR-1 RP — same VRPs, same
+   verdicts, same router convergence — and its transport accounting is
+   inert (every point live, first attempt, zero time, zero staleness). *)
+let transport_equiv seed =
+  let w = build_world seed in
+  let rng = Rpki_util.Rng.create (seed * 17) in
+  let tals = [ Relying_party.tal_of_authority w.ta ] in
+  let rp = Relying_party.create ~name:"inc-tr" ~asn:1 ~tals () in
+  let transport = Transport.instant () in
+  let cache = Rpki_rtr.Session.create_cache () in
+  let router = Rpki_rtr.Session.create_router () in
+  let ticks = 4 in
+  for now = 1 to ticks do
+    if now > 1 then
+      for _ = 1 to 1 + Rpki_util.Rng.int rng 2 do
+        mutate w rng ~now
+      done;
+    let inc =
+      Relying_party.sync rp ~now ~universe:w.universe ~transport
+        ~policy:Relying_party.default_policy ()
+    in
+    (* the reference runs the compatibility path: no transport given *)
+    let scratch_rp = Relying_party.create ~name:"scratch" ~asn:1 ~tals () in
+    let scratch = Relying_party.sync scratch_rp ~now ~universe:w.universe () in
+    if vrp_strings inc.Relying_party.vrps <> vrp_strings scratch.Relying_party.vrps then
+      QCheck.Test.fail_reportf
+        "seed %d tick %d: transported RP diverges from scratch\n  inc:     %s\n  scratch: %s"
+        seed now
+        (String.concat " " (vrp_strings inc.Relying_party.vrps))
+        (String.concat " " (vrp_strings scratch.Relying_party.vrps));
+    if inc.Relying_party.sync_elapsed <> 0 then
+      QCheck.Test.fail_reportf "seed %d tick %d: instant transport spent %d ticks" seed now
+        inc.Relying_party.sync_elapsed;
+    if inc.Relying_party.budget_exhausted then
+      QCheck.Test.fail_reportf "seed %d tick %d: budget exhausted on instant transport" seed now;
+    if Relying_party.max_data_age inc <> 0 then
+      QCheck.Test.fail_reportf "seed %d tick %d: staleness on fault-free transport" seed now;
+    List.iter
+      (fun (tr : Relying_party.transfer) ->
+        if
+          tr.Relying_party.t_status <> Relying_party.Fetched
+          || tr.Relying_party.t_channel <> "live"
+          || tr.Relying_party.t_attempts <> 1
+        then
+          QCheck.Test.fail_reportf "seed %d tick %d: %s not a clean live fetch" seed now
+            tr.Relying_party.t_uri)
+      inc.Relying_party.transfers;
+    List.iter
+      (fun route ->
+        if
+          Origin_validation.classify inc.Relying_party.index route
+          <> Origin_validation.classify scratch.Relying_party.index route
+        then
+          QCheck.Test.fail_reportf "seed %d tick %d: verdicts diverge on %s" seed now
+            (Route.to_string route))
+      (random_routes rng 32);
+    Rpki_rtr.Session.publish_diff cache inc.Relying_party.diff;
+    let got = Rpki_rtr.Session.synchronize router cache in
+    if vrp_strings got <> vrp_strings inc.Relying_party.vrps then
+      QCheck.Test.fail_reportf "seed %d tick %d: router diverged from transported RP" seed now;
+    if Rpki_rtr.Session.router_serial router <> Rpki_rtr.Session.cache_serial cache then
+      QCheck.Test.fail_reportf "seed %d tick %d: router serial lags cache" seed now
+  done;
+  true
+
+let prop_transport_equivalence =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:10 ~name:"zero-latency fault-free transport == PR-1 sync"
+       (QCheck.make ~print:string_of_int QCheck.Gen.(int_range 1 1000))
+       transport_equiv)
+
 (* The 10k-VRP case: few CAs, each with multi-entry ROAs, so the VRP
    population is realistic while RSA key generation stays cheap.  After a
    warm tick touching 2 of 5 points, the untouched points must be replayed
@@ -257,5 +330,6 @@ let test_equivalence_10k () =
 let () =
   Alcotest.run "incremental"
     [ ( "equivalence",
-        [ prop_equivalence; Alcotest.test_case "10k VRPs, warm tick" `Quick test_equivalence_10k ] )
+        [ prop_equivalence; prop_transport_equivalence;
+          Alcotest.test_case "10k VRPs, warm tick" `Quick test_equivalence_10k ] )
     ]

@@ -13,7 +13,7 @@ let fresh_model () = Model.build ()
 let sync ?reachable ?(now = 1) (m : Model.t) rp =
   Relying_party.sync rp ~now ~universe:m.Model.universe ?reachable ()
 
-let sync_index ?(now = 1) (m : Model.t) rp =
+let sync_indexed ?(now = 1) (m : Model.t) rp =
   let r = Relying_party.sync rp ~now ~universe:m.Model.universe () in
   (r, r.Relying_party.index)
 
@@ -61,7 +61,7 @@ let test_model_sync () =
 let test_model_fig5_left () =
   let m = Lazy.force shared in
   let rp = Model.relying_party m in
-  let _, idx = sync_index m rp in
+  let _, idx = sync_indexed m rp in
   let st p o = Origin_validation.classify idx (Route.make (V4.p p) o) in
   (* the two statuses the paper states explicitly *)
   Alcotest.(check string) "/12 unknown" "unknown"
@@ -161,7 +161,7 @@ let test_se6_missing_roa_invalid_not_unknown () =
     Fault.delete_object (Authority.pub m.Model.continental) ~filename:m.Model.roa_target22
   in
   Alcotest.(check bool) "fault applied" true (fault <> None);
-  let r, idx = sync_index m rp in
+  let r, idx = sync_indexed m rp in
   (* the manifest flags the hole... *)
   Alcotest.(check bool) "manifest flags missing file" true
     (List.exists
@@ -174,7 +174,7 @@ let test_se6_missing_roa_invalid_not_unknown () =
        (Origin_validation.classify idx (Route.make (V4.p "63.174.16.0/22") 7341)));
   (* repair restores validity *)
   Option.iter Fault.repair fault;
-  let _, idx2 = sync_index m rp in
+  let _, idx2 = sync_indexed m rp in
   Alcotest.(check string) "valid again" "valid"
     (Origin_validation.state_to_string
        (Origin_validation.classify idx2 (Route.make (V4.p "63.174.16.0/22") 7341)))
@@ -186,7 +186,7 @@ let test_se6_corrupt_roa () =
     Fault.corrupt_object (Authority.pub m.Model.continental) ~filename:m.Model.roa_target22 ()
   in
   Alcotest.(check bool) "fault applied" true (fault <> None);
-  let r, idx = sync_index m rp in
+  let r, idx = sync_indexed m rp in
   Alcotest.(check bool) "hash mismatch reported" true
     (List.exists
        (fun (i : Relying_party.issue) -> i.Relying_party.reason = "hash mismatch with manifest")
@@ -199,7 +199,7 @@ let test_se6_corrupt_roa () =
      nothing else covers it *)
   Option.iter Fault.repair fault;
   let _ = Fault.corrupt_object (Authority.pub m.Model.continental) ~filename:m.Model.roa_target20 () in
-  let _, idx2 = sync_index m rp in
+  let _, idx2 = sync_indexed m rp in
   Alcotest.(check string) "no covering => unknown" "unknown"
     (Origin_validation.state_to_string
        (Origin_validation.classify idx2 (Route.make (V4.p "63.174.16.0/20") 17054)))
