@@ -7,7 +7,8 @@
      whack    — plan (and optionally execute) a targeted whack
      monitor  — run a manipulation and show what a monitor would report
      sim      — run the Section 6 closed-loop timeline
-     grid     — print the Figure 5 validity grid *)
+     grid     — print the Figure 5 validity grid
+     transparency — run the split-view attack under gossiping vantages *)
 
 open Cmdliner
 open Rpki_core
@@ -204,10 +205,63 @@ let grid_cmd =
     (Cmd.info "grid" ~doc:"Print the Figure 5 validity grid for an origin AS")
     Term.(const run $ fig5_right $ origin)
 
+(* --- transparency --- *)
+
+let transparency_cmd =
+  let monitors =
+    Arg.(value & opt int 2
+         & info [ "monitors" ] ~doc:"Monitor vantages besides the victim (0-3; 0 = no gossip).")
+  in
+  let period =
+    Arg.(value & opt int 1 & info [ "period" ] ~doc:"Gossip period in ticks.")
+  in
+  let grace =
+    Arg.(value & opt int 4
+         & info [ "grace" ] ~doc:"Victim's Suspenders-style VRP hold, in ticks.")
+  in
+  let overt =
+    Arg.(value & flag
+         & info [ "overt" ]
+             ~doc:"Overt fork (keep the honest manifest) instead of a stealthy re-signed one.")
+  in
+  let run monitors period grace overt =
+    let sv = Rpki_sim.Loop.split_view_scenario ~monitors ~grace ~gossip_period:period () in
+    let t = sv.Rpki_sim.Loop.sv_sim in
+    let stealth =
+      if overt then Rpki_attack.Split_view.Overt else Rpki_attack.Split_view.Stealthy
+    in
+    let atk =
+      Rpki_attack.Split_view.plan ~authority:sv.Rpki_sim.Loop.sv_model.Model.continental
+        ~target_filename:sv.Rpki_sim.Loop.sv_target_filename ~stealth ()
+    in
+    for now = 1 to 10 do
+      if now = 3 then begin
+        Printf.printf "t3: %s\n" (Rpki_attack.Split_view.describe atk);
+        Rpki_attack.Split_view.apply atk (Rpki_sim.Loop.transport t)
+      end;
+      let r = Rpki_sim.Loop.step t ~now in
+      Format.printf "%a@." Rpki_sim.Loop.pp_record r
+    done;
+    match Rpki_sim.Loop.gossip_mesh t with
+    | None -> print_endline "\nno gossip mesh: the fork goes undetected"
+    | Some g ->
+      print_endline "";
+      List.iter
+        (fun a ->
+          Format.printf "%a@." Rpki_monitor.Monitor.pp_alert
+            (List.hd (Rpki_monitor.Monitor.gossip_alerts [ a ])))
+        (Rpki_repo.Gossip.alarms g)
+  in
+  Cmd.v
+    (Cmd.info "transparency"
+       ~doc:"Run a split-view (mirror world) attack under gossiping vantages")
+    Term.(const run $ monitors $ period $ grace $ overt)
+
 let () =
   let doc = "the misbehaving-RPKI-authorities toolkit (HotNets'13 reproduction)" in
   let info = Cmd.info "rpki-sim" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval
        (Cmd.group info
-          [ show_cmd; validate_cmd; ov_cmd; whack_cmd; monitor_cmd; sim_cmd; grid_cmd ]))
+          [ show_cmd; validate_cmd; ov_cmd; whack_cmd; monitor_cmd; sim_cmd; grid_cmd;
+            transparency_cmd ]))

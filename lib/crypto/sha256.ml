@@ -131,4 +131,12 @@ let digest s =
   feed ctx s;
   finish ctx
 
+(* Digest of a concatenation, streamed — H(a || b || ...) without building
+   the concatenated string (domain-separated hashing feeds tag and payload
+   as separate parts). *)
+let digest_list parts =
+  let ctx = init () in
+  List.iter (feed ctx) parts;
+  finish ctx
+
 let hexdigest s = Rpki_util.Hex.of_string (digest s)

@@ -15,5 +15,9 @@ val finish : ctx -> string
 val digest : string -> string
 (** One-shot digest: 32 raw bytes. *)
 
+val digest_list : string list -> string
+(** [digest_list parts] is [digest (String.concat "" parts)], streamed —
+    the natural shape for domain-separated hashing (tag, then payload). *)
+
 val hexdigest : string -> string
 (** One-shot digest in lowercase hex. *)

@@ -240,5 +240,21 @@ let staleness_alerts ?(threshold = 2) (result : Rpki_repo.Relying_party.sync_res
     :: point_alerts
   else point_alerts
 
+(* Gossip monitoring: a content monitor compares what a point published
+   over time; gossip compares what different vantages were *served* at the
+   same time.  Every gossip alarm is cryptographic — a fork carries two
+   signed, inclusion-proved observations — so everything maps to [Alarm]. *)
+let gossip_alerts gossip_alarms =
+  List.map
+    (fun ga ->
+      let uri =
+        match ga with
+        | Rpki_repo.Gossip.Fork { fork_uri; _ } -> fork_uri
+        | Rpki_repo.Gossip.Inconsistent_heads _ | Rpki_repo.Gossip.Bad_head_signature _
+        | Rpki_repo.Gossip.Bad_inclusion _ -> "-"
+      in
+      { severity = Alarm; uri; what = Rpki_repo.Gossip.describe_alarm ga })
+    gossip_alarms
+
 let alarms alerts = List.filter (fun a -> a.severity = Alarm) alerts
 let warnings alerts = List.filter (fun a -> a.severity = Warning) alerts

@@ -55,5 +55,13 @@ val staleness_alerts :
     that a content diff cannot see, since every published object still
     verifies. *)
 
+val gossip_alerts : Rpki_repo.Gossip.alarm list -> alert list
+(** Cross-vantage monitoring from the transparency layer: every
+    {!Rpki_repo.Gossip.alarm} becomes an [Alarm]-severity alert (fork
+    evidence is cryptographic, not heuristic).  This is the detector for
+    the one manipulation neither a content diff nor freshness accounting
+    can see — a split view, where each vantage's feed is internally
+    consistent, signed and fresh, but the views disagree. *)
+
 val alarms : alert list -> alert list
 val warnings : alert list -> alert list

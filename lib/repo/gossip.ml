@@ -1,0 +1,261 @@
+(* Tree-head gossip between relying-party vantages: split-view detection.
+   See the .mli for the protocol; this file is the mechanics.
+
+   The "message" a peer would serve is assembled here from the peer's own
+   log (we play both endpoints of the pull), but everything the receiver
+   does with it goes through the same verification a remote would run:
+   signature, consistency from the last head it saw, inclusion of every
+   delta record.  Only verified records are cross-checked, so a Fork alarm
+   is always backed by checkable evidence. *)
+
+module Log = Rpki_transparency.Log
+module Merkle = Rpki_transparency.Merkle
+
+type vantage = {
+  v_name : string;
+  v_rp : Relying_party.t;
+  v_endpoint : Pub_point.t;
+  v_transport : Transport.t;
+}
+
+type attested = {
+  att_vantage : string;
+  att_obs : Log.observation;
+  att_index : int;
+  att_head : Log.signed_head;
+  att_proof : Merkle.proof;
+}
+
+type alarm =
+  | Fork of {
+      fork_uri : string;
+      fork_serial : int;
+      left : attested;
+      right : attested;
+    }
+  | Inconsistent_heads of {
+      ih_peer : string;
+      ih_seen_by : string;
+      ih_old : Log.head;
+      ih_new : Log.head;
+    }
+  | Bad_head_signature of { bs_peer : string; bs_seen_by : string }
+  | Bad_inclusion of { bi_peer : string; bi_seen_by : string; bi_index : int }
+
+let is_fork = function Fork _ -> true | _ -> false
+
+let describe_alarm = function
+  | Fork f ->
+    Printf.sprintf
+      "FORK at %s #%d: %s saw %s but %s saw %s — the authority equivocated"
+      f.fork_uri f.fork_serial f.left.att_vantage
+      (Log.observation_to_string f.left.att_obs)
+      f.right.att_vantage
+      (Log.observation_to_string f.right.att_obs)
+  | Inconsistent_heads i ->
+    Printf.sprintf "%s: peer %s's head %s does not extend its earlier head %s"
+      i.ih_seen_by i.ih_peer (Log.head_to_string i.ih_new) (Log.head_to_string i.ih_old)
+  | Bad_head_signature b ->
+    Printf.sprintf "%s: peer %s served a tree head with a bad signature" b.bs_seen_by b.bs_peer
+  | Bad_inclusion b ->
+    Printf.sprintf "%s: peer %s's record %d failed its inclusion proof" b.bi_seen_by b.bi_peer
+      b.bi_index
+
+(* Re-verify fork evidence from scratch; a [true] needs no trust in the
+   vantage that raised the alarm. *)
+let verify_fork ~key_of = function
+  | Inconsistent_heads _ | Bad_head_signature _ | Bad_inclusion _ -> false
+  | Fork f ->
+    let side (a : attested) =
+      match key_of a.att_vantage with
+      | None -> false
+      | Some key ->
+        Log.verify_head ~key a.att_head
+        && Log.verify_observation_inclusion a.att_obs ~index:a.att_index
+             ~head:a.att_head.Log.sh_head a.att_proof
+    in
+    let lo = f.left.att_obs and ro = f.right.att_obs in
+    side f.left && side f.right
+    && String.equal lo.Log.ob_uri f.fork_uri
+    && String.equal ro.Log.ob_uri f.fork_uri
+    && lo.Log.ob_serial = f.fork_serial
+    && ro.Log.ob_serial = f.fork_serial
+    && not (Log.observation_equal lo ro)
+
+type exchange = {
+  ex_from : string;
+  ex_to : string;
+  ex_outcome : [ `Ok of int | `Stalled | `Unroutable ];
+  ex_elapsed : int;
+  ex_proof_bytes : int;
+}
+
+type round_report = {
+  r_at : int;
+  r_exchanges : exchange list;
+  r_alarms : alarm list;
+  r_proof_bytes : int;
+  r_elapsed : int;
+}
+
+type t = {
+  vantages : vantage list;
+  timeout : int;
+  last_seen : (string * string, Log.head) Hashtbl.t;
+      (* (receiver, peer) -> the peer head the receiver last verified *)
+  mutable alarm_log : alarm list; (* newest first *)
+  reported : (string, unit) Hashtbl.t; (* dedup keys for raised alarms *)
+}
+
+let create ?(timeout = 32) vantages =
+  (match vantages with
+  | [] -> invalid_arg "Gossip.create: no vantages"
+  | _ -> ());
+  let names = List.map (fun v -> v.v_name) vantages in
+  if List.length (List.sort_uniq compare names) <> List.length names then
+    invalid_arg "Gossip.create: duplicate vantage names";
+  { vantages; timeout; last_seen = Hashtbl.create 16; alarm_log = [];
+    reported = Hashtbl.create 16 }
+
+let vantages t = t.vantages
+let alarms t = List.rev t.alarm_log
+let forks t = List.filter is_fork (alarms t)
+
+(* Raise an alarm unless its dedup key was already reported. *)
+let raise_alarm t ~key alarm acc =
+  if Hashtbl.mem t.reported key then acc
+  else begin
+    Hashtbl.replace t.reported key ();
+    t.alarm_log <- alarm :: t.alarm_log;
+    alarm :: acc
+  end
+
+let fork_key uri serial a b =
+  let x, y = if a < b then (a, b) else (b, a) in
+  Printf.sprintf "fork:%s:%d:%s:%s" uri serial x y
+
+(* One pull: [receiver] fetches [peer]'s head + delta and verifies it.
+   Returns (exchange, new alarms). *)
+let pull t ~now ~(receiver : vantage) ~(peer : vantage) =
+  match Transport.probe receiver.v_transport ~point:peer.v_endpoint ~timeout:t.timeout with
+  | `Stalled dt ->
+    ({ ex_from = peer.v_name; ex_to = receiver.v_name; ex_outcome = `Stalled;
+       ex_elapsed = dt; ex_proof_bytes = 0 }, [])
+  | `Unroutable dt ->
+    ({ ex_from = peer.v_name; ex_to = receiver.v_name; ex_outcome = `Unroutable;
+       ex_elapsed = dt; ex_proof_bytes = 0 }, [])
+  | `Ok dt ->
+    let peer_log = Relying_party.transparency_log peer.v_rp in
+    let own_log = Relying_party.transparency_log receiver.v_rp in
+    let sth = Relying_party.signed_tree_head peer.v_rp ~now in
+    let new_head = sth.Log.sh_head in
+    let seen_key = (receiver.v_name, peer.v_name) in
+    let old_head = Hashtbl.find_opt t.last_seen seen_key in
+    let old_size = match old_head with Some h -> h.Log.h_size | None -> 0 in
+    (* the peer's message: consistency from the last head we verified,
+       plus every record appended since, each with an inclusion proof *)
+    let consistency =
+      if old_size = 0 || old_size > new_head.Log.h_size then []
+      else Log.consistency_proof peer_log ~old_size ~size:new_head.Log.h_size
+    in
+    let delta =
+      if new_head.Log.h_size <= old_size then []
+      else
+        List.map
+          (fun (i, ob) -> (i, ob, Log.inclusion_proof peer_log ~index:i ~size:new_head.Log.h_size))
+          (Log.since peer_log old_size)
+    in
+    let proof_bytes =
+      Merkle.proof_bytes consistency
+      + List.fold_left (fun acc (_, _, p) -> acc + Merkle.proof_bytes p) 0 delta
+      + String.length sth.Log.sh_sig
+    in
+    let alarms = ref [] in
+    let note ~key a = alarms := raise_alarm t ~key a !alarms in
+    (* 1. the head must be the peer's statement *)
+    if not (Log.verify_head ~key:(Relying_party.transparency_key peer.v_rp) sth) then
+      note ~key:(Printf.sprintf "badsig:%s:%s:%d" receiver.v_name peer.v_name now)
+        (Bad_head_signature { bs_peer = peer.v_name; bs_seen_by = receiver.v_name })
+    else begin
+      (* 2. the new head must extend the one we last verified *)
+      let consistent =
+        match old_head with
+        | None -> true
+        | Some oh -> Log.verify_head_consistency ~old_head:oh ~new_head consistency
+      in
+      if not consistent then
+        note
+          ~key:(Printf.sprintf "inconsistent:%s:%s:%d" receiver.v_name peer.v_name old_size)
+          (Inconsistent_heads
+             { ih_peer = peer.v_name; ih_seen_by = receiver.v_name;
+               ih_old = Option.get old_head; ih_new = new_head })
+      else begin
+        Hashtbl.replace t.last_seen seen_key new_head;
+        (* 3. each delta record must be in the tree the head commits to *)
+        List.iter
+          (fun (i, ob, proof) ->
+            if not (Log.verify_observation_inclusion ob ~index:i ~head:new_head proof) then
+              note ~key:(Printf.sprintf "badincl:%s:%s:%d" receiver.v_name peer.v_name i)
+                (Bad_inclusion { bi_peer = peer.v_name; bi_seen_by = receiver.v_name; bi_index = i })
+            else
+              (* 4. cross-check against our own history: same publication
+                 point, same manifest number, different content = fork *)
+              match Log.find own_log ~uri:ob.Log.ob_uri ~serial:ob.Log.ob_serial with
+              | Some (own_i, own_ob) when not (Log.observation_equal own_ob ob) ->
+                let own_sth = Relying_party.signed_tree_head receiver.v_rp ~now in
+                let own_head = own_sth.Log.sh_head in
+                let left =
+                  { att_vantage = receiver.v_name; att_obs = own_ob; att_index = own_i;
+                    att_head = own_sth;
+                    att_proof =
+                      Log.inclusion_proof own_log ~index:own_i ~size:own_head.Log.h_size }
+                in
+                let right =
+                  { att_vantage = peer.v_name; att_obs = ob; att_index = i;
+                    att_head = sth; att_proof = proof }
+                in
+                note
+                  ~key:(fork_key ob.Log.ob_uri ob.Log.ob_serial receiver.v_name peer.v_name)
+                  (Fork
+                     { fork_uri = ob.Log.ob_uri; fork_serial = ob.Log.ob_serial; left; right })
+              | _ -> ())
+          delta
+      end
+    end;
+    ({ ex_from = peer.v_name; ex_to = receiver.v_name; ex_outcome = `Ok (List.length delta);
+       ex_elapsed = dt; ex_proof_bytes = proof_bytes }, List.rev !alarms)
+
+let round t ~now =
+  let exchanges = ref [] and alarms = ref [] in
+  List.iter
+    (fun receiver ->
+      List.iter
+        (fun peer ->
+          if peer.v_name <> receiver.v_name then begin
+            let ex, al = pull t ~now ~receiver ~peer in
+            exchanges := ex :: !exchanges;
+            alarms := !alarms @ al
+          end)
+        t.vantages)
+    t.vantages;
+  let exchanges = List.rev !exchanges in
+  { r_at = now;
+    r_exchanges = exchanges;
+    r_alarms = !alarms;
+    r_proof_bytes = List.fold_left (fun acc e -> acc + e.ex_proof_bytes) 0 exchanges;
+    r_elapsed = List.fold_left (fun acc e -> acc + e.ex_elapsed) 0 exchanges }
+
+let pp_report fmt r =
+  let ok, failed =
+    List.partition (fun e -> match e.ex_outcome with `Ok _ -> true | _ -> false) r.r_exchanges
+  in
+  Format.fprintf fmt "gossip@t%d: %d/%d exchanges ok, %d proof bytes, %d alarm(s)%s" r.r_at
+    (List.length ok)
+    (List.length r.r_exchanges)
+    r.r_proof_bytes
+    (List.length r.r_alarms)
+    (if failed = [] then ""
+     else
+       Printf.sprintf " [failed: %s]"
+         (String.concat ", "
+            (List.map (fun e -> Printf.sprintf "%s<-%s" e.ex_to e.ex_from) failed)))

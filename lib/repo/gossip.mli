@@ -1,0 +1,125 @@
+(** Tree-head gossip between relying-party vantages: split-view (mirror
+    world) detection.
+
+    The paper's Section 7 asks for monitoring that {e deters} manipulation
+    by making it detectable.  A single vantage cannot tell a targeted
+    split view from legitimate change: the forked repository it is served
+    is internally consistent and properly signed.  What it {e can} do is
+    commit to everything it saw ({!Relying_party.transparency_log}) and
+    compare commitments with peers.  This module is that comparison.
+
+    Protocol (pull-based, one round = every ordered vantage pair):
+    each receiver fetches from each peer — over the receiver's own
+    {!Transport}, so gossip pays latency and can itself be stalled or
+    partitioned — a message containing the peer's current signed tree
+    head, a Merkle consistency proof from the head the receiver last saw,
+    and the observation records appended since, each with an inclusion
+    proof.  The receiver verifies signature, consistency and inclusions,
+    then cross-checks every received observation against its own log under
+    the (publication point, manifest number) key.
+
+    Outcomes, as typed {!alarm}s:
+    - {!alarm.Fork}: the same (point, manifest number) maps to different
+      content hashes in the two logs — a split view.  Carries both sides'
+      observations, inclusion proofs and signed heads; {!verify_fork}
+      re-checks the evidence from scratch, so the alarm is portable.
+    - {!alarm.Inconsistent_heads}: a peer's new head does not extend the
+      head it previously gossiped — the peer (or whoever serves its log)
+      rewrote history.
+    - {!alarm.Bad_head_signature} / {!alarm.Bad_inclusion}: a message that
+      fails cryptographic verification; its records are not trusted.
+
+    Honest vantages over faulty-but-consistent transports (slow, stalling,
+    partitioned) never produce {!alarm.Fork} or
+    {!alarm.Inconsistent_heads}: delays postpone exchanges and stale
+    caches dedup to nothing, but no honest sequence of observations can
+    fork a log. *)
+
+open Rpki_core
+open Rpki_crypto
+module Log = Rpki_transparency.Log
+module Merkle = Rpki_transparency.Merkle
+
+type vantage = {
+  v_name : string;
+  v_rp : Relying_party.t;
+  v_endpoint : Pub_point.t;  (** where this vantage's log server answers —
+                                 addressing only; gossip to it is priced and
+                                 faulted like any repository fetch *)
+  v_transport : Transport.t; (** the network as this vantage experiences it;
+                                 its pulls travel through this *)
+}
+
+(** One side of a fork: an observation bound to its vantage's signed head. *)
+type attested = {
+  att_vantage : string;
+  att_obs : Log.observation;
+  att_index : int;           (** leaf index in that vantage's log *)
+  att_head : Log.signed_head;
+  att_proof : Merkle.proof;  (** inclusion of the leaf under the head *)
+}
+
+type alarm =
+  | Fork of {
+      fork_uri : string;
+      fork_serial : int;
+      left : attested;   (** the receiver's own record *)
+      right : attested;  (** the peer's conflicting record *)
+    }
+  | Inconsistent_heads of {
+      ih_peer : string;
+      ih_seen_by : string;
+      ih_old : Log.head;  (** what the peer gossiped before *)
+      ih_new : Log.head;  (** what it claims now *)
+    }
+  | Bad_head_signature of { bs_peer : string; bs_seen_by : string }
+  | Bad_inclusion of { bi_peer : string; bi_seen_by : string; bi_index : int }
+
+val is_fork : alarm -> bool
+val describe_alarm : alarm -> string
+
+val verify_fork :
+  key_of:(string -> Rsa.public option) -> alarm -> bool
+(** Re-verify fork evidence from scratch: both signed heads under their
+    vantages' keys ([key_of] by vantage name), both inclusion proofs, key
+    equality and content divergence.  [false] for non-[Fork] alarms or when
+    any check fails — a [true] here is proof of a split view that needs no
+    trust in whoever raised the alarm. *)
+
+type exchange = {
+  ex_from : string;                         (** the peer pulled from *)
+  ex_to : string;                           (** the receiver *)
+  ex_outcome : [ `Ok of int | `Stalled | `Unroutable ];
+      (** [`Ok n]: n observation records transferred *)
+  ex_elapsed : int;                         (** transport ticks spent *)
+  ex_proof_bytes : int;                     (** Merkle proof payload moved *)
+}
+
+type round_report = {
+  r_at : int;
+  r_exchanges : exchange list;
+  r_alarms : alarm list;     (** new alarms this round only *)
+  r_proof_bytes : int;       (** total proof payload this round *)
+  r_elapsed : int;           (** total transport time this round *)
+}
+
+type t
+
+val create : ?timeout:int -> vantage list -> t
+(** A gossip mesh over the given vantages.  [timeout] (default 32) caps
+    each pull, like a fetch-policy point timeout. *)
+
+val vantages : t -> vantage list
+
+val round : t -> now:Rtime.t -> round_report
+(** Run one full round of pairwise exchanges.  Alarms deduplicate across
+    rounds: a fork already reported for a (uri, serial, pair) key stays
+    reported but is not re-raised. *)
+
+val alarms : t -> alarm list
+(** Every alarm ever raised, oldest first. *)
+
+val forks : t -> alarm list
+(** Just the {!alarm.Fork}s. *)
+
+val pp_report : Format.formatter -> round_report -> unit

@@ -103,6 +103,8 @@ type sync_result = {
   diff : Vrp.diff;
   points_reused : int;
   points_revalidated : int;
+  observations_appended : int;
+  tree_head : Rpki_transparency.Log.head;
 }
 
 (* The memoized outcome of validating one publication point under one
@@ -116,6 +118,8 @@ type memo_entry = {
   m_vrps : Vrp.t list;           (* this point's direct VRP contribution *)
   m_issues : issue list;
   m_children : Cert.t list;      (* validated child CA certs, in file order *)
+  m_mft_number : int;            (* manifest number as served; 0 if none *)
+  m_mft_hash : string;           (* SHA-256 of the manifest bytes; "" if none *)
 }
 
 type cached_point = {
@@ -141,18 +145,48 @@ type t = {
   mutable last_result : sync_result option;
   mutable effective_vrps : Vrp.t list; (* baseline the next diff is against *)
   mutable index : Origin_validation.index;
+  tlog : Rpki_transparency.Log.t; (* this vantage's transparency log: one
+                                     observation per distinct publication-point
+                                     state ever fetched.  Append-only; survives
+                                     flush_cache by design (evidence must not be
+                                     erasable by a cache wipe). *)
+  mutable tkey : Rpki_crypto.Rsa.keypair option; (* lazy tree-head signing key *)
 }
 
 let create ~name ~asn ~tals ?(use_stale = true) ?grace () =
   { name; asn; tals; use_stale; grace; cache = [];
     rrdp_clients = Hashtbl.create 4; memo = Hashtbl.create 64;
     vrp_memory = []; last_result = None; effective_vrps = [];
-    index = Origin_validation.empty_index }
+    index = Origin_validation.empty_index;
+    tlog = Rpki_transparency.Log.create ~log_id:name; tkey = None }
 
 let name t = t.name
 let asn t = t.asn
 let last_result t = t.last_result
 let cached_points t = List.rev_map fst t.cache
+
+let transparency_log t = t.tlog
+
+(* The vantage's tree-head signing key, generated on first use (keygen is
+   too costly to pay at [create] for the many RPs that never gossip). *)
+let transparency_keypair t =
+  match t.tkey with
+  | Some k -> k
+  | None ->
+    let rng =
+      Rpki_crypto.Drbg.to_rng (Rpki_crypto.Drbg.create ~seed:("rp-log:" ^ t.name))
+    in
+    let k = Rpki_crypto.Rsa.generate rng in
+    t.tkey <- Some k;
+    k
+
+let transparency_key t = (transparency_keypair t).Rpki_crypto.Rsa.public
+
+let tree_head t ~now = Rpki_transparency.Log.head t.tlog ~at:now
+
+let signed_tree_head t ~now =
+  Rpki_transparency.Log.sign_head
+    ~key:(transparency_keypair t).Rpki_crypto.Rsa.private_ (tree_head t ~now)
 
 (* Drop cached snapshots, memoized validations and grace memory (manual
    operator intervention; the paper notes recovery from Side Effect 7
@@ -165,6 +199,12 @@ let flush_cache t =
   t.vrp_memory <- []
 
 let cert_fp cert = Rpki_crypto.Sha256.digest (Cert.encode cert)
+
+(* Canonical digest of a point's VRP contribution — one of the
+   content-addressed fields of a transparency observation. *)
+let vrp_set_hash vrps =
+  Rpki_crypto.Sha256.digest
+    (String.concat "\n" (List.map Vrp.to_string (List.sort_uniq Vrp.compare vrps)))
 
 (* A memo entry survives a change of [now] iff [now] falls on the same side
    of every boundary the original validation compared against. *)
@@ -197,6 +237,7 @@ let sync t ~now ~universe ?reachable ?transport ?(policy = default_policy) () =
   let cas = ref [] in
   let reused = ref 0 in
   let revalidated = ref 0 in
+  let appended = ref 0 in
   let clock = ref 0 in
   let exhausted = ref false in
   let seen_keys = Hashtbl.create 16 in
@@ -376,6 +417,21 @@ let sync t ~now ~universe ?reachable ?transport ?(policy = default_policy) () =
           in
           issues := List.rev_append entry.m_issues !issues;
           vrps := entry.m_vrps @ !vrps;
+          (* transparency: record the state this point served us.  The leaf
+             is content-addressed, so a memo replay of an unchanged point
+             dedups to a no-op, while a split-view authority serving this
+             vantage different bytes necessarily forks the log. *)
+          let ob =
+            { Rpki_transparency.Log.ob_uri = uri;
+              ob_serial = entry.m_mft_number;
+              ob_manifest_hash = entry.m_mft_hash;
+              ob_vrp_hash = vrp_set_hash entry.m_vrps;
+              ob_snapshot_fp = snap_fp;
+              ob_at = now }
+          in
+          (match Rpki_transparency.Log.append t.tlog ob with
+          | `Appended _ -> incr appended
+          | `Unchanged -> ());
           List.iter process_ca entry.m_children)
     end
   (* From-scratch validation of one point's contents, recording every
@@ -412,9 +468,18 @@ let sync t ~now ~universe ?reachable ?transport ?(policy = default_policy) () =
     let mft_name =
       Option.value ca_cert.Cert.manifest_uri ~default:(ca_cert.Cert.subject ^ ".mft")
     in
+    (* transparency fields: what the point *served*, recorded even when the
+       manifest fails validation — the log keeps evidence, not judgements *)
+    let mft_hash =
+      match List.assoc_opt mft_name snapshot with
+      | Some bytes -> Rpki_crypto.Sha256.digest bytes
+      | None -> ""
+    in
+    let mft_number = ref 0 in
     let manifest =
       match decode_file mft_name with
       | Some (Obj.Manifest m) -> (
+        mft_number := m.Manifest.manifest_number;
         match Validation.validate_manifest ~now ~parent:ca_cert m with
         | Ok () -> Some m
         | Error f ->
@@ -484,7 +549,9 @@ let sync t ~now ~universe ?reachable ?transport ?(policy = default_policy) () =
       m_subject = ca_cert.Cert.subject;
       m_vrps = !local_vrps;
       m_issues = List.rev !local_issues;
-      m_children = List.rev !children }
+      m_children = List.rev !children;
+      m_mft_number = !mft_number;
+      m_mft_hash = mft_hash }
   in
   List.iter
     (fun tal ->
@@ -551,7 +618,9 @@ let sync t ~now ~universe ?reachable ?transport ?(policy = default_policy) () =
       index = t.index;
       diff;
       points_reused = !reused;
-      points_revalidated = !revalidated }
+      points_revalidated = !revalidated;
+      observations_appended = !appended;
+      tree_head = Rpki_transparency.Log.head t.tlog ~at:now }
   in
   t.last_result <- Some result;
   result

@@ -98,6 +98,10 @@ type sync_result = {
   points_reused : int;                     (** points whose memoized validation
                                                was replayed *)
   points_revalidated : int;                (** points validated from scratch *)
+  observations_appended : int;             (** distinct new publication-point
+                                               states recorded in the
+                                               transparency log this sync *)
+  tree_head : Rpki_transparency.Log.head;  (** the log's head after this sync *)
 }
 
 val max_data_age : sync_result -> int
@@ -129,7 +133,32 @@ val flush_cache : t -> unit
 (** Drop cached snapshots, RRDP client state, memoized validations and grace
     memory (the manual operator intervention the paper mentions for Side
     Effect 7 recovery).  The next sync revalidates everything from scratch;
-    its [diff] is still relative to the last result. *)
+    its [diff] is still relative to the last result.  The transparency log
+    is {e not} flushed: it is append-only evidence, and a cache wipe must
+    not be able to erase it. *)
+
+(** {2 Transparency}
+
+    Every sync appends one content-addressed observation per distinct
+    publication-point state fetched (point URI, manifest number, manifest
+    hash, VRP-set hash, listing fingerprint) to this vantage's append-only
+    Merkle log.  {!Gossip} exchanges signed tree heads between vantages;
+    a split-view authority that shows this RP a forked repository leaves
+    two irreconcilable observations under the same (point, manifest number)
+    key — portable cryptographic evidence of misbehavior. *)
+
+val transparency_log : t -> Rpki_transparency.Log.t
+(** This vantage's observation log (live — do not mutate). *)
+
+val tree_head : t -> now:Rtime.t -> Rpki_transparency.Log.head
+(** The log's current head. *)
+
+val signed_tree_head : t -> now:Rtime.t -> Rpki_transparency.Log.signed_head
+(** The current head under this vantage's signing key (generated
+    deterministically from the RP name on first use). *)
+
+val transparency_key : t -> Rpki_crypto.Rsa.public
+(** The key {!signed_tree_head} signs with — what peers verify against. *)
 
 val sync :
   t ->

@@ -35,11 +35,16 @@ let fault_to_string = function
 type t = {
   mutable latency_of : Pub_point.t -> int option;
   faults : (string, fault) Hashtbl.t;
+  views : (string, unit -> (string * string) list) Hashtbl.t;
+  (* per-URI listing overrides: what THIS client is served instead of the
+     point's published content — a split-view (mirror-world) authority or
+     an on-path adversary discriminating by requester.  Timing is
+     unaffected; only the payload forks. *)
   failure_cost : int; (* time burned learning that there is no route *)
 }
 
 let create ?(latency_of = fun _ -> Some 0) ?(failure_cost = 1) () =
-  { latency_of; faults = Hashtbl.create 8; failure_cost }
+  { latency_of; faults = Hashtbl.create 8; views = Hashtbl.create 4; failure_cost }
 
 (* The PR-1 world: every request costs nothing and nothing is faulty. *)
 let instant () = create ~failure_cost:0 ()
@@ -59,6 +64,11 @@ let clear_fault t ~uri = Hashtbl.remove t.faults uri
 let clear_faults t = Hashtbl.reset t.faults
 
 let faults t = Hashtbl.fold (fun uri f acc -> (uri, f) :: acc) t.faults []
+
+let set_view t ~uri listing = Hashtbl.replace t.views uri listing
+let clear_view t ~uri = Hashtbl.remove t.views uri
+let view_of t ~uri = Hashtbl.find_opt t.views uri
+let views t = Hashtbl.fold (fun uri _ acc -> uri :: acc) t.views []
 
 (* One request against [point]: how long until the transfer completes?
    [`Ok dt] within the timeout, [`Stalled timeout] when the transfer would
@@ -87,11 +97,18 @@ type reply =
   | Stalled of { elapsed : int }
   | Unroutable of { elapsed : int }
 
-(* Fetch the point's current listing through the transport. *)
+(* Fetch the point's current listing through the transport — or, when a
+   split view is installed for the URI, whatever this client is being
+   shown instead. *)
 let fetch t ~(point : Pub_point.t) ~timeout =
   match probe t ~point ~timeout with
-  | `Ok elapsed ->
-    Served { files = Pub_point.snapshot point; fp = Pub_point.fingerprint point; elapsed }
+  | `Ok elapsed -> (
+    match view_of t ~uri:(Pub_point.uri point) with
+    | None ->
+      Served { files = Pub_point.snapshot point; fp = Pub_point.fingerprint point; elapsed }
+    | Some listing ->
+      let files = listing () in
+      Served { files; fp = Pub_point.fingerprint_of_listing files; elapsed })
   | `Stalled elapsed -> Stalled { elapsed }
   | `Unroutable elapsed -> Unroutable { elapsed }
 

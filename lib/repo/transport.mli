@@ -48,6 +48,22 @@ val clear_faults : t -> unit
 val faults : t -> (string * fault) list
 (** Every non-healthy point. *)
 
+val set_view : t -> uri:string -> (unit -> (string * string) list) -> unit
+(** Install a split view: {!fetch}es of [uri] {e through this transport}
+    serve the given listing instead of the point's published content — the
+    mirror-world primitive (a misbehaving authority, or an on-path
+    adversary, discriminating by requester).  Timing and faults are
+    unaffected; only the payload forks.  Other transports (other vantages)
+    keep seeing the genuine listing, which is exactly what the transparency
+    layer's gossip is built to catch. *)
+
+val clear_view : t -> uri:string -> unit
+
+val view_of : t -> uri:string -> (unit -> (string * string) list) option
+
+val views : t -> string list
+(** URIs with an installed split view. *)
+
 val probe :
   t -> point:Pub_point.t -> timeout:int ->
   [ `Ok of int | `Stalled of int | `Unroutable of int ]

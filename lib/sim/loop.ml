@@ -37,6 +37,10 @@ type t = {
   mutable per_hop_latency : int;  (* transport ticks per forwarding hop *)
   mutable net : Data_plane.network option; (* data plane after the last tick *)
   mutable history : tick_record list;      (* newest first *)
+  mutable vantages : Gossip.vantage list;  (* gossip mesh members, in
+                                              registration order *)
+  mutable gossip : Gossip.t option;        (* set by [enable_gossip] *)
+  mutable gossip_period : int;    (* run a gossip round every this many ticks *)
 }
 
 and tick_record = {
@@ -52,6 +56,8 @@ and tick_record = {
   sync_elapsed : int;           (* transport time the sync spent *)
   max_data_age : int;           (* worst staleness the sync accepted *)
   budget_exhausted : bool;      (* the fetch budget ran out this tick *)
+  gossip_report : Gossip.round_report option;
+                                (* the gossip round run this tick, if any *)
 }
 
 (* Latency of one request to a publication point, from the data plane the
@@ -59,20 +65,23 @@ and tick_record = {
    cost — the Section 6 circularity as time, not just a boolean.  Traffic
    delivered to the wrong origin (a hijacker) is no route at all.  Before
    the first tick routing works and nothing has been priced yet. *)
-let point_latency t (pp : Pub_point.t) =
+let latency_from t ~asn (pp : Pub_point.t) =
   match t.net with
   | None -> Some 0
   | Some net -> (
-    match Data_plane.trace net ~src:(Relying_party.asn t.rp) ~addr:(Pub_point.addr pp) with
+    match Data_plane.trace net ~src:asn ~addr:(Pub_point.addr pp) with
     | Data_plane.Delivered { origin; hops } when origin = Pub_point.host_asn pp ->
       Some (t.per_hop_latency * List.length hops)
     | Data_plane.Delivered _ | Data_plane.No_route _ | Data_plane.Loop _ -> None)
+
+let point_latency t pp = latency_from t ~asn:(Relying_party.asn t.rp) pp
 
 let create ~universe ~topo ~policy ~rp ~announcements ~probes =
   let t =
     { universe; topo; policy; rp; rtr = Rpki_rtr.Session.create_cache (); announcements; probes;
       transport = Transport.create (); fetch_policy = Relying_party.default_policy;
-      per_hop_latency = 1; net = None; history = [] }
+      per_hop_latency = 1; net = None; history = []; vantages = []; gossip = None;
+      gossip_period = 1 }
   in
   Transport.set_latency_of t.transport (point_latency t);
   t
@@ -81,6 +90,48 @@ let rtr_cache t = t.rtr
 let transport t = t.transport
 let set_fetch_policy t p = t.fetch_policy <- p
 let set_per_hop_latency t c = t.per_hop_latency <- max 0 c
+
+(* --- vantages and gossip --- *)
+
+let check_not_gossiping t caller =
+  if Option.is_some t.gossip then
+    invalid_arg (caller ^ ": gossip already enabled; register vantages first")
+
+let add_vantage t v =
+  if List.exists (fun w -> String.equal w.Gossip.v_name v.Gossip.v_name) t.vantages then
+    invalid_arg ("Loop: duplicate vantage " ^ v.Gossip.v_name);
+  t.vantages <- t.vantages @ [ v ]
+
+let primary_vantage t ~endpoint =
+  check_not_gossiping t "Loop.primary_vantage";
+  add_vantage t
+    { Gossip.v_name = Relying_party.name t.rp; v_rp = t.rp; v_endpoint = endpoint;
+      v_transport = t.transport }
+
+let register_vantage t ~name ~rp ~endpoint =
+  check_not_gossiping t "Loop.register_vantage";
+  (* the extra vantage experiences the same network, but from its own AS:
+     its transport prices every request off the previous tick's data plane
+     as seen from [rp]'s seat *)
+  let tr = Transport.create () in
+  Transport.set_latency_of tr (latency_from t ~asn:(Relying_party.asn rp));
+  add_vantage t { Gossip.v_name = name; v_rp = rp; v_endpoint = endpoint; v_transport = tr }
+
+let vantage_names t = List.map (fun v -> v.Gossip.v_name) t.vantages
+
+let vantage t ~name =
+  match List.find_opt (fun v -> String.equal v.Gossip.v_name name) t.vantages with
+  | Some v -> v
+  | None -> invalid_arg ("Loop.vantage: unknown vantage " ^ name)
+
+let vantage_transport t ~name = (vantage t ~name).Gossip.v_transport
+
+let enable_gossip ?(period = 1) ?timeout t =
+  check_not_gossiping t "Loop.enable_gossip";
+  t.gossip <- Some (Gossip.create ?timeout t.vantages);
+  t.gossip_period <- max 1 period
+
+let gossip_mesh t = t.gossip
 
 (* Reachability of a publication point from the RP's AS, judged on the data
    plane computed at the previous tick.  Before the first tick the RP has
@@ -100,6 +151,16 @@ let step t ~now =
     Relying_party.sync t.rp ~now ~universe:t.universe ~transport:t.transport
       ~policy:t.fetch_policy ()
   in
+  (* every other vantage observes the same universe this tick, over its own
+     transport (same previous-tick data plane, priced from its own AS) —
+     filling its transparency log with what *it* was served *)
+  List.iter
+    (fun (v : Gossip.vantage) ->
+      if not (v.Gossip.v_rp == t.rp) then
+        ignore
+          (Relying_party.sync v.Gossip.v_rp ~now ~universe:t.universe
+             ~transport:v.Gossip.v_transport ~policy:t.fetch_policy ()))
+    t.vantages;
   (* the sync's diff becomes the RTR cache's next serial delta; the sync's
      data staleness rides along so routers can tell fresh serials over old
      data from fresh data *)
@@ -127,6 +188,13 @@ let step t ~now =
         | Relying_party.Stale_cache | Relying_party.Unavailable -> Some uri)
       result.Relying_party.fetches
   in
+  (* gossip runs after routing converges: tree-head pulls travel the data
+     plane this tick produced, so a partitioned vantage also cannot gossip *)
+  let gossip_report =
+    match t.gossip with
+    | Some g when now mod t.gossip_period = 0 -> Some (Gossip.round g ~now)
+    | _ -> None
+  in
   let record =
     { time = now;
       vrp_count = List.length result.Relying_party.vrps;
@@ -139,12 +207,21 @@ let step t ~now =
       points_revalidated = result.Relying_party.points_revalidated;
       sync_elapsed = result.Relying_party.sync_elapsed;
       max_data_age = Relying_party.max_data_age result;
-      budget_exhausted = result.Relying_party.budget_exhausted }
+      budget_exhausted = result.Relying_party.budget_exhausted;
+      gossip_report }
   in
   t.history <- record :: t.history;
   record
 
 let history t = List.rev t.history
+
+let first_fork_tick t =
+  List.find_map
+    (fun r ->
+      match r.gossip_report with
+      | Some rep when List.exists Gossip.is_fork rep.Gossip.r_alarms -> Some r.time
+      | _ -> None)
+    (history t)
 
 let pp_record fmt r =
   Format.fprintf fmt "%a: %d VRPs (%+d/-%d), %d issues, %d fetch failures, rtr#%d, probes: %s"
@@ -156,7 +233,13 @@ let pp_record fmt r =
     r.rtr_serial
     (String.concat ", "
        (List.map (fun (l, ok) -> Printf.sprintf "%s=%s" l (if ok then "up" else "DOWN"))
-          r.probe_results))
+          r.probe_results));
+  match r.gossip_report with
+  | None -> ()
+  | Some rep ->
+    Format.fprintf fmt ", gossip: %d alarm(s)%s"
+      (List.length rep.Gossip.r_alarms)
+      (if List.exists Gossip.is_fork rep.Gossip.r_alarms then " [FORK]" else "")
 
 (* --- the canned Section 6 scenario --- *)
 
@@ -244,3 +327,77 @@ let run_section6 ?(policy = Policy.Drop_invalid) ?(flush_cache_at = None) ?grace
   ignore (step t ~now:6);
   ignore (step t ~now:7);
   (sc, history t)
+
+(* --- the canned split-view scenario --- *)
+
+type split_view = {
+  sv_sim : t;
+  sv_model : Model.t;
+  sv_target_filename : string;
+  sv_monitors : string list;
+}
+
+(* Monitor vantages sit at the repository-hosting ASes already attached to
+   the Section 6 topology; each log endpoint lives inside a prefix that AS
+   announces, so gossip pulls have a route to travel. *)
+let monitor_specs =
+  [ ("monitor-sprint", "63.161.200.9");
+    ("monitor-etb", "63.170.200.9");
+    ("monitor-arin", "199.5.26.9") ]
+
+let monitor_asn = function
+  | "monitor-sprint" -> Model.as_sprint
+  | "monitor-etb" -> Model.as_etb
+  | "monitor-arin" -> Model.as_arin_host
+  | name -> invalid_arg ("Loop.monitor_asn: " ^ name)
+
+let split_view_scenario ?(policy = Policy.Drop_invalid) ?(grace = 4) ?(monitors = 2)
+    ?(gossip_period = 1) ?(fetch_policy = Relying_party.resilient_policy) () =
+  if monitors < 0 || monitors > List.length monitor_specs then
+    invalid_arg
+      (Printf.sprintf "Loop.split_view_scenario: 0-%d monitors" (List.length monitor_specs));
+  let model = Model.build () in
+  let _ = Model.add_fig5_right_roa model ~now:Rtime.epoch in
+  let s = Topo_gen.small_scenario () in
+  let topo = s.Topo_gen.small_topo in
+  Topology.link topo ~provider:s.Topo_gen.t1a ~customer:Model.as_sprint;
+  Topology.link topo ~provider:s.Topo_gen.mid1 ~customer:Model.as_etb;
+  Topology.link topo ~provider:s.Topo_gen.t1b ~customer:Model.as_arin_host;
+  let ann prefix origin = { Propagation.prefix = V4.p prefix; origin } in
+  let announcements =
+    [ ann "199.5.26.0/24" Model.as_arin_host;
+      ann "63.161.0.0/16" Model.as_sprint;
+      ann "63.170.0.0/16" Model.as_etb;
+      ann "63.174.16.0/20" Model.as_continental;
+      (* the victim vantage's own log endpoint: benchmark space with no
+         covering ROA, so the route is unknown and survives filtering *)
+      ann "198.18.0.0/24" s.Topo_gen.source ]
+  in
+  (* the victim runs grace (Suspenders): a forked-away VRP is held for
+     [grace] ticks, which is the window gossip detection has to beat *)
+  let rp = Model.relying_party ~name:"victim-rp" ~asn:s.Topo_gen.source ~grace model in
+  let probes =
+    [ { label = "continental-repo"; addr = Model.continental_repo_addr;
+        expected_origin = Model.as_continental };
+      { label = "sprint-repo"; addr = Model.sprint_repo_addr; expected_origin = Model.as_sprint } ]
+  in
+  let sim = create ~universe:model.Model.universe ~topo ~policy ~rp ~announcements ~probes in
+  set_fetch_policy sim fetch_policy;
+  primary_vantage sim
+    ~endpoint:
+      (Pub_point.create ~uri:"rsync://victim-rp.example/log"
+         ~addr:(V4.addr_of_string_exn "198.18.0.7") ~host_asn:s.Topo_gen.source);
+  let chosen = List.filteri (fun i _ -> i < monitors) monitor_specs in
+  List.iter
+    (fun (name, addr) ->
+      let asn = monitor_asn name in
+      let mrp = Model.relying_party ~name ~asn model in
+      register_vantage sim ~name ~rp:mrp
+        ~endpoint:
+          (Pub_point.create
+             ~uri:("rsync://" ^ name ^ ".example/log")
+             ~addr:(V4.addr_of_string_exn addr) ~host_asn:asn))
+    chosen;
+  if monitors > 0 then enable_gossip ~period:gossip_period sim;
+  { sv_sim = sim; sv_model = model; sv_target_filename = model.Model.roa_target20;
+    sv_monitors = List.map fst chosen }

@@ -36,6 +36,9 @@ type t = {
   mutable per_hop_latency : int;             (** transport ticks per hop *)
   mutable net : Data_plane.network option;
   mutable history : tick_record list;
+  mutable vantages : Gossip.vantage list;    (** gossip mesh members *)
+  mutable gossip : Gossip.t option;
+  mutable gossip_period : int;
 }
 
 and tick_record = {
@@ -51,6 +54,9 @@ and tick_record = {
   sync_elapsed : int;           (** transport time the sync spent *)
   max_data_age : int;           (** worst staleness the sync accepted *)
   budget_exhausted : bool;      (** the fetch budget ran out this tick *)
+  gossip_report : Gossip.round_report option;
+      (** the gossip round run this tick; [None] when gossip is disabled or
+          off-period this tick *)
 }
 
 val create :
@@ -94,6 +100,47 @@ val step : t -> now:Rtime.t -> tick_record
 val history : t -> tick_record list
 val pp_record : Format.formatter -> tick_record -> unit
 
+(** {2 Vantages and gossip}
+
+    A loop can run additional relying-party {e vantages} alongside its
+    primary RP: each extra vantage syncs the same universe every tick over
+    its own transport, priced off the same previous-tick data plane but
+    from its own AS.  Once vantages are registered, {!enable_gossip} builds
+    a {!Gossip} mesh over them; every [period] ticks a gossip round runs
+    {e after} routing converges (so a partitioned vantage also cannot
+    gossip) and its report — including any split-view {!Gossip.alarm.Fork}
+    alarms — lands on that tick's record. *)
+
+val primary_vantage : t -> endpoint:Pub_point.t -> unit
+(** Register the loop's own relying party (under its RP name) as a gossip
+    vantage reachable at [endpoint].  The endpoint's address must be
+    routable for peers to pull from it. *)
+
+val register_vantage : t -> name:string -> rp:Relying_party.t -> endpoint:Pub_point.t -> unit
+(** Add an extra vantage.  [rp] is synced every subsequent {!step} over a
+    transport created here and priced from [rp]'s AS.  Raises
+    [Invalid_argument] on duplicate names or after {!enable_gossip}. *)
+
+val vantage_names : t -> string list
+
+val vantage : t -> name:string -> Gossip.vantage
+
+val vantage_transport : t -> name:string -> Transport.t
+(** The named vantage's transport — where adversaries install per-vantage
+    faults or {!Transport.set_view} forks. *)
+
+val enable_gossip : ?period:int -> ?timeout:int -> t -> unit
+(** Freeze the registered vantages into a gossip mesh; a round runs every
+    [period] ticks (default 1).  [timeout] caps each pull
+    (see {!Gossip.create}). *)
+
+val gossip_mesh : t -> Gossip.t option
+
+val first_fork_tick : t -> Rtime.t option
+(** The earliest tick whose gossip round raised a {!Gossip.alarm.Fork} —
+    the moment a split view became detected, for detection-latency
+    measurements. *)
+
 (** {2 The canned Section 6 scenario} *)
 
 type section6 = {
@@ -131,3 +178,37 @@ val run_section6 :
   section6 * tick_record list
 (** The Side Effect 7 timeline: two healthy ticks, a one-tick corruption of
     the critical ROA, repair, then observation through tick 7. *)
+
+(** {2 The canned split-view scenario} *)
+
+type split_view = {
+  sv_sim : t;
+  sv_model : Model.t;
+  sv_target_filename : string;  (** the ROA the fork suppresses
+                                    ([roa_target20], guarding the victim
+                                    route 63.174.16.0/20 AS 17054) *)
+  sv_monitors : string list;    (** registered monitor vantage names *)
+}
+
+val split_view_scenario :
+  ?policy:Policy.t ->
+  ?grace:int ->
+  ?monitors:int ->
+  ?gossip_period:int ->
+  ?fetch_policy:Relying_party.fetch_policy ->
+  unit ->
+  split_view
+(** The Section 6 setting rigged for split-view detection: the victim
+    relying party ("victim-rp", at the source AS, running [grace] — default
+    4 — and [fetch_policy] — default {!Relying_party.resilient_policy})
+    plus [monitors] (default 2, max 3) monitor vantages at the
+    repository-hosting ASes (Sprint, ETB, ARIN's host), all gossiping every
+    [gossip_period] ticks.  With [monitors = 0] no gossip mesh is built —
+    the single-vantage baseline that cannot detect a fork.
+
+    The split-view whack itself is the caller's move:
+    [Rpki_attack.Split_view.plan ~authority:sv_model.continental
+    ~target_filename:sv_target_filename ()] applied to
+    [transport sv_sim] forks only the victim's view.  Grace then holds the
+    suppressed VRP for [grace] ticks, which is the window gossip detection
+    must beat for the alarm to precede the route going invalid. *)

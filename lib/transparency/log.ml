@@ -1,0 +1,173 @@
+(* The transparency log: an append-only, Merkle-tree-backed history of
+   publication-point states (see the .mli for the detection story).
+
+   Leaves are canonical length-prefixed encodings of observation records,
+   so a leaf is content-addressed: two vantages that observed the same
+   state produce byte-identical leaves, and any difference in what an
+   authority served them shows up as differing leaf hashes under the same
+   (uri, manifest number) key. *)
+
+open Rpki_crypto
+
+type observation = {
+  ob_uri : string;
+  ob_serial : int;
+  ob_manifest_hash : string;
+  ob_vrp_hash : string;
+  ob_snapshot_fp : string;
+  ob_at : int;
+}
+
+(* Canonical encoding: "rpki-obs-v1" then each field length-prefixed with a
+   fixed-width decimal, integers in decimal.  Unambiguous and stable — the
+   Merkle leaf hash depends on nothing else. *)
+let encode_field b s =
+  Buffer.add_string b (Printf.sprintf "%08d:" (String.length s));
+  Buffer.add_string b s
+
+let encode_observation o =
+  let b = Buffer.create 128 in
+  Buffer.add_string b "rpki-obs-v1\n";
+  encode_field b o.ob_uri;
+  encode_field b (string_of_int o.ob_serial);
+  encode_field b o.ob_manifest_hash;
+  encode_field b o.ob_vrp_hash;
+  encode_field b o.ob_snapshot_fp;
+  encode_field b (string_of_int o.ob_at);
+  Buffer.contents b
+
+let decode_observation s =
+  let magic = "rpki-obs-v1\n" in
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail = ref false in
+  let expect m =
+    let l = String.length m in
+    if !pos + l <= n && String.sub s !pos l = m then pos := !pos + l else fail := true
+  in
+  let field () =
+    if !fail then ""
+    else if !pos + 9 > n then (fail := true; "")
+    else
+      let len_s = String.sub s !pos 8 in
+      match int_of_string_opt len_s with
+      | None -> fail := true; ""
+      | Some len ->
+        if s.[!pos + 8] <> ':' || !pos + 9 + len > n then (fail := true; "")
+        else begin
+          let v = String.sub s (!pos + 9) len in
+          pos := !pos + 9 + len;
+          v
+        end
+  in
+  let int_field () =
+    match int_of_string_opt (field ()) with
+    | Some i -> i
+    | None -> fail := true; 0
+  in
+  expect magic;
+  let ob_uri = field () in
+  let ob_serial = int_field () in
+  let ob_manifest_hash = field () in
+  let ob_vrp_hash = field () in
+  let ob_snapshot_fp = field () in
+  let ob_at = int_field () in
+  if !fail || !pos <> n then None
+  else Some { ob_uri; ob_serial; ob_manifest_hash; ob_vrp_hash; ob_snapshot_fp; ob_at }
+
+(* State equality: everything but the observation time. *)
+let observation_equal a b =
+  String.equal a.ob_uri b.ob_uri
+  && a.ob_serial = b.ob_serial
+  && String.equal a.ob_manifest_hash b.ob_manifest_hash
+  && String.equal a.ob_vrp_hash b.ob_vrp_hash
+  && String.equal a.ob_snapshot_fp b.ob_snapshot_fp
+
+let short h = if h = "" then "-" else Rpki_util.Hex.of_string (String.sub h 0 4)
+
+let observation_to_string o =
+  Printf.sprintf "%s #%d mft=%s vrps=%s fp=%s @t%d" o.ob_uri o.ob_serial
+    (short o.ob_manifest_hash) (short o.ob_vrp_hash) (short o.ob_snapshot_fp) o.ob_at
+
+type t = {
+  id : string;
+  tree : Merkle.t;
+  obs : (int, observation) Hashtbl.t;            (* index -> record *)
+  last_by_uri : (string, observation) Hashtbl.t; (* dedup key *)
+  by_key : (string * int, int) Hashtbl.t;        (* (uri, serial) -> first index *)
+}
+
+let create ~log_id =
+  { id = log_id; tree = Merkle.create (); obs = Hashtbl.create 64;
+    last_by_uri = Hashtbl.create 16; by_key = Hashtbl.create 64 }
+
+let log_id t = t.id
+let size t = Merkle.size t.tree
+
+let append t o =
+  match Hashtbl.find_opt t.last_by_uri o.ob_uri with
+  | Some last when observation_equal last o -> `Unchanged
+  | _ ->
+    let i = Merkle.add t.tree (encode_observation o) in
+    Hashtbl.replace t.obs i o;
+    Hashtbl.replace t.last_by_uri o.ob_uri o;
+    if not (Hashtbl.mem t.by_key (o.ob_uri, o.ob_serial)) then
+      Hashtbl.replace t.by_key (o.ob_uri, o.ob_serial) i;
+    `Appended i
+
+let observation t i =
+  match Hashtbl.find_opt t.obs i with
+  | Some o -> o
+  | None -> invalid_arg "Log.observation: index out of range"
+
+let observations t = List.init (size t) (observation t)
+
+let since t from = List.init (max 0 (size t - from)) (fun k -> (from + k, observation t (from + k)))
+
+let find t ~uri ~serial =
+  Option.map (fun i -> (i, observation t i)) (Hashtbl.find_opt t.by_key (uri, serial))
+
+let latest_for t ~uri = Hashtbl.find_opt t.last_by_uri uri
+
+type head = {
+  h_log_id : string;
+  h_size : int;
+  h_root : string;
+  h_at : int;
+}
+
+let head t ~at = { h_log_id = t.id; h_size = size t; h_root = Merkle.root t.tree; h_at = at }
+
+let encode_head h =
+  let b = Buffer.create 64 in
+  Buffer.add_string b "rpki-sth-v1\n";
+  encode_field b h.h_log_id;
+  encode_field b (string_of_int h.h_size);
+  encode_field b h.h_root;
+  encode_field b (string_of_int h.h_at);
+  Buffer.contents b
+
+let head_to_string h =
+  Printf.sprintf "%s[%d]=%s @t%d" h.h_log_id h.h_size (short h.h_root) h.h_at
+
+type signed_head = {
+  sh_head : head;
+  sh_sig : string;
+}
+
+let sign_head ~key h = { sh_head = h; sh_sig = Rsa.sign ~key (encode_head h) }
+let verify_head ~key sh = Rsa.verify ~key ~signature:sh.sh_sig (encode_head sh.sh_head)
+
+let inclusion_proof t ~index ~size = Merkle.inclusion_proof t.tree ~index ~size
+
+let verify_observation_inclusion o ~index ~head proof =
+  Merkle.verify_inclusion ~leaf:(encode_observation o) ~index ~size:head.h_size
+    ~root:head.h_root proof
+
+let consistency_proof t ~old_size ~size = Merkle.consistency_proof t.tree ~old_size ~size
+
+let verify_head_consistency ~old_head ~new_head proof =
+  String.equal old_head.h_log_id new_head.h_log_id
+  && old_head.h_size <= new_head.h_size
+  && Merkle.verify_consistency ~old_size:old_head.h_size ~old_root:old_head.h_root
+       ~size:new_head.h_size ~root:new_head.h_root proof

@@ -1,0 +1,160 @@
+(* RFC 6962-style Merkle hash trees over Rpki_crypto.Sha256.
+
+   Domain-separated hashing (section 2.1): H(0x00 || leaf) for leaves,
+   H(0x01 || l || r) for interior nodes, split at the largest power of two
+   strictly below the subtree size.  Proof generation recomputes subtree
+   roots from the stored leaf hashes — O(n) time, O(log n) proof size; at
+   simulation scale the simplicity is worth more than cached interior
+   nodes. *)
+
+module Sha256 = Rpki_crypto.Sha256
+
+let leaf_hash l = Sha256.digest_list [ "\x00"; l ]
+let node_hash l r = Sha256.digest_list [ "\x01"; l; r ]
+
+(* Largest power of two strictly below n (n >= 2). *)
+let split_point n =
+  let k = ref 1 in
+  while !k * 2 < n do
+    k := !k * 2
+  done;
+  !k
+
+type t = {
+  mutable leaves : string array;      (* raw leaf data *)
+  mutable hashes : string array;      (* H(0x00 || leaf), same order *)
+  mutable count : int;
+}
+
+let create () = { leaves = Array.make 16 ""; hashes = Array.make 16 ""; count = 0 }
+
+let size t = t.count
+
+let leaf t i =
+  if i < 0 || i >= t.count then invalid_arg "Merkle.leaf: index out of range";
+  t.leaves.(i)
+
+let add t l =
+  if t.count = Array.length t.leaves then begin
+    let grow a = Array.init (2 * Array.length a) (fun i -> if i < t.count then a.(i) else "") in
+    t.leaves <- grow t.leaves;
+    t.hashes <- grow t.hashes
+  end;
+  let i = t.count in
+  t.leaves.(i) <- l;
+  t.hashes.(i) <- leaf_hash l;
+  t.count <- i + 1;
+  i
+
+(* MTH over hashes[lo, lo+n). *)
+let rec mth hashes lo n =
+  if n = 0 then Sha256.digest ""
+  else if n = 1 then hashes.(lo)
+  else
+    let k = split_point n in
+    node_hash (mth hashes lo k) (mth hashes (lo + k) (n - k))
+
+let root_at t ~size =
+  if size < 0 || size > t.count then invalid_arg "Merkle.root_at: size out of range";
+  mth t.hashes 0 size
+
+let root t = root_at t ~size:t.count
+
+type proof = string list
+
+let proof_bytes p = 32 * List.length p
+
+(* PATH(m, D[lo, lo+n)), leaf-to-root order. *)
+let rec path hashes m lo n =
+  if n <= 1 then []
+  else
+    let k = split_point n in
+    if m < k then path hashes m lo k @ [ mth hashes (lo + k) (n - k) ]
+    else path hashes (m - k) (lo + k) (n - k) @ [ mth hashes lo k ]
+
+let inclusion_proof t ~index ~size =
+  if size < 1 || size > t.count then invalid_arg "Merkle.inclusion_proof: size out of range";
+  if index < 0 || index >= size then invalid_arg "Merkle.inclusion_proof: index out of range";
+  path t.hashes index 0 size
+
+(* RFC 6962 section 2.1.1 verification: walk the path combining left or
+   right according to the index bits, tracking the subtree extent. *)
+let verify_inclusion ~leaf ~index ~size ~root proof =
+  if index < 0 || size < 1 || index >= size then false
+  else begin
+    let fn = ref index and sn = ref (size - 1) in
+    let r = ref (leaf_hash leaf) in
+    let ok = ref true in
+    List.iter
+      (fun c ->
+        if !sn = 0 then ok := false
+        else begin
+          if !fn land 1 = 1 || !fn = !sn then begin
+            r := node_hash c !r;
+            if !fn land 1 = 0 then
+              while !fn land 1 = 0 && !fn <> 0 do
+                fn := !fn lsr 1;
+                sn := !sn lsr 1
+              done
+          end
+          else r := node_hash !r c;
+          fn := !fn lsr 1;
+          sn := !sn lsr 1
+        end)
+      proof;
+    !ok && !sn = 0 && String.equal !r root
+  end
+
+(* SUBPROOF(m, D[lo, lo+n), flag), RFC 6962 section 2.1.2. *)
+let rec subproof hashes m lo n flag =
+  if m = n then if flag then [] else [ mth hashes lo n ]
+  else
+    let k = split_point n in
+    if m <= k then subproof hashes m lo k flag @ [ mth hashes (lo + k) (n - k) ]
+    else subproof hashes (m - k) (lo + k) (n - k) false @ [ mth hashes lo k ]
+
+let consistency_proof t ~old_size ~size =
+  if size > t.count then invalid_arg "Merkle.consistency_proof: size out of range";
+  if old_size < 1 || old_size > size then
+    invalid_arg "Merkle.consistency_proof: old_size out of range";
+  if old_size = size then [] else subproof t.hashes old_size 0 size true
+
+(* RFC 6962 section 2.1.2 / RFC 9162 section 2.1.4.2 verification. *)
+let verify_consistency ~old_size ~old_root ~size ~root proof =
+  if old_size < 0 || old_size > size then false
+  else if old_size = 0 then proof = []
+  else if old_size = size then proof = [] && String.equal old_root root
+  else begin
+    (* when old_size is an exact power of two, the old root itself seeds
+       the walk and is not repeated inside the proof *)
+    let proof = if old_size land (old_size - 1) = 0 then old_root :: proof else proof in
+    match proof with
+    | [] -> false
+    | seed :: rest ->
+      let fn = ref (old_size - 1) and sn = ref (size - 1) in
+      while !fn land 1 = 1 do
+        fn := !fn lsr 1;
+        sn := !sn lsr 1
+      done;
+      let fr = ref seed and sr = ref seed in
+      let ok = ref true in
+      List.iter
+        (fun c ->
+          if !sn = 0 then ok := false
+          else begin
+            if !fn land 1 = 1 || !fn = !sn then begin
+              fr := node_hash c !fr;
+              sr := node_hash c !sr;
+              if !fn land 1 = 0 then
+                while !fn land 1 = 0 && !fn <> 0 do
+                  fn := !fn lsr 1;
+                  sn := !sn lsr 1
+                done
+            end
+            else sr := node_hash !sr c;
+            fn := !fn lsr 1;
+            sn := !sn lsr 1
+          end)
+        rest;
+      !ok && !sn = 0 && String.equal !fr old_root && String.equal !sr root
+  end

@@ -1,0 +1,217 @@
+(* End-to-end split-view detection (the ISSUE's acceptance experiment).
+
+   A split-view authority forks the victim relying party's view of
+   Continental's repository, suppressing the ROA that keeps the victim
+   route (63.174.16.0/20, AS 17054) valid.  With two or more gossiping
+   vantages the fork is caught — with verifiable cryptographic evidence —
+   strictly before the graced VRP expires and the route goes invalid.
+   A single non-gossiping vantage never notices: the stealthy fork is
+   locally clean.
+
+   Plus the false-positive guard: an honest universe observed through
+   faulty-but-consistent transports (slow and stalling points) never
+   raises a fork or consistency alarm over a full run. *)
+
+open Rpki_repo
+open Rpki_sim
+module Split_view = Rpki_attack.Split_view
+
+let probe_up r label =
+  match List.assoc_opt label r.Loop.probe_results with
+  | Some up -> up
+  | None -> Alcotest.fail ("no probe " ^ label)
+
+let run_with_attack ~monitors ~grace ~gossip_period ~ticks =
+  let sv = Loop.split_view_scenario ~monitors ~grace ~gossip_period () in
+  let t = sv.Loop.sv_sim in
+  ignore (Loop.step t ~now:1);
+  ignore (Loop.step t ~now:2);
+  let atk =
+    Split_view.plan ~authority:sv.Loop.sv_model.Model.continental
+      ~target_filename:sv.Loop.sv_target_filename ()
+  in
+  Split_view.apply atk (Loop.transport t);
+  for now = 3 to ticks do
+    ignore (Loop.step t ~now)
+  done;
+  (sv, t)
+
+(* With >= 2 gossiping vantages: fork alarm, verifiable, before the route
+   goes invalid. *)
+let test_detected_before_invalid () =
+  let grace = 4 in
+  let sv, t = run_with_attack ~monitors:2 ~grace ~gossip_period:1 ~ticks:10 in
+  let fork_tick =
+    match Loop.first_fork_tick t with
+    | Some tk -> tk
+    | None -> Alcotest.fail "no fork alarm raised"
+  in
+  let invalid_tick =
+    match
+      List.find_opt (fun r -> not (probe_up r "continental-repo")) (Loop.history t)
+    with
+    | Some r -> r.Loop.time
+    | None -> Alcotest.fail "victim route never went invalid (grace never expired?)"
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "fork detected (t%d) before route invalid (t%d)" fork_tick invalid_tick)
+    true (fork_tick < invalid_tick);
+  (* the alarm's evidence stands on its own: re-verified from scratch
+     against the vantages' public keys *)
+  let g = Option.get (Loop.gossip_mesh t) in
+  let key_of name =
+    List.find_opt (fun (v : Gossip.vantage) -> String.equal v.Gossip.v_name name) (Gossip.vantages g)
+    |> Option.map (fun (v : Gossip.vantage) -> Relying_party.transparency_key v.Gossip.v_rp)
+  in
+  let forks = Gossip.forks g in
+  Alcotest.(check bool) "at least one fork alarm" true (forks <> []);
+  List.iter
+    (fun a ->
+      Alcotest.(check bool) "fork evidence verifies from scratch" true
+        (Gossip.verify_fork ~key_of a))
+    forks;
+  (* and the fork names the right publication point *)
+  let continental_uri = Pub_point.uri (Authority.pub sv.Loop.sv_model.Model.continental) in
+  List.iter
+    (fun a ->
+      match a with
+      | Gossip.Fork { fork_uri; _ } ->
+        Alcotest.(check string) "forked point" continental_uri fork_uri
+      | _ -> ())
+    forks
+
+(* A single vantage, no gossip: the stealthy fork is locally invisible —
+   no fork alarm (there is no mesh), and no new validation issue beyond the
+   grace bookkeeping note. *)
+let test_single_vantage_misses_it () =
+  let _, t = run_with_attack ~monitors:0 ~grace:4 ~gossip_period:1 ~ticks:6 in
+  Alcotest.(check bool) "no gossip mesh" true (Loop.gossip_mesh t = None);
+  Alcotest.(check bool) "no fork tick" true (Loop.first_fork_tick t = None);
+  List.iter
+    (fun r ->
+      match r.Loop.gossip_report with
+      | Some _ -> Alcotest.fail "gossip ran without a mesh"
+      | None -> ())
+    (Loop.history t);
+  (* every issue the victim saw after the fork is the grace hold, not a
+     validation failure: the stealthy fork verifies locally *)
+  match Relying_party.last_result (Loop.vantage t ~name:"victim-rp").Gossip.v_rp with
+  | None -> Alcotest.fail "no sync result"
+  | Some res ->
+    List.iter
+      (fun (i : Relying_party.issue) ->
+        let is_grace_note =
+          String.length i.Relying_party.reason >= 6
+          && String.equal (String.sub i.Relying_party.reason 0 6) "grace:"
+        in
+        Alcotest.(check bool)
+          ("local issue is only the grace note: " ^ i.Relying_party.reason)
+          true is_grace_note)
+      res.Relying_party.issues
+
+(* An overt fork (file dropped, honest manifest kept) is locally visible:
+   the victim's own validation flags the manifest mismatch. *)
+let test_overt_fork_is_locally_visible () =
+  let sv = Loop.split_view_scenario ~monitors:0 ~grace:4 () in
+  let t = sv.Loop.sv_sim in
+  ignore (Loop.step t ~now:1);
+  let atk =
+    Split_view.plan ~authority:sv.Loop.sv_model.Model.continental
+      ~target_filename:sv.Loop.sv_target_filename ~stealth:Split_view.Overt ()
+  in
+  Split_view.apply atk (Loop.transport t);
+  let r = Loop.step t ~now:2 in
+  Alcotest.(check bool) "manifest violation surfaces" true (r.Loop.issue_count > 0);
+  match Relying_party.last_result (Loop.vantage t ~name:"victim-rp").Gossip.v_rp with
+  | None -> Alcotest.fail "no sync result"
+  | Some res ->
+    Alcotest.(check bool) "a non-grace issue exists" true
+      (List.exists
+         (fun (i : Relying_party.issue) ->
+           not
+             (String.length i.Relying_party.reason >= 6
+             && String.equal (String.sub i.Relying_party.reason 0 6) "grace:"))
+         res.Relying_party.issues)
+
+(* Lifting the fork heals the victim: the honest view returns and no new
+   alarms are raised after the lift. *)
+let test_lift_heals () =
+  let sv, t = run_with_attack ~monitors:2 ~grace:8 ~gossip_period:1 ~ticks:4 in
+  let atk =
+    Split_view.plan ~authority:sv.Loop.sv_model.Model.continental
+      ~target_filename:sv.Loop.sv_target_filename ()
+  in
+  Split_view.lift atk (Loop.transport t);
+  let before = List.length (Gossip.alarms (Option.get (Loop.gossip_mesh t))) in
+  for now = 5 to 8 do
+    ignore (Loop.step t ~now)
+  done;
+  let after = List.length (Gossip.alarms (Option.get (Loop.gossip_mesh t))) in
+  Alcotest.(check int) "no new alarms after lift" before after;
+  (* the victim route stayed up throughout: grace outlasted the fork *)
+  List.iter
+    (fun r ->
+      Alcotest.(check bool)
+        (Printf.sprintf "route up at t%d" r.Loop.time)
+        true (probe_up r "continental-repo"))
+    (Loop.history t)
+
+(* The false-positive guard (ISSUE satellite): honest universe, three
+   vantages, Slow and Stalling faults on repository points — a full run
+   raises no alarm of any kind. *)
+let test_no_false_positives_under_faulty_transport () =
+  let sv = Loop.split_view_scenario ~monitors:3 ~grace:2 ~gossip_period:1 () in
+  let t = sv.Loop.sv_sim in
+  let continental_uri = Pub_point.uri (Authority.pub sv.Loop.sv_model.Model.continental) in
+  let sprint_uri = Pub_point.uri (Authority.pub sv.Loop.sv_model.Model.sprint) in
+  ignore (Loop.step t ~now:1);
+  (* degrade different vantages differently: the victim's view of
+     Continental crawls, one monitor's view of Sprint stalls outright *)
+  Transport.set_fault (Loop.transport t) ~uri:continental_uri (Transport.Slow 3);
+  Transport.set_fault
+    (Loop.vantage_transport t ~name:"monitor-sprint")
+    ~uri:sprint_uri (Transport.Stalling 50);
+  for now = 2 to 6 do
+    ignore (Loop.step t ~now)
+  done;
+  Transport.clear_fault (Loop.transport t) ~uri:continental_uri;
+  Transport.clear_fault (Loop.vantage_transport t ~name:"monitor-sprint") ~uri:sprint_uri;
+  for now = 7 to 9 do
+    ignore (Loop.step t ~now)
+  done;
+  let g = Option.get (Loop.gossip_mesh t) in
+  List.iter
+    (fun a -> Alcotest.fail ("false positive: " ^ Gossip.describe_alarm a))
+    (Gossip.alarms g)
+
+(* Detection latency grows with the gossip period but detection never
+   fails while grace holds. *)
+let test_gossip_period_trades_latency () =
+  List.iter
+    (fun period ->
+      let _, t = run_with_attack ~monitors:2 ~grace:6 ~gossip_period:period ~ticks:10 in
+      match Loop.first_fork_tick t with
+      | None -> Alcotest.fail (Printf.sprintf "period %d: fork missed" period)
+      | Some tk ->
+        Alcotest.(check bool)
+          (Printf.sprintf "period %d: detected by t%d" period tk)
+          true
+          (tk >= 3 && tk <= 3 + period))
+    [ 1; 2; 3 ]
+
+let () =
+  Alcotest.run "split-view"
+    [ ("detection",
+       [ Alcotest.test_case "gossiping vantages catch the fork before the route dies" `Quick
+           test_detected_before_invalid;
+         Alcotest.test_case "a single vantage misses the stealthy fork" `Quick
+           test_single_vantage_misses_it;
+         Alcotest.test_case "an overt fork is locally visible" `Quick
+           test_overt_fork_is_locally_visible;
+         Alcotest.test_case "lifting the fork heals without residual alarms" `Quick
+           test_lift_heals;
+         Alcotest.test_case "gossip period trades detection latency" `Quick
+           test_gossip_period_trades_latency ]);
+      ("false-positives",
+       [ Alcotest.test_case "faulty-but-consistent transports never alarm" `Quick
+           test_no_false_positives_under_faulty_transport ]) ]
