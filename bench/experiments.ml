@@ -986,8 +986,229 @@ let transparency () =
                  proof_bytes log_size one_proof)
              cells)))
 
+(* ------------------------------------------------------------------ *)
+(* Restart: durable state x disk faults x the rollback adversary       *)
+(* ------------------------------------------------------------------ *)
+
+(* Timeline per cell: two healthy ticks (the adversary captures the
+   authority's state at the end of t2), a ROA revocation at t3 (the honest
+   change the rollback will undo — (63.174.25.0/24, AS 17054), chosen so the
+   repository's own route is untouched), convergence and snapshots through
+   t5, then the victim is killed right after its (possibly fault-corrupted)
+   last save and the frozen t2 state is installed as its per-client view.
+   The victim restarts at [restart_at] and the run continues to [ticks].
+
+   Measured per cell: the typed recovery outcome, whether and when the
+   served rollback was detected (own restored history, or a gossip Rollback
+   alarm), and whether the resurrected VRP is router-visible at the end —
+   the attack's actual yield. *)
+let restart () =
+  header "Restart: durable state x disk faults x rollback adversary";
+  let ticks = if !quick then 9 else 12 in
+  let revoke_at = 3 and capture_at = 2 and kill_after = 5 in
+  let restarts = if !quick then [ 6 ] else [ 6; 8 ] in
+  let faults =
+    if !quick then [ None; Some (Rpki_persist.Disk.Bit_flip 12345) ]
+    else
+      [ None; Some Rpki_persist.Disk.Torn_write; Some Rpki_persist.Disk.Partial_flush;
+        Some (Rpki_persist.Disk.Bit_flip 12345); Some Rpki_persist.Disk.Drop_rename ]
+  in
+  let victim = "victim-rp" in
+  let target_prefix = V4.p "63.174.25.0/24" in
+  let run_cell ~persist ~fault ~restart_at =
+    let rig = Rpki_sim.Loop.restart_scenario ~persist ~grace:0 ~monitors:2 ~gossip_period:1 () in
+    let sv = rig.Rpki_sim.Loop.rr_sv in
+    let sim = sv.Rpki_sim.Loop.sv_sim in
+    let model = sv.Rpki_sim.Loop.sv_model in
+    let atk = Rollback.plan ~authority:model.Model.continental in
+    let serial_at_kill = ref 0 in
+    let recovery = ref None in
+    for now = 1 to ticks do
+      if now = revoke_at then
+        Authority.revoke_roa model.Model.continental ~filename:model.Model.roa_cb_25 ~now;
+      (* arm the one-shot disk fault so it fires on the victim's *last*
+         pre-crash snapshot write (the primary saves first each tick) *)
+      if now = kill_after then
+        Option.iter (Rpki_persist.Disk.inject rig.Rpki_sim.Loop.rr_disk) fault;
+      if now = restart_at then
+        recovery :=
+          Some
+            (Rpki_sim.Loop.restart_vantage sim ~name:victim ~now
+               ~make:rig.Rpki_sim.Loop.rr_respawn);
+      ignore (Rpki_sim.Loop.step sim ~now);
+      if now = capture_at then Rollback.capture atk ~now;
+      if now = kill_after then begin
+        serial_at_kill := Rpki_rtr.Session.cache_serial (Rpki_sim.Loop.rtr_cache sim);
+        Rpki_sim.Loop.kill_vantage sim ~name:victim;
+        Rollback.apply atk (Rpki_sim.Loop.transport sim)
+      end
+    done;
+    let history = Rpki_sim.Loop.history sim in
+    let detect = Rpki_sim.Loop.first_rollback_tick sim in
+    let local_detect =
+      List.exists
+        (fun (r : Rpki_sim.Loop.tick_record) -> r.Rpki_sim.Loop.regressions <> [])
+        history
+    in
+    let gossip_rollback, log_resets =
+      List.fold_left
+        (fun (rb, lr) (r : Rpki_sim.Loop.tick_record) ->
+          match r.Rpki_sim.Loop.gossip_report with
+          | None -> (rb, lr)
+          | Some rep ->
+            ( rb || List.exists Gossip.is_rollback rep.Gossip.r_alarms,
+              lr
+              + List.length
+                  (List.filter
+                     (function Gossip.Log_reset _ -> true | _ -> false)
+                     rep.Gossip.r_alarms) ))
+        (false, 0) history
+    in
+    let vrp_present l =
+      List.exists (fun (v : Vrp.t) -> V4.Prefix.equal v.Vrp.prefix target_prefix) l
+    in
+    let router_visible =
+      vrp_present (Rpki_rtr.Session.cache_vrps (Rpki_sim.Loop.rtr_cache sim))
+    in
+    let victim_believes = vrp_present (Relying_party.vrps sim.Rpki_sim.Loop.rp) in
+    let restart_rec =
+      List.find_opt
+        (fun (r : Rpki_sim.Loop.tick_record) -> r.Rpki_sim.Loop.time = restart_at)
+        history
+    in
+    let restart_diff =
+      match restart_rec with
+      | Some r -> Vrp.diff_size r.Rpki_sim.Loop.vrp_diff
+      | None -> 0
+    in
+    let serial_after =
+      match restart_rec with Some r -> r.Rpki_sim.Loop.rtr_serial | None -> 0
+    in
+    let final_holds =
+      match List.rev history with
+      | r :: _ -> r.Rpki_sim.Loop.rtr_holds
+      | [] -> 0
+    in
+    let snapshot_bytes =
+      if persist then
+        Rpki_persist.Store.snapshot_bytes (Rpki_sim.Loop.vantage_store sim ~name:victim)
+      else 0
+    in
+    ( Option.get !recovery, detect, local_detect, gossip_rollback, log_resets,
+      router_visible, victim_believes, restart_diff, !serial_at_kill, serial_after,
+      final_holds, snapshot_bytes )
+  in
+  let fault_name = function
+    | None -> "none"
+    | Some f -> Rpki_persist.Disk.fault_to_string f
+  in
+  let cells =
+    List.concat_map
+      (fun restart_at ->
+        List.map
+          (fun fault -> (true, fault, restart_at, run_cell ~persist:true ~fault ~restart_at))
+          faults
+        @ [ (false, None, restart_at, run_cell ~persist:false ~fault:None ~restart_at) ])
+      restarts
+  in
+  let t =
+    Table.create
+      ~aligns:
+        [ Table.Left; Table.Left; Table.Right; Table.Left; Table.Left; Table.Right;
+          Table.Left; Table.Right; Table.Right ]
+      [ "persist"; "fault"; "restart"; "recovery"; "detected"; "latency";
+        "attack yield"; "resync diff"; "snap B" ]
+  in
+  List.iter
+    (fun (persist, fault, restart_at,
+          ( recovery, detect, local, rollback, _resets, router_visible, _believes,
+            restart_diff, _sk, _sa, _holds, snap_bytes )) ->
+      let detect_s, lat_s =
+        match detect with
+        | Some tk ->
+          ( Printf.sprintf "t%d (%s)" tk
+              (match (local, rollback) with
+              | true, true -> "own log + gossip"
+              | true, false -> "own log"
+              | false, true -> "gossip"
+              | false, false -> "?"),
+            string_of_int (tk - restart_at) )
+        | None -> ("missed", "-")
+      in
+      Table.add_row t
+        [ (if persist then "on" else "off"); fault_name fault;
+          Printf.sprintf "t%d" restart_at;
+          Relying_party.recovery_to_string recovery; detect_s; lat_s;
+          (if router_visible then "VRP resurrected" else "held/none");
+          string_of_int restart_diff; string_of_int snap_bytes ])
+    cells;
+  Table.print t;
+  Printf.printf
+    "\nThe adversary replays the authority's authentic t%d state to the restarted\n\
+     victim, undoing the t%d revocation of (63.174.25.0/24, AS %d).  The replay is\n\
+     *not* equivocation — peers once recorded those exact bytes — so only history\n\
+     detects it: the victim's restored log (serial regression) or the monitors'\n\
+     memory of its serial line (gossip Rollback).  Every injected disk fault must\n\
+     degrade to an explicit Recovered_fresh state, never a silent trust.\n"
+    capture_at revoke_at Model.as_continental;
+  (* the headline asymmetry this PR exists to measure — fail loudly (and
+     fail `dune runtest`) if it ever stops holding *)
+  List.iter
+    (fun (persist, fault, _restart_at,
+          ( recovery, detect, _local, _rollback, _resets, router_visible, _believes,
+            _diff, _sk, _sa, _holds, _snap )) ->
+      match (persist, fault, recovery) with
+      | true, None, Relying_party.Recovered _ ->
+        if detect = None then failwith "restart: persisted victim missed the rollback";
+        if router_visible then
+          failwith "restart: resurrected VRP router-visible despite detection"
+      | true, None, Relying_party.Recovered_fresh _ ->
+        failwith "restart: fault-free snapshot failed to restore"
+      | true, Some _, Relying_party.Recovered_fresh Relying_party.No_snapshot
+      | true, Some _, Relying_party.Recovered _ ->
+        failwith "restart: injected disk fault did not surface as an explicit degraded state"
+      | true, Some _, Relying_party.Recovered_fresh _ -> ()
+      | false, _, Relying_party.Recovered _ ->
+        failwith "restart: recovered state without persistence"
+      | false, _, Relying_party.Recovered_fresh _ ->
+        if detect <> None then
+          failwith "restart: rollback detected without any persisted baseline";
+        if not router_visible then
+          failwith "restart: fresh-start victim should have accepted the replayed VRP")
+    cells;
+  Printf.printf
+    "Asymmetry holds: persistence on => detected (evidence), off => silent.\n";
+  write_json ~name:"restart"
+    (Printf.sprintf
+       "{\"experiment\":\"restart\",\"ticks\":%d,\"capture_at\":%d,\"revoke_at\":%d,\
+        \"killed_after\":%d,\"cells\":[%s]}"
+       ticks capture_at revoke_at kill_after
+       (String.concat ","
+          (List.map
+             (fun (persist, fault, restart_at,
+                   ( recovery, detect, local, rollback, resets, router_visible,
+                     believes, restart_diff, sk, sa, holds, snap_bytes )) ->
+               let opt = function Some tk -> string_of_int tk | None -> "null" in
+               Printf.sprintf
+                 "{\"persist\":%b,\"fault\":\"%s\",\"restart_at\":%d,\
+                  \"recovery\":\"%s\",\"detect_tick\":%s,\"detection_latency\":%s,\
+                  \"own_log_regression\":%b,\"gossip_rollback\":%b,\"log_resets\":%d,\
+                  \"attack_effective\":%b,\"victim_believes_replay\":%b,\
+                  \"restart_diff_size\":%d,\"rtr_serial_at_kill\":%d,\
+                  \"rtr_serial_after_restart\":%d,\"rtr_holds\":%d,\
+                  \"snapshot_bytes\":%d}"
+                 persist (fault_name fault) restart_at
+                 (String.escaped (Relying_party.recovery_to_string recovery))
+                 (opt detect)
+                 (match detect with
+                 | Some tk -> string_of_int (tk - restart_at)
+                 | None -> "null")
+                 local rollback resets router_visible believes restart_diff sk sa
+                 holds snap_bytes)
+             cells)))
+
 let all : (string * (unit -> unit)) list =
   [ ("fig2", fig2); ("fig3", fig3); ("tab4", tab4); ("fig5", fig5); ("tab6", tab6);
     ("se5", se5); ("se6", se6); ("se7", se7); ("campaign", campaign); ("adoption", adoption);
     ("depth", depth); ("sync-incremental", sync_incremental); ("stall", stall);
-    ("transparency", transparency) ]
+    ("transparency", transparency); ("restart", restart) ]

@@ -257,6 +257,143 @@ let transparency_cmd =
        ~doc:"Run a split-view (mirror world) attack under gossiping vantages")
     Term.(const run $ monitors $ period $ grace $ overt)
 
+(* --- restart --- *)
+
+let restart_cmd =
+  let fault_arg =
+    let parse = function
+      | "none" -> Ok None
+      | "torn" -> Ok (Some Rpki_persist.Disk.Torn_write)
+      | "partial" -> Ok (Some Rpki_persist.Disk.Partial_flush)
+      | "bitflip" -> Ok (Some (Rpki_persist.Disk.Bit_flip 12345))
+      | "drop-rename" -> Ok (Some Rpki_persist.Disk.Drop_rename)
+      | s ->
+        Error
+          (`Msg (Printf.sprintf "unknown fault %S (want none|torn|partial|bitflip|drop-rename)" s))
+    in
+    let print fmt = function
+      | None -> Format.pp_print_string fmt "none"
+      | Some f -> Format.pp_print_string fmt (Rpki_persist.Disk.fault_to_string f)
+    in
+    Arg.conv (parse, print)
+  in
+  let fault =
+    Arg.(value & opt fault_arg None
+         & info [ "fault" ]
+             ~doc:"Disk fault armed on the victim's last pre-crash snapshot: \
+                   none, torn, partial, bitflip or drop-rename.")
+  in
+  let no_persist =
+    Arg.(value & flag
+         & info [ "no-persist" ]
+             ~doc:"Disable snapshots entirely — the fresh-start oracle a rollback \
+                   adversary exploits.")
+  in
+  let restart_at =
+    Arg.(value & opt int 6 & info [ "restart-at" ] ~doc:"Tick the victim restarts on.")
+  in
+  let evidence =
+    Arg.(value & opt (some string) None
+         & info [ "evidence" ] ~docv:"FILE"
+             ~doc:"Export the first verified rollback alarm as a portable DER \
+                   evidence bundle to $(docv).")
+  in
+  let verify =
+    Arg.(value & opt (some string) None
+         & info [ "verify" ] ~docv:"FILE"
+             ~doc:"Do not simulate: load the DER evidence bundle $(docv) and \
+                   re-verify it offline under its embedded keys.")
+  in
+  let run fault no_persist restart_at evidence verify =
+    match verify with
+    | Some file -> (
+      let ic = open_in_bin file in
+      let n = in_channel_length ic in
+      let bytes = really_input_string ic n in
+      close_in ic;
+      match Evidence.verify bytes with
+      | Ok alarm ->
+        Printf.printf "VERIFIED: %s\n" (Gossip.describe_alarm alarm);
+        print_endline
+          "The bundle's two attested sides verify from scratch under its embedded\n\
+           keys: genuine evidence, no trust in the exporter needed.  Whether to\n\
+           trust those keys is yours to decide (compare fingerprints out-of-band)."
+      | Error why ->
+        Printf.printf "REJECTED: %s\n" why;
+        exit 1)
+    | None ->
+      let persist = not no_persist in
+      let rig = Rpki_sim.Loop.restart_scenario ~persist ~grace:0 ~monitors:2 () in
+      let sv = rig.Rpki_sim.Loop.rr_sv in
+      let t = sv.Rpki_sim.Loop.sv_sim in
+      let model = sv.Rpki_sim.Loop.sv_model in
+      let atk = Rpki_attack.Rollback.plan ~authority:model.Model.continental in
+      let victim = "victim-rp" in
+      for now = 1 to max 10 (restart_at + 3) do
+        if now = 3 then begin
+          Printf.printf "t3: authority revokes ROA (63.174.25.0/24, AS %d)\n"
+            Model.as_continental;
+          Authority.revoke_roa model.Model.continental ~filename:model.Model.roa_cb_25 ~now
+        end;
+        if now = 5 then Option.iter (Rpki_persist.Disk.inject rig.Rpki_sim.Loop.rr_disk) fault;
+        if now = restart_at then begin
+          let r =
+            Rpki_sim.Loop.restart_vantage t ~name:victim ~now ~make:rig.Rpki_sim.Loop.rr_respawn
+          in
+          Printf.printf "t%d: victim restarts: %s\n" now (Relying_party.recovery_to_string r)
+        end;
+        let r = Rpki_sim.Loop.step t ~now in
+        Format.printf "%a@." Rpki_sim.Loop.pp_record r;
+        List.iter
+          (fun rg -> Printf.printf "  REGRESSION: %s\n" (Relying_party.regression_to_string rg))
+          r.Rpki_sim.Loop.regressions;
+        if now = 2 then Rpki_attack.Rollback.capture atk ~now;
+        if now = 5 then begin
+          Rpki_sim.Loop.kill_vantage t ~name:victim;
+          Rpki_attack.Rollback.apply atk (Rpki_sim.Loop.transport t);
+          Printf.printf "t5: victim killed; %s\n" (Rpki_attack.Rollback.describe atk)
+        end
+      done;
+      print_endline "";
+      (match Rpki_sim.Loop.first_rollback_tick t with
+      | Some tk -> Printf.printf "rollback detected at t%d\n" tk
+      | None -> print_endline "rollback NOT detected (the fresh-start oracle)");
+      match Rpki_sim.Loop.gossip_mesh t with
+      | None -> ()
+      | Some g -> (
+        List.iter
+          (fun a ->
+            Format.printf "%a@." Rpki_monitor.Monitor.pp_alert
+              (List.hd (Rpki_monitor.Monitor.gossip_alerts [ a ])))
+          (Gossip.alarms g);
+        match (evidence, Gossip.rollbacks g) with
+        | None, _ -> ()
+        | Some file, alarm :: _ -> (
+          let key_of name =
+            List.find_map
+              (fun (v : Gossip.vantage) ->
+                if String.equal v.Gossip.v_name name then
+                  Some (Relying_party.transparency_key v.Gossip.v_rp)
+                else None)
+              (Gossip.vantages g)
+          in
+          match Evidence.export ~key_of alarm with
+          | Ok bytes ->
+            let oc = open_out_bin file in
+            output_string oc bytes;
+            close_out oc;
+            Printf.printf "wrote %d-byte evidence bundle to %s (re-check: rpki_sim restart --verify %s)\n"
+              (String.length bytes) file file
+          | Error why -> Printf.printf "evidence export failed: %s\n" why)
+        | Some _, [] ->
+          print_endline "no rollback alarm was raised; nothing to export")
+  in
+  Cmd.v
+    (Cmd.info "restart"
+       ~doc:"Crash and restart the victim under a rollback adversary; optionally \
+             export or offline-verify portable evidence")
+    Term.(const run $ fault $ no_persist $ restart_at $ evidence $ verify)
+
 let () =
   let doc = "the misbehaving-RPKI-authorities toolkit (HotNets'13 reproduction)" in
   let info = Cmd.info "rpki-sim" ~version:"1.0.0" ~doc in
@@ -264,4 +401,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ show_cmd; validate_cmd; ov_cmd; whack_cmd; monitor_cmd; sim_cmd; grid_cmd;
-            transparency_cmd ]))
+            transparency_cmd; restart_cmd ]))

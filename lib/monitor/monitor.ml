@@ -247,13 +247,18 @@ let staleness_alerts ?(threshold = 2) (result : Rpki_repo.Relying_party.sync_res
 let gossip_alerts gossip_alarms =
   List.map
     (fun ga ->
-      let uri =
+      let uri, severity =
         match ga with
-        | Rpki_repo.Gossip.Fork { fork_uri; _ } -> fork_uri
+        | Rpki_repo.Gossip.Fork { fork_uri; _ } -> (fork_uri, Alarm)
+        | Rpki_repo.Gossip.Rollback { rb_uri; _ } -> (rb_uri, Alarm)
         | Rpki_repo.Gossip.Inconsistent_heads _ | Rpki_repo.Gossip.Bad_head_signature _
-        | Rpki_repo.Gossip.Bad_inclusion _ -> "-"
+        | Rpki_repo.Gossip.Bad_inclusion _ -> ("-", Alarm)
+        (* a log reset is a lost baseline, not proof of misbehavior — but it
+           is exactly the window a rollback adversary needs, so it warrants
+           a warning rather than silence *)
+        | Rpki_repo.Gossip.Log_reset _ -> ("-", Warning)
       in
-      { severity = Alarm; uri; what = Rpki_repo.Gossip.describe_alarm ga })
+      { severity; uri; what = Rpki_repo.Gossip.describe_alarm ga })
     gossip_alarms
 
 let alarms alerts = List.filter (fun a -> a.severity = Alarm) alerts

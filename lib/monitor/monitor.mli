@@ -57,11 +57,12 @@ val staleness_alerts :
 
 val gossip_alerts : Rpki_repo.Gossip.alarm list -> alert list
 (** Cross-vantage monitoring from the transparency layer: every
-    {!Rpki_repo.Gossip.alarm} becomes an [Alarm]-severity alert (fork
-    evidence is cryptographic, not heuristic).  This is the detector for
-    the one manipulation neither a content diff nor freshness accounting
-    can see — a split view, where each vantage's feed is internally
-    consistent, signed and fresh, but the views disagree. *)
+    {!Rpki_repo.Gossip.alarm} becomes an [Alarm]-severity alert (fork and
+    rollback evidence is cryptographic, not heuristic), except
+    {!Rpki_repo.Gossip.alarm.Log_reset} — a lost baseline, not proof of
+    misbehavior — which surfaces as a [Warning].  This is the detector for
+    the manipulations neither a content diff nor freshness accounting can
+    see: a split view, or a rewritten past served to a restarted vantage. *)
 
 val alarms : alert list -> alert list
 val warnings : alert list -> alert list

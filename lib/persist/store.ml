@@ -1,0 +1,72 @@
+(* Generation-numbered snapshot store with atomic write-then-rename.
+
+   Layout on the simulated disk, for a store named [v]:
+     v.snap       — the current snapshot (Codec container)
+     v.gen        — the generation marker, written *after* the snapshot rename
+
+   Save writes both files through a temporary name and renames into place,
+   snapshot first, marker second.  A crash (dropped rename) between the two
+   leaves the marker ahead of the snapshot: [load] reports that as [Stale]
+   rather than handing back the old generation as if it were current. *)
+
+type t = { disk : Disk.t; name : string }
+
+let snap_file t = t.name ^ ".snap"
+let gen_file t = t.name ^ ".gen"
+
+let create disk ~name = { disk; name }
+let name t = t.name
+let disk t = t.disk
+
+let marker t =
+  match Disk.read t.disk ~name:(gen_file t) with
+  | None -> None
+  | Some s -> int_of_string_opt (String.trim s)
+
+let generation t = Option.value (marker t) ~default:0
+
+type load_error =
+  | No_snapshot
+  | Corrupt of string
+  | Stale of { snap_generation : int; marker : int }
+
+let load_error_to_string = function
+  | No_snapshot -> "no snapshot"
+  | Corrupt why -> Printf.sprintf "corrupt snapshot: %s" why
+  | Stale { snap_generation; marker } ->
+    Printf.sprintf "stale snapshot: generation %d but marker says %d"
+      snap_generation marker
+
+let save t ~now records =
+  let generation = generation t + 1 in
+  let snap =
+    Codec.encode { Codec.s_generation = generation; s_saved_at = now;
+                   s_records = records }
+  in
+  let tmp = snap_file t ^ ".tmp" in
+  Disk.write t.disk ~name:tmp snap;
+  Disk.rename t.disk ~src:tmp ~dst:(snap_file t);
+  let gtmp = gen_file t ^ ".tmp" in
+  Disk.write t.disk ~name:gtmp (string_of_int generation);
+  Disk.rename t.disk ~src:gtmp ~dst:(gen_file t);
+  generation
+
+let load t =
+  match Disk.read t.disk ~name:(snap_file t) with
+  | None -> Error No_snapshot
+  | Some bytes -> (
+    match Codec.decode bytes with
+    | Error e -> Error (Corrupt (Codec.error_to_string e))
+    | Ok snap -> (
+      match marker t with
+      | Some m when m > snap.Codec.s_generation ->
+        Error (Stale { snap_generation = snap.Codec.s_generation; marker = m })
+      | _ -> Ok snap))
+
+let snapshot_bytes t = Disk.size t.disk ~name:(snap_file t)
+
+let wipe t =
+  Disk.delete t.disk ~name:(snap_file t);
+  Disk.delete t.disk ~name:(gen_file t);
+  Disk.delete t.disk ~name:(snap_file t ^ ".tmp");
+  Disk.delete t.disk ~name:(gen_file t ^ ".tmp")

@@ -1,0 +1,32 @@
+(** Generation-numbered snapshot store with atomic write-then-rename.
+
+    A store owns two files on the simulated disk: the snapshot itself and a
+    generation marker written after the snapshot rename.  A crash between
+    the two renames is detectable: the marker runs ahead of the snapshot and
+    [load] reports [Stale] instead of silently serving the old generation. *)
+
+type t
+
+val create : Disk.t -> name:string -> t
+val name : t -> string
+val disk : t -> Disk.t
+
+val save : t -> now:int -> Codec.record list -> int
+(** Write a new snapshot; returns its generation (marker + 1). *)
+
+type load_error =
+  | No_snapshot
+  | Corrupt of string
+  | Stale of { snap_generation : int; marker : int }
+
+val load_error_to_string : load_error -> string
+
+val load : t -> (Codec.snapshot, load_error) result
+val generation : t -> int
+(** The marker's generation; 0 if never saved. *)
+
+val snapshot_bytes : t -> int
+(** Size of the current snapshot file; 0 if none. *)
+
+val wipe : t -> unit
+(** Delete snapshot, marker and temporaries (simulates losing the disk). *)

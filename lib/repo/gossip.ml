@@ -13,7 +13,8 @@ module Merkle = Rpki_transparency.Merkle
 
 type vantage = {
   v_name : string;
-  v_rp : Relying_party.t;
+  mutable v_rp : Relying_party.t; (* mutable: a restarted vantage re-enters the
+                                     mesh as a new RP instance under its name *)
   v_endpoint : Pub_point.t;
   v_transport : Transport.t;
 }
@@ -41,8 +42,20 @@ type alarm =
     }
   | Bad_head_signature of { bs_peer : string; bs_seen_by : string }
   | Bad_inclusion of { bi_peer : string; bi_seen_by : string; bi_index : int }
+  | Rollback of {
+      rb_uri : string;
+      rb_earlier : attested; (* recorded earlier in the same log, higher serial *)
+      rb_later : attested;   (* recorded later, lower serial: a served rollback *)
+    }
+  | Log_reset of {
+      lr_peer : string;
+      lr_seen_by : string;
+      lr_old : Log.head;  (* the last head verified for the previous log *)
+      lr_new : Log.head;  (* the head of the new incarnation *)
+    }
 
 let is_fork = function Fork _ -> true | _ -> false
+let is_rollback = function Rollback _ -> true | _ -> false
 
 let describe_alarm = function
   | Fork f ->
@@ -60,20 +73,31 @@ let describe_alarm = function
   | Bad_inclusion b ->
     Printf.sprintf "%s: peer %s's record %d failed its inclusion proof" b.bi_seen_by b.bi_peer
       b.bi_index
+  | Rollback r ->
+    Printf.sprintf
+      "ROLLBACK at %s: %s's log recorded #%d (index %d) and later #%d (index %d) — it was served a rewritten past"
+      r.rb_uri r.rb_later.att_vantage
+      r.rb_earlier.att_obs.Log.ob_serial r.rb_earlier.att_index
+      r.rb_later.att_obs.Log.ob_serial r.rb_later.att_index
+  | Log_reset l ->
+    Printf.sprintf
+      "%s: peer %s's log restarted (%s -> %s) — its history baseline is gone"
+      l.lr_seen_by l.lr_peer (Log.head_to_string l.lr_old) (Log.head_to_string l.lr_new)
 
-(* Re-verify fork evidence from scratch; a [true] needs no trust in the
-   vantage that raised the alarm. *)
-let verify_fork ~key_of = function
-  | Inconsistent_heads _ | Bad_head_signature _ | Bad_inclusion _ -> false
+(* Re-verify fork or rollback evidence from scratch; a [true] needs no trust
+   in the vantage that raised the alarm. *)
+let verify_fork ~key_of alarm =
+  let side (a : attested) =
+    match key_of a.att_vantage with
+    | None -> false
+    | Some key ->
+      Log.verify_head ~key a.att_head
+      && Log.verify_observation_inclusion a.att_obs ~index:a.att_index
+           ~head:a.att_head.Log.sh_head a.att_proof
+  in
+  match alarm with
+  | Inconsistent_heads _ | Bad_head_signature _ | Bad_inclusion _ | Log_reset _ -> false
   | Fork f ->
-    let side (a : attested) =
-      match key_of a.att_vantage with
-      | None -> false
-      | Some key ->
-        Log.verify_head ~key a.att_head
-        && Log.verify_observation_inclusion a.att_obs ~index:a.att_index
-             ~head:a.att_head.Log.sh_head a.att_proof
-    in
     let lo = f.left.att_obs and ro = f.right.att_obs in
     side f.left && side f.right
     && String.equal lo.Log.ob_uri f.fork_uri
@@ -81,6 +105,20 @@ let verify_fork ~key_of = function
     && lo.Log.ob_serial = f.fork_serial
     && ro.Log.ob_serial = f.fork_serial
     && not (Log.observation_equal lo ro)
+  | Rollback r ->
+    (* both records must sit in the *same* signed log (same vantage, the
+       identical head), in append order, with the manifest number going
+       backwards — one log attesting that the authority served a rewritten,
+       older past after a newer one *)
+    let e = r.rb_earlier and l = r.rb_later in
+    side e && side l
+    && String.equal e.att_vantage l.att_vantage
+    && String.equal (Log.encode_head e.att_head.Log.sh_head)
+         (Log.encode_head l.att_head.Log.sh_head)
+    && String.equal e.att_obs.Log.ob_uri r.rb_uri
+    && String.equal l.att_obs.Log.ob_uri r.rb_uri
+    && e.att_index < l.att_index
+    && e.att_obs.Log.ob_serial > l.att_obs.Log.ob_serial
 
 type exchange = {
   ex_from : string;
@@ -103,6 +141,10 @@ type t = {
   timeout : int;
   last_seen : (string * string, Log.head) Hashtbl.t;
       (* (receiver, peer) -> the peer head the receiver last verified *)
+  best_serial : (string * string * string, int * Log.observation) Hashtbl.t;
+      (* (receiver, peer, uri) -> the highest-serial verified record the
+         receiver has seen in the peer's log (with its leaf index) — the
+         baseline a served rollback regresses against *)
   mutable alarm_log : alarm list; (* newest first *)
   reported : (string, unit) Hashtbl.t; (* dedup keys for raised alarms *)
 }
@@ -114,12 +156,33 @@ let create ?(timeout = 32) vantages =
   let names = List.map (fun v -> v.v_name) vantages in
   if List.length (List.sort_uniq compare names) <> List.length names then
     invalid_arg "Gossip.create: duplicate vantage names";
-  { vantages; timeout; last_seen = Hashtbl.create 16; alarm_log = [];
-    reported = Hashtbl.create 16 }
+  { vantages; timeout; last_seen = Hashtbl.create 16; best_serial = Hashtbl.create 32;
+    alarm_log = []; reported = Hashtbl.create 16 }
 
 let vantages t = t.vantages
 let alarms t = List.rev t.alarm_log
 let forks t = List.filter is_fork (alarms t)
+let rollbacks t = List.filter is_rollback (alarms t)
+
+(* A vantage's gossip-receiver state (what it verified about its peers) is
+   process state: it dies with the process.  [forget_receiver] models that;
+   [reseed_receiver] rehydrates the consistency baselines from the heads the
+   vantage's relying party persisted ({!Relying_party.peer_heads}). *)
+let forget_receiver t ~name =
+  Hashtbl.iter
+    (fun ((r, _) as k) _ -> if String.equal r name then Hashtbl.remove t.last_seen k)
+    (Hashtbl.copy t.last_seen);
+  Hashtbl.iter
+    (fun ((r, _, _) as k) _ -> if String.equal r name then Hashtbl.remove t.best_serial k)
+    (Hashtbl.copy t.best_serial)
+
+let reseed_receiver t ~name =
+  match List.find_opt (fun v -> String.equal v.v_name name) t.vantages with
+  | None -> ()
+  | Some v ->
+    List.iter
+      (fun (peer, head) -> Hashtbl.replace t.last_seen (name, peer) head)
+      (Relying_party.peer_heads v.v_rp)
 
 (* Raise an alarm unless its dedup key was already reported. *)
 let raise_alarm t ~key alarm acc =
@@ -150,7 +213,17 @@ let pull t ~now ~(receiver : vantage) ~(peer : vantage) =
     let sth = Relying_party.signed_tree_head peer.v_rp ~now in
     let new_head = sth.Log.sh_head in
     let seen_key = (receiver.v_name, peer.v_name) in
-    let old_head = Hashtbl.find_opt t.last_seen seen_key in
+    let prior_head = Hashtbl.find_opt t.last_seen seen_key in
+    (* A changed log id means the peer's log did not continue — it restarted
+       without its baseline.  The receiver must not judge the new log against
+       the old one's heads (that would misread every fresh restart as
+       history rewriting); it notes the reset and starts over. *)
+    let log_reset =
+      match prior_head with
+      | Some oh when not (String.equal oh.Log.h_log_id new_head.Log.h_log_id) -> Some oh
+      | _ -> None
+    in
+    let old_head = if log_reset = None then prior_head else None in
     let old_size = match old_head with Some h -> h.Log.h_size | None -> 0 in
     (* the peer's message: consistency from the last head we verified,
        plus every record appended since, each with an inclusion proof *)
@@ -177,6 +250,23 @@ let pull t ~now ~(receiver : vantage) ~(peer : vantage) =
       note ~key:(Printf.sprintf "badsig:%s:%s:%d" receiver.v_name peer.v_name now)
         (Bad_head_signature { bs_peer = peer.v_name; bs_seen_by = receiver.v_name })
     else begin
+      (match log_reset with
+      | Some oh ->
+        (* the old log's verified state no longer applies to the new one *)
+        Hashtbl.remove t.last_seen seen_key;
+        Hashtbl.iter
+          (fun ((r, p, _) as k) _ ->
+            if String.equal r receiver.v_name && String.equal p peer.v_name then
+              Hashtbl.remove t.best_serial k)
+          (Hashtbl.copy t.best_serial);
+        note
+          ~key:
+            (Printf.sprintf "logreset:%s:%s:%s" receiver.v_name peer.v_name
+               new_head.Log.h_log_id)
+          (Log_reset
+             { lr_peer = peer.v_name; lr_seen_by = receiver.v_name; lr_old = oh;
+               lr_new = new_head })
+      | None -> ());
       (* 2. the new head must extend the one we last verified *)
       let consistent =
         match old_head with
@@ -191,16 +281,17 @@ let pull t ~now ~(receiver : vantage) ~(peer : vantage) =
                ih_old = Option.get old_head; ih_new = new_head })
       else begin
         Hashtbl.replace t.last_seen seen_key new_head;
+        Relying_party.note_peer_head receiver.v_rp ~peer:peer.v_name new_head;
         (* 3. each delta record must be in the tree the head commits to *)
         List.iter
           (fun (i, ob, proof) ->
             if not (Log.verify_observation_inclusion ob ~index:i ~head:new_head proof) then
               note ~key:(Printf.sprintf "badincl:%s:%s:%d" receiver.v_name peer.v_name i)
                 (Bad_inclusion { bi_peer = peer.v_name; bi_seen_by = receiver.v_name; bi_index = i })
-            else
+            else begin
               (* 4. cross-check against our own history: same publication
                  point, same manifest number, different content = fork *)
-              match Log.find own_log ~uri:ob.Log.ob_uri ~serial:ob.Log.ob_serial with
+              (match Log.find own_log ~uri:ob.Log.ob_uri ~serial:ob.Log.ob_serial with
               | Some (own_i, own_ob) when not (Log.observation_equal own_ob ob) ->
                 let own_sth = Relying_party.signed_tree_head receiver.v_rp ~now in
                 let own_head = own_sth.Log.sh_head in
@@ -218,20 +309,49 @@ let pull t ~now ~(receiver : vantage) ~(peer : vantage) =
                   ~key:(fork_key ob.Log.ob_uri ob.Log.ob_serial receiver.v_name peer.v_name)
                   (Fork
                      { fork_uri = ob.Log.ob_uri; fork_serial = ob.Log.ob_serial; left; right })
-              | _ -> ())
+              | _ -> ());
+              (* 5. serial regression *within the peer's own log*: the log
+                 recorded a higher manifest number for this point earlier
+                 and now appends a lower one — somebody served the peer a
+                 rewritten past, and the peer's own log is the evidence.
+                 (A peer merely *behind* — slow, stale — never trips this:
+                 its serials arrive in nondecreasing order.) *)
+              let bs_key = (receiver.v_name, peer.v_name, ob.Log.ob_uri) in
+              (match Hashtbl.find_opt t.best_serial bs_key with
+              | Some (best_i, best_ob) when ob.Log.ob_serial < best_ob.Log.ob_serial ->
+                let attested_at index obs =
+                  { att_vantage = peer.v_name; att_obs = obs; att_index = index;
+                    att_head = sth;
+                    att_proof =
+                      Log.inclusion_proof peer_log ~index ~size:new_head.Log.h_size }
+                in
+                note
+                  ~key:
+                    (Printf.sprintf "rollback:%s:%s:%d:%d" peer.v_name ob.Log.ob_uri
+                       best_i i)
+                  (Rollback
+                     { rb_uri = ob.Log.ob_uri;
+                       rb_earlier = attested_at best_i best_ob;
+                       rb_later = { (attested_at i ob) with att_proof = proof } })
+              | Some (_, best_ob) when ob.Log.ob_serial > best_ob.Log.ob_serial ->
+                Hashtbl.replace t.best_serial bs_key (i, ob)
+              | Some _ -> ()
+              | None -> Hashtbl.replace t.best_serial bs_key (i, ob))
+            end)
           delta
       end
     end;
     ({ ex_from = peer.v_name; ex_to = receiver.v_name; ex_outcome = `Ok (List.length delta);
        ex_elapsed = dt; ex_proof_bytes = proof_bytes }, List.rev !alarms)
 
-let round t ~now =
+let round ?(alive = fun _ -> true) t ~now =
   let exchanges = ref [] and alarms = ref [] in
   List.iter
     (fun receiver ->
       List.iter
         (fun peer ->
-          if peer.v_name <> receiver.v_name then begin
+          if peer.v_name <> receiver.v_name && alive receiver.v_name && alive peer.v_name
+          then begin
             let ex, al = pull t ~now ~receiver ~peer in
             exchanges := ex :: !exchanges;
             alarms := !alarms @ al

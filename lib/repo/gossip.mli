@@ -42,7 +42,9 @@ module Merkle = Rpki_transparency.Merkle
 
 type vantage = {
   v_name : string;
-  v_rp : Relying_party.t;
+  mutable v_rp : Relying_party.t;
+                             (** mutable: a restarted vantage re-enters the
+                                 mesh as a new RP instance under its name *)
   v_endpoint : Pub_point.t;  (** where this vantage's log server answers —
                                  addressing only; gossip to it is priced and
                                  faulted like any repository fetch *)
@@ -74,17 +76,40 @@ type alarm =
     }
   | Bad_head_signature of { bs_peer : string; bs_seen_by : string }
   | Bad_inclusion of { bi_peer : string; bi_seen_by : string; bi_index : int }
+  | Rollback of {
+      rb_uri : string;
+      rb_earlier : attested;
+          (** recorded earlier in the peer's log, higher manifest number *)
+      rb_later : attested;
+          (** appended later, lower manifest number — a served rollback.
+              Both sides attest under the {e same} signed head of the same
+              log, so the evidence is one log contradicting itself. *)
+    }
+  | Log_reset of {
+      lr_peer : string;
+      lr_seen_by : string;
+      lr_old : Log.head;  (** the last head verified for the previous log *)
+      lr_new : Log.head;  (** the head of the new incarnation (new log id) *)
+    }
+      (** The peer's log id changed: it restarted without its baseline.
+          Informational — every verified state for the old log is dropped,
+          because judging the new log against the old one's heads would
+          misread any fresh restart as history rewriting.  This is exactly
+          the window a rollback adversary exploits. *)
 
 val is_fork : alarm -> bool
+val is_rollback : alarm -> bool
 val describe_alarm : alarm -> string
 
 val verify_fork :
   key_of:(string -> Rsa.public option) -> alarm -> bool
-(** Re-verify fork evidence from scratch: both signed heads under their
-    vantages' keys ([key_of] by vantage name), both inclusion proofs, key
-    equality and content divergence.  [false] for non-[Fork] alarms or when
-    any check fails — a [true] here is proof of a split view that needs no
-    trust in whoever raised the alarm. *)
+(** Re-verify fork or rollback evidence from scratch.  For a [Fork]: both
+    signed heads under their vantages' keys ([key_of] by vantage name), both
+    inclusion proofs, key equality and content divergence.  For a
+    [Rollback]: both inclusions under the {e same} signed head of one log,
+    append order, and the manifest number going backwards.  [false] for
+    other alarms or when any check fails — a [true] here is proof that
+    needs no trust in whoever raised the alarm. *)
 
 type exchange = {
   ex_from : string;                         (** the peer pulled from *)
@@ -111,15 +136,29 @@ val create : ?timeout:int -> vantage list -> t
 
 val vantages : t -> vantage list
 
-val round : t -> now:Rtime.t -> round_report
-(** Run one full round of pairwise exchanges.  Alarms deduplicate across
-    rounds: a fork already reported for a (uri, serial, pair) key stays
-    reported but is not re-raised. *)
+val round : ?alive:(string -> bool) -> t -> now:Rtime.t -> round_report
+(** Run one full round of pairwise exchanges.  [alive] (default: everyone)
+    filters participants — a killed vantage neither pulls nor answers.
+    Alarms deduplicate across rounds: a fork already reported for a
+    (uri, serial, pair) key stays reported but is not re-raised. *)
+
+val forget_receiver : t -> name:string -> unit
+(** Drop every verified-peer-state entry where [name] is the receiver.  A
+    vantage's gossip memory is process state: a restart loses it.  Gossip
+    continues, but [name] re-verifies its peers from scratch. *)
+
+val reseed_receiver : t -> name:string -> unit
+(** Rehydrate [name]'s consistency baselines from the peer heads its
+    relying party persisted ({!Relying_party.peer_heads}) — the
+    persistence-on counterpart of {!forget_receiver}. *)
 
 val alarms : t -> alarm list
 (** Every alarm ever raised, oldest first. *)
 
 val forks : t -> alarm list
 (** Just the {!alarm.Fork}s. *)
+
+val rollbacks : t -> alarm list
+(** Just the {!alarm.Rollback}s. *)
 
 val pp_report : Format.formatter -> round_report -> unit

@@ -125,9 +125,9 @@ let add_fig5_right_roa t ~now =
        ~now ())
 
 (* A relying party configured with ARIN as its single trust anchor. *)
-let relying_party ?(name = "rp0") ?(asn = 7018) ?use_stale ?grace t =
+let relying_party ?(name = "rp0") ?(asn = 7018) ?use_stale ?grace ?log_epoch t =
   Relying_party.create ~name ~asn ~tals:[ Relying_party.tal_of_authority t.arin ] ?use_stale
-    ?grace ()
+    ?grace ?log_epoch ()
 
 (* Print the hierarchy — the textual rendering of Figure 2. *)
 let render t =

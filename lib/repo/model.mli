@@ -49,8 +49,12 @@ val add_fig5_right_roa : t -> now:Rtime.t -> string
     (right) / Side Effect 5 trigger.  Returns its filename. *)
 
 val relying_party :
-  ?name:string -> ?asn:int -> ?use_stale:bool -> ?grace:int -> t -> Relying_party.t
-(** A relying party configured with ARIN as its single trust anchor. *)
+  ?name:string -> ?asn:int -> ?use_stale:bool -> ?grace:int -> ?log_epoch:int ->
+  t -> Relying_party.t
+(** A relying party configured with ARIN as its single trust anchor.
+    [log_epoch] seeds the transparency-log incarnation counter (see
+    {!Relying_party.create}) — restart machinery bumps it when a snapshot
+    cannot be restored. *)
 
 val render : t -> string
 (** The hierarchy as indented text — Figure 2 in ASCII. *)

@@ -91,6 +91,30 @@ type transfer = {
   t_data_age : int;         (* age of the data used; 0 unless a stale copy *)
 }
 
+(* A publication point contradicting this vantage's own recorded history —
+   the local (no-gossip-needed) signal of a rewritten past.  Only a log that
+   survived the restart can raise these; a fresh log has no baseline. *)
+type regression =
+  | Serial_regression of {
+      rg_uri : string;
+      rg_prev : Rpki_transparency.Log.observation;  (* what we last recorded *)
+      rg_now : Rpki_transparency.Log.observation;   (* the older serial served now *)
+    }
+  | Content_equivocation of {
+      rg_uri : string;
+      rg_index : int;  (* index of the first observation under this key *)
+      rg_prev : Rpki_transparency.Log.observation;
+      rg_now : Rpki_transparency.Log.observation;
+    }
+
+let regression_to_string = function
+  | Serial_regression r ->
+    Printf.sprintf "serial regression at %s: saw #%d after recording #%d" r.rg_uri
+      r.rg_now.Rpki_transparency.Log.ob_serial r.rg_prev.Rpki_transparency.Log.ob_serial
+  | Content_equivocation r ->
+    Printf.sprintf "equivocation at %s: two states under manifest #%d (first at index %d)"
+      r.rg_uri r.rg_now.Rpki_transparency.Log.ob_serial r.rg_index
+
 type sync_result = {
   vrps : Vrp.t list;
   issues : issue list;
@@ -104,6 +128,7 @@ type sync_result = {
   points_reused : int;
   points_revalidated : int;
   observations_appended : int;
+  regressions : regression list;
   tree_head : Rpki_transparency.Log.head;
 }
 
@@ -145,27 +170,70 @@ type t = {
   mutable last_result : sync_result option;
   mutable effective_vrps : Vrp.t list; (* baseline the next diff is against *)
   mutable index : Origin_validation.index;
-  tlog : Rpki_transparency.Log.t; (* this vantage's transparency log: one
-                                     observation per distinct publication-point
-                                     state ever fetched.  Append-only; survives
-                                     flush_cache by design (evidence must not be
-                                     erasable by a cache wipe). *)
+  mutable log_epoch : int; (* incarnation counter bound into the log id: a
+                              fresh restart (no usable snapshot) must start a
+                              *new* log rather than impersonate a truncated
+                              continuation of the old one *)
+  mutable tlog : Rpki_transparency.Log.t; (* this vantage's transparency log:
+                                     one observation per distinct publication-
+                                     point state ever fetched.  Append-only;
+                                     survives flush_cache by design (evidence
+                                     must not be erasable by a cache wipe).
+                                     Mutable only so {!restore} can swap in the
+                                     rehydrated log. *)
+  mutable peer_heads : (string * Rpki_transparency.Log.head) list;
+  (* last gossip-verified head per peer — the persisted anti-rollback baseline
+     for *other* vantages' logs *)
+  mutable log_baseline : int; (* leaves of [tlog] that predate this process
+                                 incarnation (restored from a snapshot).  Only
+                                 contradictions of *that* prefix are flagged as
+                                 regressions: within one continuous run, a
+                                 changed point is ordinary churn or corruption
+                                 (Side Effect 7), handled by validation and
+                                 gossip — never a rollback alarm. *)
   mutable tkey : Rpki_crypto.Rsa.keypair option; (* lazy tree-head signing key *)
 }
 
-let create ~name ~asn ~tals ?(use_stale = true) ?grace () =
+(* Epoch 0 keeps the PR-3 log id (= the vantage name); later incarnations are
+   visibly distinct logs. *)
+let log_id_for ~name ~epoch =
+  if epoch = 0 then name else Printf.sprintf "%s/e%d" name epoch
+
+let create ~name ~asn ~tals ?(use_stale = true) ?grace ?(log_epoch = 0) () =
   { name; asn; tals; use_stale; grace; cache = [];
     rrdp_clients = Hashtbl.create 4; memo = Hashtbl.create 64;
     vrp_memory = []; last_result = None; effective_vrps = [];
-    index = Origin_validation.empty_index;
-    tlog = Rpki_transparency.Log.create ~log_id:name; tkey = None }
+    index = Origin_validation.empty_index; log_epoch;
+    tlog = Rpki_transparency.Log.create ~log_id:(log_id_for ~name ~epoch:log_epoch);
+    peer_heads = []; log_baseline = 0; tkey = None }
 
 let name t = t.name
 let asn t = t.asn
+let vrps t = t.effective_vrps
 let last_result t = t.last_result
 let cached_points t = List.rev_map fst t.cache
 
 let transparency_log t = t.tlog
+let log_epoch t = t.log_epoch
+
+let peer_heads t = t.peer_heads
+
+let note_peer_head t ~peer head =
+  t.peer_heads <- (peer, head) :: List.remove_assoc peer t.peer_heads
+
+(* VRPs this vantage last validated out of one publication point — which
+   prefixes a fork at that point can affect (feeds the evidence-triggered
+   RTR hold). *)
+let point_vrps t ~uri =
+  let prefix = uri ^ "\x00" in
+  let plen = String.length prefix in
+  Hashtbl.fold
+    (fun k (e : memo_entry) acc ->
+      if String.length k > plen && String.equal (String.sub k 0 plen) prefix then
+        e.m_vrps @ acc
+      else acc)
+    t.memo []
+  |> List.sort_uniq Vrp.compare
 
 (* The vantage's tree-head signing key, generated on first use (keygen is
    too costly to pay at [create] for the many RPs that never gossip). *)
@@ -238,6 +306,7 @@ let sync t ~now ~universe ?reachable ?transport ?(policy = default_policy) () =
   let reused = ref 0 in
   let revalidated = ref 0 in
   let appended = ref 0 in
+  let regressions = ref [] in
   let clock = ref 0 in
   let exhausted = ref false in
   let seen_keys = Hashtbl.create 16 in
@@ -429,8 +498,38 @@ let sync t ~now ~universe ?reachable ?transport ?(policy = default_policy) () =
               ob_snapshot_fp = snap_fp;
               ob_at = now }
           in
+          let prev = Rpki_transparency.Log.latest_for t.tlog ~uri in
           (match Rpki_transparency.Log.append t.tlog ob with
-          | `Appended _ -> incr appended
+          | `Appended _ ->
+            incr appended;
+            (* the point's state changed — does it contradict the history this
+               instance *restored from disk*?  A lower manifest number than the
+               restored baseline recorded is a served rollback; a different
+               state under a baseline-recorded number is equivocation.  Within
+               one continuous run (baseline 0, or leaves appended since
+               restore) a change is ordinary churn/corruption, not a
+               regression: only pre-restart history makes the past
+               contradictable. *)
+            let in_baseline ~uri ~serial =
+              match Rpki_transparency.Log.find t.tlog ~uri ~serial with
+              | Some (i, _) -> i < t.log_baseline
+              | None -> false
+            in
+            (match prev with
+            | Some p
+              when ob.Rpki_transparency.Log.ob_serial < p.Rpki_transparency.Log.ob_serial
+                   && in_baseline ~uri ~serial:p.Rpki_transparency.Log.ob_serial ->
+              regressions :=
+                Serial_regression { rg_uri = uri; rg_prev = p; rg_now = ob } :: !regressions
+            | _ -> ());
+            (match Rpki_transparency.Log.find t.tlog ~uri ~serial:ob.Rpki_transparency.Log.ob_serial with
+            | Some (i, prior)
+              when i < t.log_baseline
+                   && not (Rpki_transparency.Log.observation_equal prior ob) ->
+              regressions :=
+                Content_equivocation { rg_uri = uri; rg_index = i; rg_prev = prior; rg_now = ob }
+                :: !regressions
+            | _ -> ())
           | `Unchanged -> ());
           List.iter process_ca entry.m_children)
     end
@@ -620,6 +719,7 @@ let sync t ~now ~universe ?reachable ?transport ?(policy = default_policy) () =
       points_reused = !reused;
       points_revalidated = !revalidated;
       observations_appended = !appended;
+      regressions = List.rev !regressions;
       tree_head = Rpki_transparency.Log.head t.tlog ~at:now }
   in
   t.last_result <- Some result;
@@ -630,3 +730,186 @@ let sync t ~now ~universe ?reachable ?transport ?(policy = default_policy) () =
    the RTR layer surfaces it next to its serial. *)
 let max_data_age (result : sync_result) =
   List.fold_left (fun acc tr -> max acc tr.t_data_age) 0 result.transfers
+
+(* --- persistence ---------------------------------------------------------
+
+   What survives a restart is exactly the anti-rollback baseline: the
+   transparency log (replayed observation by observation), the signed tree
+   head it must still be consistent with, the last gossip-verified peer
+   heads, the last-good effective VRP set (so the RTR serial line can
+   continue), and the RTR serial itself.  Caches, memos and grace memory are
+   deliberately not persisted — they are re-derivable and carry no evidence.
+
+   Restore is fail-closed: a snapshot that is missing, corrupt, stale, or
+   internally inconsistent (rehydrated log disagreeing with its own signed
+   head) yields [Recovered_fresh] with a typed reason.  It never crashes and
+   never silently trusts. *)
+
+module Tlog = Rpki_transparency.Log
+module Der = Rpki_asn.Der
+
+type fresh_reason =
+  | No_snapshot
+  | Snapshot_corrupt of string
+  | Snapshot_stale of { snap_generation : int; marker : int }
+  | Log_inconsistent of string
+
+let fresh_reason_to_string = function
+  | No_snapshot -> "no snapshot"
+  | Snapshot_corrupt why -> Printf.sprintf "snapshot corrupt: %s" why
+  | Snapshot_stale { snap_generation; marker } ->
+    Printf.sprintf "snapshot stale: generation %d behind marker %d" snap_generation marker
+  | Log_inconsistent why -> Printf.sprintf "log inconsistent: %s" why
+
+type recovery =
+  | Recovered of { rc_generation : int; rc_saved_at : int; rc_rtr_serial : int }
+  | Recovered_fresh of fresh_reason
+
+let recovery_to_string = function
+  | Recovered r ->
+    Printf.sprintf "recovered generation %d (saved @t%d, rtr serial %d)" r.rc_generation
+      r.rc_saved_at r.rc_rtr_serial
+  | Recovered_fresh reason -> Printf.sprintf "fresh start: %s" (fresh_reason_to_string reason)
+
+exception Restore_error of string
+
+let vrp_to_der (v : Vrp.t) =
+  Der.Sequence
+    [ Der.int_ (Rpki_ip.V4.Prefix.addr v.Vrp.prefix);
+      Der.int_ (Rpki_ip.V4.Prefix.len v.Vrp.prefix);
+      Der.int_ v.Vrp.max_len;
+      Der.int_ v.Vrp.asn ]
+
+let vrp_of_der = function
+  | Der.Sequence
+      [ (Der.Integer _ as a); (Der.Integer _ as l); (Der.Integer _ as m);
+        (Der.Integer _ as s) ] ->
+    Vrp.make ~max_len:(Der.to_int_exn m)
+      (Rpki_ip.V4.Prefix.make (Der.to_int_exn a) (Der.to_int_exn l))
+      (Der.to_int_exn s)
+  | _ -> raise (Restore_error "VRP record is not an integer quadruple")
+
+let record kind payload = { Rpki_persist.Codec.r_kind = kind; r_payload = payload }
+
+let save t ~now ?(rtr_serial = 0) store =
+  let meta =
+    Der.encode
+      (Der.Sequence
+         [ Der.Utf8 t.name; Der.int_ t.asn; Der.int_ t.log_epoch; Der.int_ rtr_serial ])
+  in
+  let sth =
+    let sh = signed_tree_head t ~now in
+    Der.encode
+      (Der.Sequence
+         [ Der.Octet_string (Tlog.encode_head sh.Tlog.sh_head);
+           Der.Octet_string sh.Tlog.sh_sig ])
+  in
+  let obs =
+    List.map (fun o -> record "obs" (Tlog.encode_observation o)) (Tlog.observations t.tlog)
+  in
+  let peers =
+    List.rev_map
+      (fun (peer, h) ->
+        record "peer"
+          (Der.encode
+             (Der.Sequence [ Der.Utf8 peer; Der.Octet_string (Tlog.encode_head h) ])))
+      t.peer_heads
+  in
+  let vrps =
+    record "vrps" (Der.encode (Der.Sequence (List.map vrp_to_der t.effective_vrps)))
+  in
+  Rpki_persist.Store.save store ~now
+    ((record "meta" meta :: record "sth" sth :: obs) @ peers @ [ vrps ])
+
+let restore t store =
+  match Rpki_persist.Store.load store with
+  | Error Rpki_persist.Store.No_snapshot -> Recovered_fresh No_snapshot
+  | Error (Rpki_persist.Store.Corrupt why) -> Recovered_fresh (Snapshot_corrupt why)
+  | Error (Rpki_persist.Store.Stale { snap_generation; marker }) ->
+    Recovered_fresh (Snapshot_stale { snap_generation; marker })
+  | Ok snap -> (
+    let bad fmt = Printf.ksprintf (fun s -> raise (Restore_error s)) fmt in
+    try
+      let meta = ref None in
+      let sth = ref None in
+      let obs = ref [] in
+      let peers = ref [] in
+      let vrps = ref None in
+      List.iter
+        (fun (r : Rpki_persist.Codec.record) ->
+          let payload = r.Rpki_persist.Codec.r_payload in
+          match r.Rpki_persist.Codec.r_kind with
+          | "meta" -> (
+            match Der.decode payload with
+            | Ok
+                (Der.Sequence
+                  [ Der.Utf8 n; (Der.Integer _ as a); (Der.Integer _ as e);
+                    (Der.Integer _ as s) ]) ->
+              meta := Some (n, Der.to_int_exn a, Der.to_int_exn e, Der.to_int_exn s)
+            | _ -> bad "malformed meta record")
+          | "sth" -> (
+            match Der.decode payload with
+            | Ok (Der.Sequence [ Der.Octet_string head; Der.Octet_string signature ]) -> (
+              match Tlog.decode_head head with
+              | Some h -> sth := Some { Tlog.sh_head = h; sh_sig = signature }
+              | None -> bad "malformed persisted tree head")
+            | _ -> bad "malformed sth record")
+          | "obs" -> (
+            match Tlog.decode_observation payload with
+            | Some o -> obs := o :: !obs
+            | None -> bad "malformed observation record")
+          | "peer" -> (
+            match Der.decode payload with
+            | Ok (Der.Sequence [ Der.Utf8 peer; Der.Octet_string head ]) -> (
+              match Tlog.decode_head head with
+              | Some h -> peers := (peer, h) :: !peers
+              | None -> bad "malformed peer head for %s" peer)
+            | _ -> bad "malformed peer record")
+          | "vrps" -> (
+            match Der.decode payload with
+            | Ok (Der.Sequence vs) -> vrps := Some (List.map vrp_of_der vs)
+            | _ -> bad "malformed vrps record")
+          | other -> bad "unknown record kind %S" other)
+        snap.Rpki_persist.Codec.s_records;
+      let name, _asn, epoch, rtr_serial =
+        match !meta with Some m -> m | None -> bad "missing meta record"
+      in
+      if not (String.equal name t.name) then
+        bad "snapshot belongs to vantage %S, not %S" name t.name;
+      let sth = match !sth with Some s -> s | None -> bad "missing signed tree head" in
+      let vrps = match !vrps with Some v -> v | None -> bad "missing vrps record" in
+      (* Rehydrate the log by replaying the observations in order; the replay
+         must reproduce the persisted head bit-for-bit (same id, size and
+         Merkle root) and the head must verify under this vantage's key.
+         Anything less and we refuse the snapshot wholesale. *)
+      let log = Tlog.create ~log_id:(log_id_for ~name:t.name ~epoch) in
+      List.iter
+        (fun o ->
+          match Tlog.append log o with
+          | `Appended _ -> ()
+          | `Unchanged -> bad "replay produced a duplicate observation")
+        (List.rev !obs);
+      let h = sth.Tlog.sh_head in
+      if not (String.equal h.Tlog.h_log_id (Tlog.log_id log)) then
+        bad "persisted head names log %S, expected %S" h.Tlog.h_log_id (Tlog.log_id log);
+      if h.Tlog.h_size <> Tlog.size log then
+        bad "persisted head size %d, rehydrated log has %d" h.Tlog.h_size (Tlog.size log);
+      let rebuilt = Tlog.head log ~at:h.Tlog.h_at in
+      if not (String.equal rebuilt.Tlog.h_root h.Tlog.h_root) then
+        bad "Merkle root mismatch between persisted head and rehydrated log";
+      if not (Tlog.verify_head ~key:(transparency_key t) sth) then
+        bad "persisted tree head signature does not verify";
+      t.log_epoch <- epoch;
+      t.tlog <- log;
+      t.log_baseline <- Tlog.size log;
+      t.peer_heads <- !peers;
+      t.effective_vrps <- Vrp.normalize vrps;
+      t.index <- Origin_validation.build t.effective_vrps;
+      Recovered
+        { rc_generation = snap.Rpki_persist.Codec.s_generation;
+          rc_saved_at = snap.Rpki_persist.Codec.s_saved_at;
+          rc_rtr_serial = rtr_serial }
+    with
+    | Restore_error why -> Recovered_fresh (Log_inconsistent why)
+    | Der.Decode_error why -> Recovered_fresh (Log_inconsistent why)
+    | Invalid_argument why -> Recovered_fresh (Log_inconsistent why))

@@ -83,6 +83,27 @@ type transfer = {
 }
 (** The transport-level story of one publication point's fetch. *)
 
+(** A publication point contradicting this vantage's {e own} recorded
+    history — the local, no-gossip-needed signal of a rewritten past.  Only
+    a log that survived the restart can raise these; a fresh log has no
+    baseline to contradict. *)
+type regression =
+  | Serial_regression of {
+      rg_uri : string;
+      rg_prev : Rpki_transparency.Log.observation;
+          (** the state this vantage last recorded for the point *)
+      rg_now : Rpki_transparency.Log.observation;
+          (** the older manifest number the point serves now *)
+    }
+  | Content_equivocation of {
+      rg_uri : string;
+      rg_index : int;  (** log index of the first observation under this key *)
+      rg_prev : Rpki_transparency.Log.observation;
+      rg_now : Rpki_transparency.Log.observation;
+    }
+
+val regression_to_string : regression -> string
+
 type sync_result = {
   vrps : Vrp.t list;                       (** the effective VRP set, sorted *)
   issues : issue list;
@@ -101,6 +122,8 @@ type sync_result = {
   observations_appended : int;             (** distinct new publication-point
                                                states recorded in the
                                                transparency log this sync *)
+  regressions : regression list;           (** points that contradicted this
+                                               vantage's own recorded history *)
   tree_head : Rpki_transparency.Log.head;  (** the log's head after this sync *)
 }
 
@@ -112,16 +135,27 @@ type t
 (** Opaque relying-party state. *)
 
 val create :
-  name:string -> asn:int -> tals:tal list -> ?use_stale:bool -> ?grace:int -> unit -> t
+  name:string -> asn:int -> tals:tal list -> ?use_stale:bool -> ?grace:int ->
+  ?log_epoch:int -> unit -> t
 (** [grace] is the Suspenders-style fail-safe (the paper's ref [25]): when
     set, a VRP that disappears keeps being used for this many ticks after it
     was last seen — softening Side Effects 6 and 7 at the price of delaying
-    legitimate revocations by the same window. *)
+    legitimate revocations by the same window.
+
+    [log_epoch] (default 0) is the vantage's incarnation counter: a restart
+    that could not restore its snapshot must start a visibly {e new}
+    transparency log (log id [name/e<k>]) rather than impersonate a
+    truncated continuation of the old one.  Epoch 0 keeps the log id equal
+    to [name]. *)
 
 val name : t -> string
 
 val asn : t -> int
 (** The AS where this relying party sits. *)
+
+val vrps : t -> Vrp.t list
+(** The current effective VRP set (the baseline the next sync diffs
+    against) — after {!restore}, the persisted last-good set. *)
 
 val last_result : t -> sync_result option
 (** The most recent {!sync} result, if any. *)
@@ -158,7 +192,63 @@ val signed_tree_head : t -> now:Rtime.t -> Rpki_transparency.Log.signed_head
     deterministically from the RP name on first use). *)
 
 val transparency_key : t -> Rpki_crypto.Rsa.public
-(** The key {!signed_tree_head} signs with — what peers verify against. *)
+(** The key {!signed_tree_head} signs with — what peers verify against.
+    Seeded from the vantage name, so it is stable across restarts and
+    epochs. *)
+
+val log_epoch : t -> int
+(** The current incarnation counter (see {!create}). *)
+
+val peer_heads : t -> (string * Rpki_transparency.Log.head) list
+(** Last gossip-verified tree head per peer, as recorded by
+    {!note_peer_head} — the persisted anti-rollback baseline for other
+    vantages' logs. *)
+
+val note_peer_head : t -> peer:string -> Rpki_transparency.Log.head -> unit
+(** Record a gossip-verified head for [peer] (replaces any previous one).
+    Called by {!Gossip} after verification; persisted by {!save}. *)
+
+val point_vrps : t -> uri:string -> Vrp.t list
+(** The VRPs this vantage last validated out of publication point [uri] —
+    i.e. which prefixes a fork at that point can affect.  Empty if the point
+    was never validated (or the memo was flushed). *)
+
+(** {2 Persistence}
+
+    {!save} writes the anti-rollback baseline — transparency log, own signed
+    tree head, gossip-verified peer heads, last-good VRP set, RTR serial —
+    as one generation-numbered, checksummed snapshot.  {!restore} is
+    fail-closed: a missing, corrupt, stale or internally inconsistent
+    snapshot (e.g. a rehydrated log that disagrees with its own signed head)
+    degrades to {!Recovered_fresh} with a typed reason.  It never crashes
+    and never silently trusts a bad snapshot. *)
+
+type fresh_reason =
+  | No_snapshot
+  | Snapshot_corrupt of string
+  | Snapshot_stale of { snap_generation : int; marker : int }
+  | Log_inconsistent of string
+      (** checksums passed but the contents don't hold together: bad record
+          shapes, replay/head mismatch, or a signature failure *)
+
+val fresh_reason_to_string : fresh_reason -> string
+
+type recovery =
+  | Recovered of { rc_generation : int; rc_saved_at : int; rc_rtr_serial : int }
+  | Recovered_fresh of fresh_reason
+
+val recovery_to_string : recovery -> string
+
+val save : t -> now:Rtime.t -> ?rtr_serial:int -> Rpki_persist.Store.t -> int
+(** Snapshot this vantage's durable state; returns the new generation.
+    [rtr_serial] (default 0) is the RTR cache serial to persist alongside. *)
+
+val restore : t -> Rpki_persist.Store.t -> recovery
+(** Rehydrate a freshly {!create}d relying party from a snapshot.  On
+    success the transparency log (verified against its persisted signed
+    head), peer heads, effective VRP set (with a rebuilt origin-validation
+    index) and log epoch are restored; caches, memos and grace memory start
+    empty.  On failure the relying party is left untouched. *)
 
 val sync :
   t ->

@@ -8,24 +8,29 @@
    though transport is an in-memory string. *)
 
 open Rpki_core
+open Rpki_ip
 
 (* --- cache (server) side --- *)
 
 type cache = {
   session_id : int;
   mutable serial : int;
-  mutable current : Vrp.t list; (* normalized *)
+  mutable feed : Vrp.t list; (* the relying party's view, holds ignored *)
+  mutable current : Vrp.t list; (* what routers see: [feed] with holds applied *)
+  mutable holds : (V4.Prefix.t * Vrp.t list) list; (* pinned prefix -> last-good VRPs *)
   mutable deltas : (int * Vrp.diff) list; (* serial -> diff from serial-1, newest first *)
   mutable data_age : int; (* staleness of the RP data behind [current] *)
   history_limit : int;
 }
 
 let create_cache ?(session_id = 0x5c1) ?(history_limit = 16) () =
-  { session_id; serial = 0; current = []; deltas = []; data_age = 0; history_limit }
+  { session_id; serial = 0; feed = []; current = []; holds = []; deltas = [];
+    data_age = 0; history_limit }
 
 let cache_session_id cache = cache.session_id
 let cache_serial cache = cache.serial
 let cache_vrps cache = cache.current
+let cache_holds cache = cache.holds
 
 (* The serial says how current the *protocol* state is; the data age says
    how current the *data* is.  A cache fed by a relying party syncing from
@@ -34,9 +39,21 @@ let cache_vrps cache = cache.current
 let set_data_age cache age = cache.data_age <- max 0 age
 let cache_data_age cache = cache.data_age
 
-(* Install a new (normalized) VRP set; bump the serial and record the delta
-   only when something actually changed. *)
-let install cache vrps =
+(* The evidence-triggered freeze: under a hold, VRPs covered by the held
+   prefix are replaced by the pinned last-good set, whatever the relying
+   party currently believes. *)
+let apply_holds cache vrps =
+  match cache.holds with
+  | [] -> vrps
+  | holds ->
+    let covered (v : Vrp.t) = List.exists (fun (p, _) -> V4.Prefix.covers p v.Vrp.prefix) holds in
+    Vrp.normalize
+      (List.filter (fun v -> not (covered v)) vrps @ List.concat_map snd holds)
+
+(* Re-derive the router-visible set from the feed; bump the serial and
+   record the delta only when something actually changed. *)
+let republish cache =
+  let vrps = apply_holds cache cache.feed in
   let d = Vrp.diff_of ~before:cache.current ~after:vrps in
   if not (Vrp.diff_is_empty d) then begin
     cache.serial <- cache.serial + 1;
@@ -46,13 +63,39 @@ let install cache vrps =
       cache.deltas <- List.filteri (fun i _ -> i < cache.history_limit) cache.deltas
   end
 
+let install cache vrps =
+  cache.feed <- vrps;
+  republish cache
+
 let publish cache vrps = install cache (Vrp.normalize vrps)
 
 (* Install the relying party's sync diff directly as the next serial delta.
-   The diff must be relative to the cache's current set — which holds when
-   the cache is fed every sync of one relying party, diff-empty syncs
-   included (they are no-ops here). *)
-let publish_diff cache diff = install cache (Vrp.apply_diff cache.current diff)
+   The diff must be relative to the cache's *feed* — which holds when the
+   cache is fed every sync of one relying party, diff-empty syncs included
+   (they are no-ops here).  Holds are applied on top, so a frozen prefix
+   stays at its pinned VRPs no matter what the diff says. *)
+let publish_diff cache diff = install cache (Vrp.apply_diff cache.feed diff)
+
+let hold cache ~prefix ~vrps =
+  cache.holds <-
+    (prefix, Vrp.normalize vrps)
+    :: List.filter (fun (p, _) -> not (V4.Prefix.equal p prefix)) cache.holds;
+  republish cache
+
+let release cache ~prefix =
+  cache.holds <- List.filter (fun (p, _) -> not (V4.Prefix.equal p prefix)) cache.holds;
+  republish cache
+
+(* Rehydrate from a persisted (serial, VRP set) pair.  The delta window is
+   gone — routers whose serial does not match will take one Cache Reset —
+   but the serial line continues instead of restarting from 0. *)
+let restore cache ~serial ~vrps =
+  let vrps = Vrp.normalize vrps in
+  cache.serial <- max 0 serial;
+  cache.feed <- vrps;
+  cache.current <- vrps;
+  cache.holds <- [];
+  cache.deltas <- []
 
 let notify cache = Pdu.Serial_notify { session_id = cache.session_id; serial = cache.serial }
 

@@ -7,6 +7,7 @@
     byte-exact {!Pdu} encoding. *)
 
 open Rpki_core
+open Rpki_ip
 
 (** {2 Cache (server) side} *)
 
@@ -42,6 +43,25 @@ val publish_diff : cache -> Vrp.diff -> unit
     The diff must be relative to the cache's current set — which holds when
     the cache is fed every sync of one relying party (empty diffs are
     no-ops). *)
+
+val hold : cache -> prefix:V4.Prefix.t -> vrps:Vrp.t list -> unit
+(** Evidence-triggered freeze: pin every VRP covered by [prefix] at the
+    given last-good set.  Takes effect immediately (serial bump if the
+    router-visible set changes) and survives subsequent {!publish} /
+    {!publish_diff} calls until {!release}d.  A second hold on the same
+    prefix replaces the first. *)
+
+val release : cache -> prefix:V4.Prefix.t -> unit
+(** Drop the hold on [prefix]; the relying party's feed shows through again
+    on the next republish (immediate serial bump if it differs). *)
+
+val cache_holds : cache -> (V4.Prefix.t * Vrp.t list) list
+(** Active holds, newest first. *)
+
+val restore : cache -> serial:int -> vrps:Vrp.t list -> unit
+(** Rehydrate from a persisted (serial, VRP set) pair after a restart.  The
+    delta window is empty — non-matching routers take one Cache Reset — but
+    the serial line continues instead of restarting from 0.  Clears holds. *)
 
 val notify : cache -> Pdu.t
 (** The Serial Notify a cache would push to connected routers. *)

@@ -28,7 +28,7 @@ type t = {
   universe : Universe.t;
   topo : Topology.t;
   policy : Policy.t;              (* uniform policy at every AS *)
-  rp : Relying_party.t;
+  mutable rp : Relying_party.t;   (* mutable: a restart replaces the instance *)
   rtr : Rpki_rtr.Session.cache;   (* fed one serial delta per changed tick *)
   announcements : Propagation.announcement list;
   probes : probe list;
@@ -41,6 +41,19 @@ type t = {
                                               registration order *)
   mutable gossip : Gossip.t option;        (* set by [enable_gossip] *)
   mutable gossip_period : int;    (* run a gossip round every this many ticks *)
+  mutable disk : Rpki_persist.Disk.t option;     (* set by [enable_persistence] *)
+  mutable stores : (string * Rpki_persist.Store.t) list; (* per-vantage snapshots *)
+  mutable dead : string list;     (* killed vantages: no sync, no gossip, no save *)
+  mutable epochs : (string * int) list;    (* last known log epoch per vantage *)
+  mutable recoveries : (Rtime.t * string * Relying_party.recovery) list;
+                                  (* every restart's outcome, newest first *)
+  mutable point_good : (string * Vrp.t list) list;
+                                  (* per publication point, the last VRP set the
+                                     primary validated before any contradiction
+                                     was served — what a hold pins *)
+  mutable held_uris : (string * V4.Prefix.t list) list;
+                                  (* points already frozen, with the prefixes
+                                     their hold pinned *)
 }
 
 and tick_record = {
@@ -58,6 +71,9 @@ and tick_record = {
   budget_exhausted : bool;      (* the fetch budget ran out this tick *)
   gossip_report : Gossip.round_report option;
                                 (* the gossip round run this tick, if any *)
+  regressions : Relying_party.regression list;
+                                (* the primary's own-history contradictions *)
+  rtr_holds : int;              (* evidence-triggered holds active on the cache *)
 }
 
 (* Latency of one request to a publication point, from the data plane the
@@ -81,7 +97,8 @@ let create ~universe ~topo ~policy ~rp ~announcements ~probes =
     { universe; topo; policy; rp; rtr = Rpki_rtr.Session.create_cache (); announcements; probes;
       transport = Transport.create (); fetch_policy = Relying_party.default_policy;
       per_hop_latency = 1; net = None; history = []; vantages = []; gossip = None;
-      gossip_period = 1 }
+      gossip_period = 1; disk = None; stores = []; dead = []; epochs = [];
+      recoveries = []; point_good = []; held_uris = [] }
   in
   Transport.set_latency_of t.transport (point_latency t);
   t
@@ -133,6 +150,133 @@ let enable_gossip ?(period = 1) ?timeout t =
 
 let gossip_mesh t = t.gossip
 
+(* --- persistence, crash and restart --- *)
+
+let is_dead t name = List.mem name t.dead
+
+let vantage_alive t ~name = not (is_dead t name)
+
+let enable_persistence t disk = t.disk <- Some disk
+
+let persistence_enabled t = Option.is_some t.disk
+
+(* One snapshot store per vantage, named after it, created lazily on the
+   shared simulated disk. *)
+let store_for t name =
+  match t.disk with
+  | None -> None
+  | Some disk -> (
+    match List.assoc_opt name t.stores with
+    | Some s -> Some s
+    | None ->
+      let s = Rpki_persist.Store.create disk ~name in
+      t.stores <- (name, s) :: t.stores;
+      Some s)
+
+let vantage_store t ~name =
+  match store_for t name with
+  | Some s -> s
+  | None -> invalid_arg "Loop.vantage_store: persistence is not enabled"
+
+let note_epoch t name epoch =
+  t.epochs <- (name, epoch) :: List.remove_assoc name t.epochs
+
+let known_vantage t name =
+  String.equal name (Relying_party.name t.rp)
+  || List.exists (fun v -> String.equal v.Gossip.v_name name) t.vantages
+
+let kill_vantage t ~name =
+  if not (known_vantage t name) then
+    invalid_arg ("Loop.kill_vantage: unknown vantage " ^ name);
+  if not (is_dead t name) then t.dead <- name :: t.dead
+
+(* Bring a killed vantage back as a *new relying-party instance* under the
+   same name: process state (caches, memos, gossip memory) is gone; only
+   what [Relying_party.save] persisted can come back, and only if the
+   snapshot survives its own verification.  [make] rebuilds the instance —
+   it is handed the pessimistic next log epoch, which [restore] overrides
+   with the persisted epoch when the snapshot is good, so a failed restore
+   visibly starts a new log incarnation instead of impersonating a
+   truncated continuation of the old one. *)
+let restart_vantage t ~name ~now ~make =
+  if not (is_dead t name) then
+    invalid_arg ("Loop.restart_vantage: " ^ name ^ " is not down");
+  let next_epoch = 1 + Option.value ~default:0 (List.assoc_opt name t.epochs) in
+  let rp = (make ~log_epoch:next_epoch : Relying_party.t) in
+  if not (String.equal (Relying_party.name rp) name) then
+    invalid_arg "Loop.restart_vantage: the rebuilt relying party must keep the name";
+  let recovery =
+    match store_for t name with
+    | None -> Relying_party.Recovered_fresh Relying_party.No_snapshot
+    | Some store -> Relying_party.restore rp store
+  in
+  let primary = String.equal name (Relying_party.name t.rp) in
+  if primary then t.rp <- rp;
+  List.iter
+    (fun v -> if String.equal v.Gossip.v_name name then v.Gossip.v_rp <- rp)
+    t.vantages;
+  if primary then begin
+    (* the RTR cache is fed by the primary: rehydrate its serial line from
+       the snapshot, or concede a session-visible reset when nothing could
+       be restored.  Holds are process state and do not survive. *)
+    (match recovery with
+    | Relying_party.Recovered { rc_rtr_serial; _ } ->
+      Rpki_rtr.Session.restore t.rtr ~serial:rc_rtr_serial ~vrps:(Relying_party.vrps rp)
+    | Relying_party.Recovered_fresh _ ->
+      Rpki_rtr.Session.restore t.rtr ~serial:0 ~vrps:[]);
+    t.held_uris <- [];
+    (* the per-point last-good memory is the victim's memory: it survives
+       exactly when the snapshot did *)
+    (match recovery with
+    | Relying_party.Recovered _ -> ()
+    | Relying_party.Recovered_fresh _ -> t.point_good <- [])
+  end;
+  (match t.gossip with
+  | None -> ()
+  | Some g ->
+    Gossip.forget_receiver g ~name;
+    (match recovery with
+    | Relying_party.Recovered _ -> Gossip.reseed_receiver g ~name
+    | Relying_party.Recovered_fresh _ -> ()));
+  note_epoch t name (Relying_party.log_epoch rp);
+  t.dead <- List.filter (fun n -> not (String.equal n name)) t.dead;
+  t.recoveries <- (now, name, recovery) :: t.recoveries;
+  recovery
+
+let recoveries t = List.rev t.recoveries
+
+(* Freeze the router-visible VRPs of every prefix a publication point
+   contributes, at the last state validated before any contradiction was
+   served.  Prefixes the tainted view adds beyond the last-good set are
+   pinned empty — the replayed object is stripped, not trusted. *)
+let install_hold t ~uri =
+  if not (List.mem_assoc uri t.held_uris) then begin
+    let good = Option.value ~default:[] (List.assoc_opt uri t.point_good) in
+    let current =
+      if is_dead t (Relying_party.name t.rp) then []
+      else Relying_party.point_vrps t.rp ~uri
+    in
+    let prefixes =
+      List.sort_uniq compare
+        (List.map (fun (v : Vrp.t) -> v.Vrp.prefix) (good @ current))
+    in
+    List.iter
+      (fun prefix ->
+        let pinned =
+          List.filter (fun (v : Vrp.t) -> V4.Prefix.equal v.Vrp.prefix prefix) good
+        in
+        Rpki_rtr.Session.hold t.rtr ~prefix ~vrps:pinned)
+      prefixes;
+    if prefixes <> [] then t.held_uris <- (uri, prefixes) :: t.held_uris
+  end
+
+let release_hold t ~uri =
+  match List.assoc_opt uri t.held_uris with
+  | None -> ()
+  | Some prefixes ->
+    List.iter (fun prefix -> Rpki_rtr.Session.release t.rtr ~prefix) prefixes;
+    t.held_uris <- List.remove_assoc uri t.held_uris
+
 (* Reachability of a publication point from the RP's AS, judged on the data
    plane computed at the previous tick.  Before the first tick the RP has
    never applied RPKI filtering, so everything is reachable (deployment
@@ -144,29 +288,51 @@ let point_reachable t (pp : Pub_point.t) =
     Data_plane.reaches net ~src:(Relying_party.asn t.rp) ~addr:(Pub_point.addr pp)
       ~expected:(Pub_point.host_asn pp)
 
+let regression_uri = function
+  | Relying_party.Serial_regression { rg_uri; _ }
+  | Relying_party.Content_equivocation { rg_uri; _ } -> rg_uri
+
 let step t ~now =
   Universe.refresh_mirrors t.universe;
   Universe.refresh_rrdp t.universe;
+  let primary_alive = not (is_dead t (Relying_party.name t.rp)) in
   let result =
-    Relying_party.sync t.rp ~now ~universe:t.universe ~transport:t.transport
-      ~policy:t.fetch_policy ()
+    if primary_alive then
+      Some
+        (Relying_party.sync t.rp ~now ~universe:t.universe ~transport:t.transport
+           ~policy:t.fetch_policy ())
+    else None
   in
-  (* every other vantage observes the same universe this tick, over its own
-     transport (same previous-tick data plane, priced from its own AS) —
+  (* every other live vantage observes the same universe this tick, over its
+     own transport (same previous-tick data plane, priced from its own AS) —
      filling its transparency log with what *it* was served *)
   List.iter
     (fun (v : Gossip.vantage) ->
-      if not (v.Gossip.v_rp == t.rp) then
+      if (not (v.Gossip.v_rp == t.rp)) && not (is_dead t v.Gossip.v_name) then
         ignore
           (Relying_party.sync v.Gossip.v_rp ~now ~universe:t.universe
              ~transport:v.Gossip.v_transport ~policy:t.fetch_policy ()))
     t.vantages;
   (* the sync's diff becomes the RTR cache's next serial delta; the sync's
      data staleness rides along so routers can tell fresh serials over old
-     data from fresh data *)
-  Rpki_rtr.Session.publish_diff t.rtr result.Relying_party.diff;
-  Rpki_rtr.Session.set_data_age t.rtr (Relying_party.max_data_age result);
-  let validity_of r = Origin_validation.classify result.Relying_party.index r in
+     data from fresh data.  A dead primary feeds nothing: routers keep the
+     cache's last state, exactly as real RTR clients would. *)
+  (match result with
+  | Some r ->
+    Rpki_rtr.Session.publish_diff t.rtr r.Relying_party.diff;
+    Rpki_rtr.Session.set_data_age t.rtr (Relying_party.max_data_age r)
+  | None -> ());
+  (* a sync that contradicted the primary's own restored history is local
+     evidence — no gossip needed — and freezes the affected prefixes at the
+     last-good set before the data plane is rebuilt *)
+  let regressions =
+    match result with Some r -> r.Relying_party.regressions | None -> []
+  in
+  List.iter (fun rg -> install_hold t ~uri:(regression_uri rg)) regressions;
+  (* routers act on the RTR cache — the primary's feed with any holds
+     applied — so the data plane is classified from the cache's view *)
+  let rtr_index = Origin_validation.build (Rpki_rtr.Session.cache_vrps t.rtr) in
+  let validity_of r = Origin_validation.classify rtr_index r in
   let net =
     Data_plane.build ~topo:t.topo ~policy_of:(fun _ -> t.policy) ~validity_of t.announcements
   in
@@ -180,35 +346,107 @@ let step t ~now =
       t.probes
   in
   let fetch_failures =
-    List.filter_map
-      (fun (uri, st) ->
-        match st with
-        | Relying_party.Fetched | Relying_party.Fetched_mirror | Relying_party.Fetched_rrdp ->
-          None (* mirror and RRDP copies are fresh data, not failures *)
-        | Relying_party.Stale_cache | Relying_party.Unavailable -> Some uri)
-      result.Relying_party.fetches
+    match result with
+    | None -> []
+    | Some r ->
+      List.filter_map
+        (fun (uri, st) ->
+          match st with
+          | Relying_party.Fetched | Relying_party.Fetched_mirror
+          | Relying_party.Fetched_rrdp ->
+            None (* mirror and RRDP copies are fresh data, not failures *)
+          | Relying_party.Stale_cache | Relying_party.Unavailable -> Some uri)
+        r.Relying_party.fetches
   in
   (* gossip runs after routing converges: tree-head pulls travel the data
-     plane this tick produced, so a partitioned vantage also cannot gossip *)
+     plane this tick produced, so a partitioned vantage also cannot gossip —
+     and neither can a killed one *)
   let gossip_report =
     match t.gossip with
-    | Some g when now mod t.gossip_period = 0 -> Some (Gossip.round g ~now)
+    | Some g when now mod t.gossip_period = 0 ->
+      Some (Gossip.round ~alive:(fun n -> not (is_dead t n)) g ~now)
     | _ -> None
   in
+  (* cross-vantage evidence (fork or served rollback) that re-verifies from
+     scratch under the vantages' own keys also triggers a hold; it lands on
+     the next tick's data plane, gossip having run after this one's *)
+  (match gossip_report with
+  | None -> ()
+  | Some rep ->
+    let key_of vname =
+      List.find_map
+        (fun v ->
+          if String.equal v.Gossip.v_name vname then
+            Some (Relying_party.transparency_key v.Gossip.v_rp)
+          else None)
+        t.vantages
+    in
+    List.iter
+      (fun alarm ->
+        match alarm with
+        | Gossip.Fork { fork_uri = uri; _ } | Gossip.Rollback { rb_uri = uri; _ } ->
+          if Gossip.verify_fork ~key_of alarm then install_hold t ~uri
+        | Gossip.Inconsistent_heads _ | Gossip.Bad_head_signature _
+        | Gossip.Bad_inclusion _ | Gossip.Log_reset _ -> ())
+      rep.Gossip.r_alarms);
+  (* update the per-point last-good memory — but never from a point that is
+     under a hold or contradicted history this tick: that state is tainted *)
+  (match result with
+  | None -> ()
+  | Some r ->
+    let regressed = List.map regression_uri regressions in
+    List.iter
+      (fun (uri, _) ->
+        if (not (List.mem_assoc uri t.held_uris)) && not (List.mem uri regressed)
+        then
+          t.point_good <-
+            (uri, Relying_party.point_vrps t.rp ~uri)
+            :: List.remove_assoc uri t.point_good)
+      r.Relying_party.fetches);
+  (* durable state is snapshotted after gossip, so the peer heads verified
+     this round are part of the baseline a restart gets back *)
+  if persistence_enabled t then begin
+    if primary_alive then
+      Option.iter
+        (fun store ->
+          ignore
+            (Relying_party.save t.rp ~now
+               ~rtr_serial:(Rpki_rtr.Session.cache_serial t.rtr) store))
+        (store_for t (Relying_party.name t.rp));
+    List.iter
+      (fun (v : Gossip.vantage) ->
+        if (not (v.Gossip.v_rp == t.rp)) && not (is_dead t v.Gossip.v_name) then
+          Option.iter
+            (fun store -> ignore (Relying_party.save v.Gossip.v_rp ~now store))
+            (store_for t v.Gossip.v_name))
+      t.vantages
+  end;
   let record =
     { time = now;
-      vrp_count = List.length result.Relying_party.vrps;
-      issue_count = List.length result.Relying_party.issues;
+      vrp_count =
+        (match result with
+        | Some r -> List.length r.Relying_party.vrps
+        | None -> List.length (Rpki_rtr.Session.cache_vrps t.rtr));
+      issue_count =
+        (match result with Some r -> List.length r.Relying_party.issues | None -> 0);
       fetch_failures;
       probe_results;
-      vrp_diff = result.Relying_party.diff;
+      vrp_diff =
+        (match result with Some r -> r.Relying_party.diff | None -> Vrp.empty_diff);
       rtr_serial = Rpki_rtr.Session.cache_serial t.rtr;
-      points_reused = result.Relying_party.points_reused;
-      points_revalidated = result.Relying_party.points_revalidated;
-      sync_elapsed = result.Relying_party.sync_elapsed;
-      max_data_age = Relying_party.max_data_age result;
-      budget_exhausted = result.Relying_party.budget_exhausted;
-      gossip_report }
+      points_reused =
+        (match result with Some r -> r.Relying_party.points_reused | None -> 0);
+      points_revalidated =
+        (match result with Some r -> r.Relying_party.points_revalidated | None -> 0);
+      sync_elapsed =
+        (match result with Some r -> r.Relying_party.sync_elapsed | None -> 0);
+      max_data_age =
+        (match result with Some r -> Relying_party.max_data_age r | None -> 0);
+      budget_exhausted =
+        (match result with Some r -> r.Relying_party.budget_exhausted | None -> false);
+      gossip_report;
+      regressions;
+      rtr_holds = List.length (Rpki_rtr.Session.cache_holds t.rtr) }
   in
   t.history <- record :: t.history;
   record
@@ -221,6 +459,18 @@ let first_fork_tick t =
       match r.gossip_report with
       | Some rep when List.exists Gossip.is_fork rep.Gossip.r_alarms -> Some r.time
       | _ -> None)
+    (history t)
+
+let first_rollback_tick t =
+  List.find_map
+    (fun r ->
+      let local = r.regressions <> [] in
+      let gossiped =
+        match r.gossip_report with
+        | Some rep -> List.exists Gossip.is_rollback rep.Gossip.r_alarms
+        | None -> false
+      in
+      if local || gossiped then Some r.time else None)
     (history t)
 
 let pp_record fmt r =
@@ -401,3 +651,27 @@ let split_view_scenario ?(policy = Policy.Drop_invalid) ?(grace = 4) ?(monitors 
   if monitors > 0 then enable_gossip ~period:gossip_period sim;
   { sv_sim = sim; sv_model = model; sv_target_filename = model.Model.roa_target20;
     sv_monitors = List.map fst chosen }
+
+(* --- the canned restart / rollback scenario --- *)
+
+type restart_rig = {
+  rr_sv : split_view;
+  rr_disk : Rpki_persist.Disk.t;
+  rr_respawn : log_epoch:int -> Relying_party.t;
+}
+
+(* The split-view setting rigged for crash-and-rollback experiments: the
+   victim vantage gets a snapshot store on [rr_disk] (when [persist]), and
+   [rr_respawn] rebuilds the victim instance for [restart_vantage] — same
+   name, AS, trust anchor and grace as the original, so the only thing a
+   restart changes is what survived on disk. *)
+let restart_scenario ?(persist = true) ?(grace = 4) ?(monitors = 2)
+    ?(gossip_period = 1) () =
+  let sv = split_view_scenario ~grace ~monitors ~gossip_period () in
+  let disk = Rpki_persist.Disk.create () in
+  if persist then enable_persistence sv.sv_sim disk;
+  let asn = Relying_party.asn sv.sv_sim.rp in
+  let respawn ~log_epoch =
+    Model.relying_party ~name:"victim-rp" ~asn ~grace ~log_epoch sv.sv_model
+  in
+  { rr_sv = sv; rr_disk = disk; rr_respawn = respawn }

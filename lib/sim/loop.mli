@@ -26,7 +26,8 @@ type t = {
   universe : Universe.t;
   topo : Topology.t;
   policy : Policy.t;                         (** uniform at every AS *)
-  rp : Relying_party.t;
+  mutable rp : Relying_party.t;              (** mutable: {!restart_vantage}
+                                                 replaces the instance *)
   rtr : Rpki_rtr.Session.cache;              (** fed one delta per changed tick *)
   announcements : Propagation.announcement list;
   probes : probe list;
@@ -39,6 +40,13 @@ type t = {
   mutable vantages : Gossip.vantage list;    (** gossip mesh members *)
   mutable gossip : Gossip.t option;
   mutable gossip_period : int;
+  mutable disk : Rpki_persist.Disk.t option;
+  mutable stores : (string * Rpki_persist.Store.t) list;
+  mutable dead : string list;
+  mutable epochs : (string * int) list;
+  mutable recoveries : (Rtime.t * string * Relying_party.recovery) list;
+  mutable point_good : (string * Vrp.t list) list;
+  mutable held_uris : (string * Rpki_ip.V4.Prefix.t list) list;
 }
 
 and tick_record = {
@@ -57,6 +65,12 @@ and tick_record = {
   gossip_report : Gossip.round_report option;
       (** the gossip round run this tick; [None] when gossip is disabled or
           off-period this tick *)
+  regressions : Relying_party.regression list;
+      (** the primary's own-history contradictions this tick — the local
+          (no gossip needed) rollback signal, possible only with a restored
+          log *)
+  rtr_holds : int;              (** evidence-triggered holds active on the
+                                    RTR cache after this tick *)
 }
 
 val create :
@@ -141,6 +155,68 @@ val first_fork_tick : t -> Rtime.t option
     the moment a split view became detected, for detection-latency
     measurements. *)
 
+val first_rollback_tick : t -> Rtime.t option
+(** The earliest tick on which a served rollback became detected — by the
+    primary's own restored history (a non-empty [regressions] list) or by a
+    gossip {!Gossip.alarm.Rollback} — for detection-latency measurements
+    against a restart adversary. *)
+
+(** {2 Persistence, crash and restart}
+
+    With {!enable_persistence}, every live vantage snapshots its durable
+    state ({!Relying_party.save}) at the end of each tick, to a
+    per-vantage generation-numbered store on a shared simulated disk —
+    where experiments arm {!Rpki_persist.Disk.inject} faults.
+    {!kill_vantage} stops a vantage mid-run (no sync, no gossip, no
+    saves); {!restart_vantage} brings it back as a new relying-party
+    instance whose only link to its past is whatever {!Relying_party.restore}
+    can verifiably recover.  The primary's RTR cache continues its serial
+    line on a good restore and takes a visible reset otherwise.
+
+    Detected contradictions — a local {!Relying_party.regression} or
+    verified gossip fork/rollback evidence — freeze the affected prefixes
+    on the RTR cache ({!Rpki_rtr.Session.hold}) at the last VRPs validated
+    before the contradiction was served. *)
+
+val enable_persistence : t -> Rpki_persist.Disk.t -> unit
+(** Snapshot every live vantage's durable state at the end of each tick
+    onto [disk] (one {!Rpki_persist.Store.t} per vantage, named after it). *)
+
+val persistence_enabled : t -> bool
+
+val vantage_store : t -> name:string -> Rpki_persist.Store.t
+(** The named vantage's snapshot store (created on first use).  Raises
+    [Invalid_argument] when persistence is not enabled. *)
+
+val vantage_alive : t -> name:string -> bool
+
+val kill_vantage : t -> name:string -> unit
+(** Crash a vantage (the primary included): from now it neither syncs, nor
+    gossips, nor saves; peers see its endpoint go silent.  Process state
+    dies with it — only its snapshot store survives. *)
+
+val restart_vantage :
+  t ->
+  name:string ->
+  now:Rtime.t ->
+  make:(log_epoch:int -> Relying_party.t) ->
+  Relying_party.recovery
+(** Restart a killed vantage as a fresh relying-party instance built by
+    [make] (same name required).  [make] receives the pessimistic next log
+    epoch; a verified snapshot restore overrides it with the persisted
+    epoch, so only a failed restore starts a visibly new log incarnation.
+    On restore the gossip mesh reseeds the vantage's consistency baselines
+    from its persisted peer heads; otherwise its gossip memory starts
+    empty (and peers will raise {!Gossip.alarm.Log_reset}).  Raises
+    [Invalid_argument] unless the vantage is down. *)
+
+val recoveries : t -> (Rtime.t * string * Relying_party.recovery) list
+(** Every restart's outcome, oldest first. *)
+
+val release_hold : t -> uri:string -> unit
+(** Operator override: drop the evidence-triggered hold installed for a
+    publication point. *)
+
 (** {2 The canned Section 6 scenario} *)
 
 type section6 = {
@@ -212,3 +288,27 @@ val split_view_scenario :
     [transport sv_sim] forks only the victim's view.  Grace then holds the
     suppressed VRP for [grace] ticks, which is the window gossip detection
     must beat for the alarm to precede the route going invalid. *)
+
+(** {2 The canned restart / rollback scenario} *)
+
+type restart_rig = {
+  rr_sv : split_view;
+  rr_disk : Rpki_persist.Disk.t;   (** the shared simulated disk — arm
+                                       {!Rpki_persist.Disk.inject} faults here *)
+  rr_respawn : log_epoch:int -> Relying_party.t;
+      (** rebuilds the victim instance for {!restart_vantage}: same name,
+          AS, trust anchor and grace as the original *)
+}
+
+val restart_scenario :
+  ?persist:bool ->
+  ?grace:int ->
+  ?monitors:int ->
+  ?gossip_period:int ->
+  unit ->
+  restart_rig
+(** The split-view setting rigged for crash-and-rollback experiments.
+    [persist] (default true) enables end-of-tick snapshots for every
+    vantage; with [persist = false] the rig measures the fresh-start
+    oracle — the victim restarts with no baseline and a served rollback
+    goes undetected. *)

@@ -147,6 +147,42 @@ let encode_head h =
   encode_field b (string_of_int h.h_at);
   Buffer.contents b
 
+let decode_head s =
+  let magic = "rpki-sth-v1\n" in
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail = ref false in
+  let expect m =
+    let l = String.length m in
+    if !pos + l <= n && String.sub s !pos l = m then pos := !pos + l else fail := true
+  in
+  let field () =
+    if !fail then ""
+    else if !pos + 9 > n then (fail := true; "")
+    else
+      let len_s = String.sub s !pos 8 in
+      match int_of_string_opt len_s with
+      | None -> fail := true; ""
+      | Some len ->
+        if s.[!pos + 8] <> ':' || !pos + 9 + len > n then (fail := true; "")
+        else begin
+          let v = String.sub s (!pos + 9) len in
+          pos := !pos + 9 + len;
+          v
+        end
+  in
+  let int_field () =
+    match int_of_string_opt (field ()) with
+    | Some i -> i
+    | None -> fail := true; 0
+  in
+  expect magic;
+  let h_log_id = field () in
+  let h_size = int_field () in
+  let h_root = field () in
+  let h_at = int_field () in
+  if !fail || !pos <> n then None else Some { h_log_id; h_size; h_root; h_at }
+
 let head_to_string h =
   Printf.sprintf "%s[%d]=%s @t%d" h.h_log_id h.h_size (short h.h_root) h.h_at
 

@@ -83,6 +83,11 @@ type head = {
 
 val head : t -> at:int -> head
 val encode_head : head -> string
+
+val decode_head : string -> head option
+(** Inverse of {!encode_head}; [None] on malformed input.  What the
+    persistence layer stores and rehydrates. *)
+
 val head_to_string : head -> string
 
 type signed_head = {

@@ -36,26 +36,36 @@ let run_with_attack ~monitors ~grace ~gossip_period ~ticks =
   done;
   (sv, t)
 
-(* With >= 2 gossiping vantages: fork alarm, verifiable, before the route
-   goes invalid. *)
+(* With >= 2 gossiping vantages: fork alarm, verifiable, strictly inside the
+   grace window — and the verified evidence now freezes the affected
+   prefixes on the RTR cache, so the victim route *survives* the fork
+   instead of dying when grace expires (the evidence-triggered hold). *)
 let test_detected_before_invalid () =
   let grace = 4 in
+  let attack_at = 3 in
   let sv, t = run_with_attack ~monitors:2 ~grace ~gossip_period:1 ~ticks:10 in
   let fork_tick =
     match Loop.first_fork_tick t with
     | Some tk -> tk
     | None -> Alcotest.fail "no fork alarm raised"
   in
-  let invalid_tick =
-    match
-      List.find_opt (fun r -> not (probe_up r "continental-repo")) (Loop.history t)
-    with
-    | Some r -> r.Loop.time
-    | None -> Alcotest.fail "victim route never went invalid (grace never expired?)"
-  in
   Alcotest.(check bool)
-    (Printf.sprintf "fork detected (t%d) before route invalid (t%d)" fork_tick invalid_tick)
-    true (fork_tick < invalid_tick);
+    (Printf.sprintf "fork detected (t%d) before grace would expire (t%d)" fork_tick
+       (attack_at + grace))
+    true
+    (fork_tick < attack_at + grace);
+  (* detection no longer stops at the alert layer: the hold pins the
+     suppressed VRP at last-good, so the route outlives the grace window *)
+  List.iter
+    (fun r ->
+      Alcotest.(check bool)
+        (Printf.sprintf "victim route still up at t%d (held)" r.Loop.time)
+        true (probe_up r "continental-repo");
+      if r.Loop.time > fork_tick then
+        Alcotest.(check bool)
+          (Printf.sprintf "hold active at t%d" r.Loop.time)
+          true (r.Loop.rtr_holds > 0))
+    (Loop.history t);
   (* the alarm's evidence stands on its own: re-verified from scratch
      against the vantages' public keys *)
   let g = Option.get (Loop.gossip_mesh t) in
