@@ -224,8 +224,25 @@ let transparency_cmd =
          & info [ "overt" ]
              ~doc:"Overt fork (keep the honest manifest) instead of a stealthy re-signed one.")
   in
-  let run monitors period grace overt =
-    let sv = Rpki_sim.Loop.split_view_scenario ~monitors ~grace ~gossip_period:period () in
+  let vantages =
+    Arg.(value & opt (some int) None
+         & info [ "vantages" ] ~docv:"N"
+             ~doc:"Total relying-party vantages (victim + N-1 monitors; monitors \
+                   beyond the three named ones are synthesized).  Overrides \
+                   $(b,--monitors).")
+  in
+  let no_valcache =
+    Arg.(value & flag
+         & info [ "no-valcache" ]
+             ~doc:"Disable the shared cross-vantage validation cache: every \
+                   vantage verifies every signature itself.")
+  in
+  let run monitors period grace overt vantages no_valcache =
+    let monitors = match vantages with Some n -> n - 1 | None -> monitors in
+    let sv =
+      Rpki_sim.Loop.split_view_scenario ~monitors ~grace ~gossip_period:period
+        ~valcache:(not no_valcache) ()
+    in
     let t = sv.Rpki_sim.Loop.sv_sim in
     let stealth =
       if overt then Rpki_attack.Split_view.Overt else Rpki_attack.Split_view.Stealthy
@@ -242,6 +259,14 @@ let transparency_cmd =
       let r = Rpki_sim.Loop.step t ~now in
       Format.printf "%a@." Rpki_sim.Loop.pp_record r
     done;
+    let checks, saved =
+      List.fold_left
+        (fun (c, s) (r : Rpki_sim.Loop.tick_record) ->
+          (c + r.Rpki_sim.Loop.sig_checks, s + r.Rpki_sim.Loop.sig_saved))
+        (0, 0) (Rpki_sim.Loop.history t)
+    in
+    Printf.printf "\nRSA verifications: %d executed, %d answered by the shared cache\n"
+      checks saved;
     match Rpki_sim.Loop.gossip_mesh t with
     | None -> print_endline "\nno gossip mesh: the fork goes undetected"
     | Some g ->
@@ -255,7 +280,7 @@ let transparency_cmd =
   Cmd.v
     (Cmd.info "transparency"
        ~doc:"Run a split-view (mirror world) attack under gossiping vantages")
-    Term.(const run $ monitors $ period $ grace $ overt)
+    Term.(const run $ monitors $ period $ grace $ overt $ vantages $ no_valcache)
 
 (* --- restart --- *)
 
@@ -304,7 +329,17 @@ let restart_cmd =
              ~doc:"Do not simulate: load the DER evidence bundle $(docv) and \
                    re-verify it offline under its embedded keys.")
   in
-  let run fault no_persist restart_at evidence verify =
+  let vantages =
+    Arg.(value & opt (some int) None
+         & info [ "vantages" ] ~docv:"N"
+             ~doc:"Total relying-party vantages (victim + N-1 monitors; default 3).")
+  in
+  let no_valcache =
+    Arg.(value & flag
+         & info [ "no-valcache" ]
+             ~doc:"Disable the shared cross-vantage validation cache.")
+  in
+  let run fault no_persist restart_at evidence verify vantages no_valcache =
     match verify with
     | Some file -> (
       let ic = open_in_bin file in
@@ -323,7 +358,11 @@ let restart_cmd =
         exit 1)
     | None ->
       let persist = not no_persist in
-      let rig = Rpki_sim.Loop.restart_scenario ~persist ~grace:0 ~monitors:2 () in
+      let monitors = match vantages with Some n -> n - 1 | None -> 2 in
+      let rig =
+        Rpki_sim.Loop.restart_scenario ~persist ~grace:0 ~monitors
+          ~valcache:(not no_valcache) ()
+      in
       let sv = rig.Rpki_sim.Loop.rr_sv in
       let t = sv.Rpki_sim.Loop.sv_sim in
       let model = sv.Rpki_sim.Loop.sv_model in
@@ -392,7 +431,8 @@ let restart_cmd =
     (Cmd.info "restart"
        ~doc:"Crash and restart the victim under a rollback adversary; optionally \
              export or offline-verify portable evidence")
-    Term.(const run $ fault $ no_persist $ restart_at $ evidence $ verify)
+    Term.(const run $ fault $ no_persist $ restart_at $ evidence $ verify $ vantages
+          $ no_valcache)
 
 let () =
   let doc = "the misbehaving-RPKI-authorities toolkit (HotNets'13 reproduction)" in

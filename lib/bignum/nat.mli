@@ -56,7 +56,14 @@ val rem : t -> t -> t
 val gcd : t -> t -> t
 
 val pow_mod : base:t -> exp:t -> modulus:t -> t
-(** Left-to-right square-and-multiply modular exponentiation.
+(** Modular exponentiation.  Odd moduli with non-trivial exponents use a
+    4-bit sliding window over Montgomery multiplication; even moduli and
+    tiny exponents fall back to {!pow_mod_simple}.  The two always agree.
+    Raises [Division_by_zero] on a zero modulus. *)
+
+val pow_mod_simple : base:t -> exp:t -> modulus:t -> t
+(** Left-to-right square-and-multiply modular exponentiation — the
+    reference implementation, exposed for cross-checking {!pow_mod}.
     Raises [Division_by_zero] on a zero modulus. *)
 
 val succ : t -> t

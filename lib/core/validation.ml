@@ -47,15 +47,24 @@ let check_window ~now ~not_before ~not_after =
   else if Rtime.( < ) not_after now then Error (Expired { not_after; now })
   else Ok ()
 
+(* Every signature check below funnels through the [verify] parameter; the
+   default is the real {!Rsa.verify}.  A caller may substitute a memoizing
+   wrapper (the shared validation plane's verdict cache) — substitution is
+   sound because RSA verification is a pure function of (key, signature,
+   message). *)
+type verifier = key:Rsa.public -> signature:string -> string -> bool
+
+let default_verify : verifier = fun ~key ~signature msg -> Rsa.verify ~key ~signature msg
+
 (* Validate a CRL against its issuing CA. *)
-let validate_crl ~now ~(parent : Cert.t) (crl : Crl.t) =
+let validate_crl ?(verify = default_verify) ~now ~(parent : Cert.t) (crl : Crl.t) =
   let* () =
     if crl.Crl.issuer <> parent.Cert.subject then
       Error (Wrong_issuer { expected = parent.Cert.subject; got = crl.Crl.issuer })
     else Ok ()
   in
   let* () =
-    if Rsa.verify ~key:parent.Cert.public_key ~signature:crl.Crl.signature (Crl.tbs_bytes crl)
+    if verify ~key:parent.Cert.public_key ~signature:crl.Crl.signature (Crl.tbs_bytes crl)
     then Ok ()
     else Error (Bad_signature "CRL")
   in
@@ -65,7 +74,7 @@ let validate_crl ~now ~(parent : Cert.t) (crl : Crl.t) =
 
 (* Validate one certificate under a validated parent.  [crl], when present,
    must already have been validated against the same parent. *)
-let validate_cert ~now ~(parent : Cert.t) ?crl (cert : Cert.t) =
+let validate_cert ?(verify = default_verify) ~now ~(parent : Cert.t) ?crl (cert : Cert.t) =
   let* () =
     if not parent.Cert.is_ca then Error (Not_a_ca parent.Cert.subject) else Ok ()
   in
@@ -75,7 +84,8 @@ let validate_cert ~now ~(parent : Cert.t) ?crl (cert : Cert.t) =
     else Ok ()
   in
   let* () =
-    if Cert.verify_signature ~issuer_key:parent.Cert.public_key cert then Ok ()
+    if verify ~key:parent.Cert.public_key ~signature:cert.Cert.signature (Cert.tbs_bytes cert)
+    then Ok ()
     else Error (Bad_signature (Printf.sprintf "certificate for %s" cert.Cert.subject))
   in
   let* () = check_window ~now ~not_before:cert.Cert.not_before ~not_after:cert.Cert.not_after in
@@ -93,25 +103,26 @@ let validate_cert ~now ~(parent : Cert.t) ?crl (cert : Cert.t) =
 
 (* Validate a trust-anchor certificate against its out-of-band key (the TAL
    model: the relying party is configured with the TA's public key). *)
-let validate_trust_anchor ~now ~(expected_key : Rsa.public) (cert : Cert.t) =
+let validate_trust_anchor ?(verify = default_verify) ~now ~(expected_key : Rsa.public)
+    (cert : Cert.t) =
   let* () =
     if Rsa.equal_public cert.Cert.public_key expected_key then Ok ()
     else Error (Bad_signature "trust anchor key mismatch")
   in
   let* () =
-    if Cert.verify_signature ~issuer_key:expected_key cert then Ok ()
+    if verify ~key:expected_key ~signature:cert.Cert.signature (Cert.tbs_bytes cert) then Ok ()
     else Error (Bad_signature "trust anchor certificate")
   in
   let* () = check_window ~now ~not_before:cert.Cert.not_before ~not_after:cert.Cert.not_after in
   if cert.Cert.is_ca then Ok () else Error (Not_a_ca cert.Cert.subject)
 
 (* Validate a ROA under a validated parent CA; returns the VRPs it yields. *)
-let validate_roa ~now ~(parent : Cert.t) ?crl (roa : Roa.t) =
+let validate_roa ?(verify = default_verify) ~now ~(parent : Cert.t) ?crl (roa : Roa.t) =
   let ee = roa.Roa.ee in
-  let* () = validate_cert ~now ~parent ?crl ee in
+  let* () = validate_cert ~verify ~now ~parent ?crl ee in
   let* () = if ee.Cert.is_ca then Error (Is_a_ca ee.Cert.subject) else Ok () in
   let* () =
-    if Rsa.verify ~key:ee.Cert.public_key ~signature:roa.Roa.signature (Roa.content_bytes roa)
+    if verify ~key:ee.Cert.public_key ~signature:roa.Roa.signature (Roa.content_bytes roa)
     then Ok ()
     else Error (Bad_signature "ROA content")
   in
@@ -135,13 +146,14 @@ let validate_roa ~now ~(parent : Cert.t) ?crl (roa : Roa.t) =
   Ok (Vrp.of_roa roa)
 
 (* Validate a manifest under a validated parent CA. *)
-let validate_manifest ~now ~(parent : Cert.t) ?crl (mft : Manifest.t) =
+let validate_manifest ?(verify = default_verify) ~now ~(parent : Cert.t) ?crl
+    (mft : Manifest.t) =
   let ee = mft.Manifest.ee in
-  let* () = validate_cert ~now ~parent ?crl ee in
+  let* () = validate_cert ~verify ~now ~parent ?crl ee in
   let* () = if ee.Cert.is_ca then Error (Is_a_ca ee.Cert.subject) else Ok () in
   let* () =
     if
-      Rsa.verify ~key:ee.Cert.public_key ~signature:mft.Manifest.signature
+      verify ~key:ee.Cert.public_key ~signature:mft.Manifest.signature
         (Manifest.content_bytes mft)
     then Ok ()
     else Error (Bad_signature "manifest content")

@@ -22,25 +22,37 @@ type failure =
 val pp_failure : Format.formatter -> failure -> unit
 val failure_to_string : failure -> string
 
-val validate_crl : now:Rtime.t -> parent:Cert.t -> Crl.t -> (unit, failure) result
+type verifier = key:Rsa.public -> signature:string -> string -> bool
+(** The shape of a signature check.  Every validation function below takes
+    an optional [?verify] with {!Rsa.verify} semantics as the default; a
+    caller may substitute a memoizing wrapper (the shared validation
+    plane's verdict cache).  Substitution is sound because RSA verification
+    is a pure function of (key, signature, message). *)
+
+val validate_crl :
+  ?verify:verifier -> now:Rtime.t -> parent:Cert.t -> Crl.t -> (unit, failure) result
 (** Check a CRL's issuer, signature and currency against its issuing CA. *)
 
 val validate_cert :
+  ?verify:verifier ->
   now:Rtime.t -> parent:Cert.t -> ?crl:Crl.t -> Cert.t -> (unit, failure) result
 (** Validate one certificate under a validated parent: issuer match,
     signature, validity window, RFC 3779 resource containment, and (when a
     validated [crl] is supplied) revocation. *)
 
 val validate_trust_anchor :
+  ?verify:verifier ->
   now:Rtime.t -> expected_key:Rsa.public -> Cert.t -> (unit, failure) result
 (** TAL-model validation: the relying party is configured out of band with
     the trust anchor's public key. *)
 
 val validate_roa :
+  ?verify:verifier ->
   now:Rtime.t -> parent:Cert.t -> ?crl:Crl.t -> Roa.t -> (Vrp.t list, failure) result
 (** Validate a ROA under a validated parent CA: EE chain, content signature,
     prefix containment in the EE's resources, maxLength sanity.  Returns the
     VRPs the ROA yields. *)
 
 val validate_manifest :
+  ?verify:verifier ->
   now:Rtime.t -> parent:Cert.t -> ?crl:Crl.t -> Manifest.t -> (unit, failure) result

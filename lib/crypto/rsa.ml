@@ -62,7 +62,14 @@ let sign ~key msg =
   let s = Nat.pow_mod ~base:em ~exp:key.d ~modulus:key.pub.n in
   Nat.to_bytes_be_padded s len
 
+(* Global count of RSA verifications actually performed — the ground truth
+   the multi-vantage benchmark audits cache-on and cache-off runs against. *)
+let verifications = ref 0
+
+let verification_count () = !verifications
+
 let verify ~key ~signature msg =
+  incr verifications;
   let len = modulus_bytes key in
   if String.length signature <> len then false
   else begin

@@ -32,6 +32,11 @@ val sign : key:private_ -> string -> string
 val verify : key:public -> signature:string -> string -> bool
 (** Verify a signature over a message. Never raises. *)
 
+val verification_count : unit -> int
+(** Number of {!verify} calls executed since process start — a monotonic
+    global counter.  Benchmarks diff it around a region to audit how much
+    signature checking a configuration actually performed. *)
+
 val key_id : public -> string
 (** A stable 32-byte identifier for a public key (the profile's analogue of
     the Subject Key Identifier). *)

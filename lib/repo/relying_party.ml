@@ -133,19 +133,12 @@ type sync_result = {
 }
 
 (* The memoized outcome of validating one publication point under one
-   issuing certificate. *)
-type memo_entry = {
-  m_parent_fp : string;          (* digest of the issuing cert's encoding *)
-  m_snap_fp : string;            (* fingerprint of the listing validated *)
-  m_at : Rtime.t;                (* when it was validated *)
-  m_boundaries : Rtime.t list;   (* every validity boundary consulted *)
-  m_subject : string;
-  m_vrps : Vrp.t list;           (* this point's direct VRP contribution *)
-  m_issues : issue list;
-  m_children : Cert.t list;      (* validated child CA certs, in file order *)
-  m_mft_number : int;            (* manifest number as served; 0 if none *)
-  m_mft_hash : string;           (* SHA-256 of the manifest bytes; "" if none *)
-}
+   issuing certificate.  The shape is {!Valcache.outcome} — URI-free, a
+   pure function of (issuing certificate bytes, listing bytes, window
+   sides) — so an outcome computed by one vantage can be replayed verbatim
+   from the shared validation plane by any other vantage that observed the
+   same content; each vantage re-attaches its own URI to the issues. *)
+type memo_entry = Valcache.outcome
 
 type cached_point = {
   cp_files : (string * string) list;
@@ -163,10 +156,10 @@ type t = {
      when set, a VRP that disappears keeps being used for this many ticks
      after it was last seen, softening Side Effects 6 and 7 — at the price
      of delaying legitimate revocations by the same window. *)
-  mutable cache : (string * cached_point) list; (* uri -> last good copy *)
+  cache : (string, cached_point) Hashtbl.t; (* uri -> last good copy *)
   rrdp_clients : (string, Rrdp.client) Hashtbl.t; (* primary uri -> RRDP state *)
   memo : (string, memo_entry) Hashtbl.t; (* uri + parent key id -> outcome *)
-  mutable vrp_memory : (Vrp.t * Rtime.t) list; (* vrp -> last time seen *)
+  vrp_memory : (Vrp.t, Rtime.t) Hashtbl.t; (* vrp -> last time seen *)
   mutable last_result : sync_result option;
   mutable effective_vrps : Vrp.t list; (* baseline the next diff is against *)
   mutable index : Origin_validation.index;
@@ -200,9 +193,9 @@ let log_id_for ~name ~epoch =
   if epoch = 0 then name else Printf.sprintf "%s/e%d" name epoch
 
 let create ~name ~asn ~tals ?(use_stale = true) ?grace ?(log_epoch = 0) () =
-  { name; asn; tals; use_stale; grace; cache = [];
+  { name; asn; tals; use_stale; grace; cache = Hashtbl.create 16;
     rrdp_clients = Hashtbl.create 4; memo = Hashtbl.create 64;
-    vrp_memory = []; last_result = None; effective_vrps = [];
+    vrp_memory = Hashtbl.create 64; last_result = None; effective_vrps = [];
     index = Origin_validation.empty_index; log_epoch;
     tlog = Rpki_transparency.Log.create ~log_id:(log_id_for ~name ~epoch:log_epoch);
     peer_heads = []; log_baseline = 0; tkey = None }
@@ -211,7 +204,8 @@ let name t = t.name
 let asn t = t.asn
 let vrps t = t.effective_vrps
 let last_result t = t.last_result
-let cached_points t = List.rev_map fst t.cache
+let cached_points t =
+  List.sort String.compare (Hashtbl.fold (fun uri _ acc -> uri :: acc) t.cache [])
 
 let transparency_log t = t.tlog
 let log_epoch t = t.log_epoch
@@ -230,7 +224,7 @@ let point_vrps t ~uri =
   Hashtbl.fold
     (fun k (e : memo_entry) acc ->
       if String.length k > plen && String.equal (String.sub k 0 plen) prefix then
-        e.m_vrps @ acc
+        e.Valcache.o_vrps @ acc
       else acc)
     t.memo []
   |> List.sort_uniq Vrp.compare
@@ -261,10 +255,10 @@ let signed_tree_head t ~now =
    requires exactly this kind of manual fix).  The diff baseline survives:
    the next sync still reports the change relative to the last result. *)
 let flush_cache t =
-  t.cache <- [];
+  Hashtbl.reset t.cache;
   Hashtbl.reset t.rrdp_clients;
   Hashtbl.reset t.memo;
-  t.vrp_memory <- []
+  Hashtbl.reset t.vrp_memory
 
 let cert_fp cert = Rpki_crypto.Sha256.digest (Cert.encode cert)
 
@@ -275,12 +269,9 @@ let vrp_set_hash vrps =
     (String.concat "\n" (List.map Vrp.to_string (List.sort_uniq Vrp.compare vrps)))
 
 (* A memo entry survives a change of [now] iff [now] falls on the same side
-   of every boundary the original validation compared against. *)
-let side a b = compare (Rtime.compare a b) 0
-
-let entry_current entry ~now =
-  Rtime.compare entry.m_at now = 0
-  || List.for_all (fun b -> side now b = side entry.m_at b) entry.m_boundaries
+   of every boundary the original validation compared against — the rule is
+   shared with the cross-vantage cache. *)
+let entry_current (entry : memo_entry) ~now = Valcache.outcome_current entry ~now
 
 (* Deterministic retry backoff: exponential in the attempt number plus a
    per-(uri, attempt) jitter derived by hashing — no RNG state, so a sync
@@ -290,7 +281,7 @@ let backoff_delay policy ~uri ~attempt =
   if policy.backoff <= 0 then 0
   else (policy.backoff * (1 lsl min attempt 6)) + (Hashtbl.hash (uri, attempt) mod policy.backoff)
 
-let sync t ~now ~universe ?reachable ?transport ?(policy = default_policy) () =
+let sync t ~now ~universe ?reachable ?transport ?(policy = default_policy) ?valcache () =
   let transport =
     match (transport, reachable) with
     | Some tr, _ -> tr
@@ -310,9 +301,16 @@ let sync t ~now ~universe ?reachable ?transport ?(policy = default_policy) () =
   let clock = ref 0 in
   let exhausted = ref false in
   let seen_keys = Hashtbl.create 16 in
+  (* signature checks route through the shared verdict cache when one is
+     attached; otherwise straight to Rsa.verify *)
+  let verify =
+    match valcache with
+    | Some vc -> Some (Valcache.verify vc)
+    | None -> None
+  in
   let problem ~uri ?filename reason = issues := { uri; filename; reason } :: !issues in
   let remember uri snap fp =
-    t.cache <- (uri, { cp_files = snap; cp_fp = fp; cp_at = now }) :: List.remove_assoc uri t.cache
+    Hashtbl.replace t.cache uri { cp_files = snap; cp_fp = fp; cp_at = now }
   in
   let spend dt = clock := !clock + dt in
   let remaining () = policy.sync_budget - !clock in
@@ -419,7 +417,7 @@ let sync t ~now ~universe ?reachable ?transport ?(policy = default_policy) () =
       in
       (* channel 4: the stale local copy, its age on the record *)
       let stale why =
-        match List.assoc_opt uri t.cache with
+        match Hashtbl.find_opt t.cache uri with
         | Some cp when allow_stale ->
           record Stale_cache "cache" (Rtime.diff now cp.cp_at);
           problem ~uri (Printf.sprintf "publication point %s; using stale cache" why);
@@ -474,27 +472,49 @@ let sync t ~now ~universe ?reachable ?transport ?(policy = default_policy) () =
           let entry =
             match Hashtbl.find_opt t.memo memo_key with
             | Some e
-              when String.equal e.m_parent_fp parent_fp
-                   && String.equal e.m_snap_fp snap_fp && entry_current e ~now ->
+              when String.equal e.Valcache.o_parent_fp parent_fp
+                   && String.equal e.Valcache.o_snap_fp snap_fp && entry_current e ~now ->
               incr reused;
               e
             | _ ->
+              (* a per-vantage miss; [reused]/[revalidated] count only this
+                 private memo, so the sync result is identical whether the
+                 miss is then served by the shared plane or by fresh
+                 validation.  A shared outcome is rebased to [now] — sound
+                 because {!Valcache.find_point} already checked that [now]
+                 sits on the same side of every recorded boundary, so a
+                 fresh validation at [now] would produce exactly this entry. *)
               incr revalidated;
-              let e = validate_point ~uri ~ca_cert ~parent_fp ~snapshot ~snap_fp in
+              let e =
+                let fresh () = validate_point ~uri ~ca_cert ~parent_fp ~snapshot ~snap_fp in
+                match valcache with
+                | None -> fresh ()
+                | Some vc -> (
+                  match Valcache.find_point vc ~parent_fp ~snap_fp ~now with
+                  | Some o -> { o with Valcache.o_at = now }
+                  | None ->
+                    let e = fresh () in
+                    Valcache.store_point vc e;
+                    e)
+              in
               Hashtbl.replace t.memo memo_key e;
               e
           in
-          issues := List.rev_append entry.m_issues !issues;
-          vrps := entry.m_vrps @ !vrps;
+          issues :=
+            List.rev_append
+              (List.map (fun (filename, reason) -> { uri; filename; reason })
+                 entry.Valcache.o_issues)
+              !issues;
+          vrps := entry.Valcache.o_vrps @ !vrps;
           (* transparency: record the state this point served us.  The leaf
              is content-addressed, so a memo replay of an unchanged point
              dedups to a no-op, while a split-view authority serving this
              vantage different bytes necessarily forks the log. *)
           let ob =
             { Rpki_transparency.Log.ob_uri = uri;
-              ob_serial = entry.m_mft_number;
-              ob_manifest_hash = entry.m_mft_hash;
-              ob_vrp_hash = vrp_set_hash entry.m_vrps;
+              ob_serial = entry.Valcache.o_mft_number;
+              ob_manifest_hash = entry.Valcache.o_mft_hash;
+              ob_vrp_hash = vrp_set_hash entry.Valcache.o_vrps;
               ob_snapshot_fp = snap_fp;
               ob_at = now }
           in
@@ -531,20 +551,21 @@ let sync t ~now ~universe ?reachable ?transport ?(policy = default_policy) () =
                 :: !regressions
             | _ -> ())
           | `Unchanged -> ());
-          List.iter process_ca entry.m_children)
+          List.iter process_ca entry.Valcache.o_children)
     end
   (* From-scratch validation of one point's contents, recording every
      validity boundary consulted so the outcome can be replayed at a
      different [now]. *)
   and validate_point ~uri ~ca_cert ~parent_fp ~snapshot ~snap_fp =
+    ignore uri;
+    (* the outcome is URI-free (see {!Valcache.outcome}): issues carry only
+       filename and reason here, and the caller re-attaches the URI *)
     let local_issues = ref [] in
     let local_vrps = ref [] in
     let children = ref [] in
     let boundaries = ref [ ca_cert.Cert.not_before; ca_cert.Cert.not_after ] in
     let window (c : Cert.t) = boundaries := c.Cert.not_before :: c.Cert.not_after :: !boundaries in
-    let problem ?filename reason =
-      local_issues := { uri; filename; reason } :: !local_issues
-    in
+    let problem ?filename reason = local_issues := (filename, reason) :: !local_issues in
     let decode_file filename =
       match List.assoc_opt filename snapshot with
       | None -> None
@@ -579,7 +600,7 @@ let sync t ~now ~universe ?reachable ?transport ?(policy = default_policy) () =
       match decode_file mft_name with
       | Some (Obj.Manifest m) -> (
         mft_number := m.Manifest.manifest_number;
-        match Validation.validate_manifest ~now ~parent:ca_cert m with
+        match Validation.validate_manifest ?verify ~now ~parent:ca_cert m with
         | Ok () -> Some m
         | Error f ->
           problem ~filename:mft_name (Validation.failure_to_string f);
@@ -613,7 +634,7 @@ let sync t ~now ~universe ?reachable ?transport ?(policy = default_policy) () =
     let crl =
       match decode_file crl_name with
       | Some (Obj.Crl c) -> (
-        match Validation.validate_crl ~now ~parent:ca_cert c with
+        match Validation.validate_crl ?verify ~now ~parent:ca_cert c with
         | Ok () -> Some c
         | Error f ->
           problem ~filename:crl_name (Validation.failure_to_string f);
@@ -630,27 +651,27 @@ let sync t ~now ~universe ?reachable ?transport ?(policy = default_policy) () =
           match decode_file filename with
           | None -> ()
           | Some (Obj.Cert c) -> (
-            match Validation.validate_cert ~now ~parent:ca_cert ?crl c with
+            match Validation.validate_cert ?verify ~now ~parent:ca_cert ?crl c with
             | Ok () -> if c.Cert.is_ca then children := c :: !children
             | Error f -> problem ~filename (Validation.failure_to_string f))
           | Some (Obj.Roa r) -> (
-            match Validation.validate_roa ~now ~parent:ca_cert ?crl r with
+            match Validation.validate_roa ?verify ~now ~parent:ca_cert ?crl r with
             | Ok vs -> local_vrps := vs @ !local_vrps
             | Error f -> problem ~filename (Validation.failure_to_string f))
           | Some (Obj.Crl _) -> problem ~filename "unexpected extra CRL"
           | Some (Obj.Manifest _) -> problem ~filename "unexpected extra manifest"
         end)
       snapshot;
-    { m_parent_fp = parent_fp;
-      m_snap_fp = snap_fp;
-      m_at = now;
-      m_boundaries = !boundaries;
-      m_subject = ca_cert.Cert.subject;
-      m_vrps = !local_vrps;
-      m_issues = List.rev !local_issues;
-      m_children = List.rev !children;
-      m_mft_number = !mft_number;
-      m_mft_hash = mft_hash }
+    { Valcache.o_parent_fp = parent_fp;
+      o_snap_fp = snap_fp;
+      o_at = now;
+      o_boundaries = !boundaries;
+      o_subject = ca_cert.Cert.subject;
+      o_vrps = !local_vrps;
+      o_issues = List.rev !local_issues;
+      o_children = List.rev !children;
+      o_mft_number = !mft_number;
+      o_mft_hash = mft_hash }
   in
   List.iter
     (fun tal ->
@@ -663,7 +684,7 @@ let sync t ~now ~universe ?reachable ?transport ?(policy = default_policy) () =
           match Cert.decode bytes with
           | Error e -> problem ~uri:tal.ta_uri ~filename:tal.ta_cert_filename e
           | Ok cert -> (
-            match Validation.validate_trust_anchor ~now ~expected_key:tal.ta_key cert with
+            match Validation.validate_trust_anchor ?verify ~now ~expected_key:tal.ta_key cert with
             | Ok () -> process_ca cert
             | Error f ->
               problem ~uri:tal.ta_uri ~filename:tal.ta_cert_filename
@@ -675,21 +696,22 @@ let sync t ~now ~universe ?reachable ?transport ?(policy = default_policy) () =
     | None -> current
     | Some grace ->
       (* remember when each VRP was last seen; resurrect those seen within
-         the grace window *)
-      let seen_now = List.map (fun v -> (v, now)) current in
-      let remembered =
-        List.filter
-          (fun (v, _) -> not (List.exists (fun (v', _) -> Vrp.equal v v') seen_now))
-          t.vrp_memory
-      in
-      t.vrp_memory <- seen_now @ remembered;
+         the grace window.  [current] is sorted, so a membership set makes
+         the held scan O(memory) instead of O(memory * current). *)
+      let in_current = Hashtbl.create (List.length current) in
+      List.iter
+        (fun v ->
+          Hashtbl.replace in_current v ();
+          Hashtbl.replace t.vrp_memory v now)
+        current;
       let held =
-        List.filter_map
-          (fun (v, last) ->
-            if Rtime.( <= ) (Rtime.diff now last) grace && not (List.exists (Vrp.equal v) current)
-            then Some v
-            else None)
-          t.vrp_memory
+        Hashtbl.fold
+          (fun v last acc ->
+            if Rtime.( <= ) (Rtime.diff now last) grace && not (Hashtbl.mem in_current v)
+            then v :: acc
+            else acc)
+          t.vrp_memory []
+        |> List.sort Vrp.compare
       in
       List.iter
         (fun v ->

@@ -257,6 +257,7 @@ val sync :
   ?reachable:(Pub_point.t -> bool) ->
   ?transport:Transport.t ->
   ?policy:fetch_policy ->
+  ?valcache:Valcache.t ->
   unit ->
   sync_result
 (** Fetch from every trust anchor down, validate top-down (manifest and CRL
@@ -270,4 +271,14 @@ val sync :
     [reachable] as a zero-latency {!Transport.of_oracle} when that is
     supplied (the PR-1 behaviour, kept for compatibility), otherwise
     {!Transport.instant}.  [reachable] is ignored when [transport] is
-    given. *)
+    given.
+
+    [valcache], when given, attaches the shared cross-vantage validation
+    plane: signature checks route through its verdict memo and
+    publication-point outcomes missing from this RP's private memo are
+    replayed from (or contributed to) its content-addressed outcome store.
+    Sharing is transparent — the sync result, including the
+    [points_reused]/[points_revalidated] counters (which count only this
+    RP's private memo), is identical with and without it; only the number
+    of RSA verifications actually executed changes.  Transport accounting
+    is never short-circuited by the cache. *)

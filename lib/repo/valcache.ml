@@ -1,0 +1,154 @@
+(* The shared validation plane: a content-addressed verification cache that
+   many relying-party vantages consult during one simulation tick.
+
+   Two layers, both keyed purely by content:
+
+   - RSA verdicts: (issuer key id, SHA-256 of signature + message) -> bool.
+     Sound because RSA verification is a pure function of its inputs; a
+     verdict computed for one vantage is the verdict for every vantage.
+
+   - Publication-point outcomes: (issuing certificate digest, listing
+     fingerprint) -> the full validation outcome (VRPs, issues, child CAs,
+     manifest identity), together with every validity-window boundary the
+     validation consulted.  An outcome is replayable at a different [now]
+     exactly when [now] sits on the same side of every recorded boundary —
+     the same rule the per-vantage memo uses.
+
+   Split-view safety is structural, not policed: a misbehaving authority
+   that serves a forked manifest to one vantage necessarily changes that
+   vantage's listing fingerprint, so the victim's lookups key to a
+   different cache line than the honest vantages'.  The cache can never
+   merge the two views; per-vantage transport accounting, transparency
+   observations and gossip evidence are computed outside it and keep their
+   per-vantage divergence.  Cache hits skip crypto — never transport.
+
+   The outcome deliberately carries no URI: a point's validation outcome is
+   a function of (issuing certificate bytes, listing bytes, window sides)
+   only.  Issue records store just the optional filename and reason; each
+   relying party re-attaches its own URI when replaying. *)
+
+open Rpki_core
+
+type outcome = {
+  o_parent_fp : string;          (* digest of the issuing cert's encoding *)
+  o_snap_fp : string;            (* fingerprint of the listing validated *)
+  o_at : Rtime.t;                (* when it was validated *)
+  o_boundaries : Rtime.t list;   (* every validity boundary consulted *)
+  o_subject : string;
+  o_vrps : Vrp.t list;           (* the point's direct VRP contribution *)
+  o_issues : (string option * string) list;  (* filename, reason — no URI *)
+  o_children : Cert.t list;      (* validated child CA certs, in file order *)
+  o_mft_number : int;            (* manifest number as served; 0 if none *)
+  o_mft_hash : string;           (* SHA-256 of the manifest bytes; "" if none *)
+}
+
+(* Same boundary-side rule as the relying party's private memo. *)
+let side a b = compare (Rtime.compare a b) 0
+
+let outcome_current o ~now =
+  Rtime.compare o.o_at now = 0
+  || List.for_all (fun b -> side now b = side o.o_at b) o.o_boundaries
+
+type stats = {
+  sig_checked : int;   (* RSA verifications executed through the cache *)
+  sig_saved : int;     (* RSA verifications answered from a memoized verdict *)
+  point_hits : int;    (* publication-point outcomes replayed *)
+  point_misses : int;  (* publication-point outcomes validated from scratch *)
+}
+
+let empty_stats = { sig_checked = 0; sig_saved = 0; point_hits = 0; point_misses = 0 }
+
+let add_stats a b =
+  { sig_checked = a.sig_checked + b.sig_checked;
+    sig_saved = a.sig_saved + b.sig_saved;
+    point_hits = a.point_hits + b.point_hits;
+    point_misses = a.point_misses + b.point_misses }
+
+let sub_stats a b =
+  { sig_checked = a.sig_checked - b.sig_checked;
+    sig_saved = a.sig_saved - b.sig_saved;
+    point_hits = a.point_hits - b.point_hits;
+    point_misses = a.point_misses - b.point_misses }
+
+type t = {
+  verdicts : (string, bool) Hashtbl.t;
+  points : (string, outcome) Hashtbl.t;
+  mutable digest : string;       (* the current tick's universe digest *)
+  mutable totals : stats;        (* cumulative since creation *)
+  mutable tick_base : stats;     (* totals at the last [begin_tick] *)
+}
+
+let create () =
+  { verdicts = Hashtbl.create 256; points = Hashtbl.create 64;
+    digest = ""; totals = empty_stats; tick_base = empty_stats }
+
+let clear t =
+  Hashtbl.reset t.verdicts;
+  Hashtbl.reset t.points;
+  t.digest <- "";
+  t.totals <- empty_stats;
+  t.tick_base <- empty_stats
+
+let stats t = t.totals
+let tick_stats t = sub_stats t.totals t.tick_base
+
+(* --- the RSA verdict layer --- *)
+
+(* Content address of one verification: issuer key id plus a digest of the
+   length-prefixed signature and message (length prefix: no concatenation
+   ambiguity).  Two calls with the same key, signature and message are the
+   same verification, whoever asks. *)
+let verdict_key ~key ~signature msg =
+  Rpki_crypto.Rsa.key_id key
+  ^ Rpki_crypto.Sha256.digest
+      (Printf.sprintf "%d:%s%s" (String.length signature) signature msg)
+
+let verify t ~key ~signature msg =
+  let k = verdict_key ~key ~signature msg in
+  match Hashtbl.find_opt t.verdicts k with
+  | Some v ->
+    t.totals <- add_stats t.totals { empty_stats with sig_saved = 1 };
+    v
+  | None ->
+    t.totals <- add_stats t.totals { empty_stats with sig_checked = 1 };
+    let v = Rpki_crypto.Rsa.verify ~key ~signature msg in
+    Hashtbl.replace t.verdicts k v;
+    v
+
+(* --- the publication-point outcome layer --- *)
+
+(* Both components are fixed-width SHA-256 digests, so plain concatenation
+   is unambiguous. *)
+let point_key ~parent_fp ~snap_fp = parent_fp ^ snap_fp
+
+let find_point t ~parent_fp ~snap_fp ~now =
+  match Hashtbl.find_opt t.points (point_key ~parent_fp ~snap_fp) with
+  | Some o when outcome_current o ~now ->
+    t.totals <- add_stats t.totals { empty_stats with point_hits = 1 };
+    Some o
+  | _ ->
+    t.totals <- add_stats t.totals { empty_stats with point_misses = 1 };
+    None
+
+let store_point t o =
+  Hashtbl.replace t.points (point_key ~parent_fp:o.o_parent_fp ~snap_fp:o.o_snap_fp) o
+
+(* --- the batch scheduler's tick boundary --- *)
+
+(* One digest of the whole publication universe, computed once per tick by
+   the simulation loop and handed to every vantage: the walk plan all
+   vantages share.  (Per-vantage views can still diverge below it — the
+   digest is over the universe's honest contents, and per-vantage transport
+   forks are applied at fetch time.) *)
+let universe_digest universe =
+  Rpki_crypto.Sha256.digest
+    (String.concat "\n"
+       (List.map
+          (fun pp -> Pub_point.uri pp ^ " " ^ Pub_point.fingerprint pp)
+          (Universe.points universe)))
+
+let begin_tick t ~digest =
+  t.digest <- digest;
+  t.tick_base <- t.totals
+
+let digest t = t.digest

@@ -1,0 +1,96 @@
+(** The shared validation plane: a content-addressed verification cache
+    consulted by every relying-party vantage in a simulation tick.
+
+    Two memo layers, both keyed purely by content: RSA signature verdicts
+    under [(issuer key id, SHA-256 of signature + message)], and whole
+    publication-point validation outcomes under [(issuing certificate
+    digest, listing fingerprint)] guarded by the validity-window boundaries
+    the original validation consulted.
+
+    Split-view safety is structural: a forked manifest changes the victim's
+    listing fingerprint, so victim and honest vantages key to different
+    cache lines and the cache can never merge the two views.  Transport
+    accounting, transparency observations and gossip evidence stay
+    per-vantage — cache hits skip crypto, never transport. *)
+
+open Rpki_core
+
+type t
+(** The shared cache.  One instance serves any number of relying parties;
+    sharing is transparent (same results as independent validation). *)
+
+val create : unit -> t
+
+val clear : t -> unit
+(** Drop every memoized verdict and outcome, and reset the statistics. *)
+
+(** {2 Publication-point outcomes} *)
+
+type outcome = {
+  o_parent_fp : string;     (** digest of the issuing cert's encoding *)
+  o_snap_fp : string;       (** fingerprint of the listing validated *)
+  o_at : Rtime.t;           (** when it was validated *)
+  o_boundaries : Rtime.t list;  (** every validity boundary consulted *)
+  o_subject : string;
+  o_vrps : Vrp.t list;      (** the point's direct VRP contribution *)
+  o_issues : (string option * string) list;
+      (** (filename, reason) — deliberately URI-free: the outcome is a
+          function of content only, and each relying party re-attaches its
+          own URI when replaying *)
+  o_children : Cert.t list; (** validated child CA certs, in file order *)
+  o_mft_number : int;       (** manifest number as served; 0 if none *)
+  o_mft_hash : string;      (** SHA-256 of the manifest bytes; "" if none *)
+}
+(** The full validation outcome of one publication point under one issuing
+    certificate — what the relying party's per-vantage memo stores, minus
+    anything vantage-specific. *)
+
+val outcome_current : outcome -> now:Rtime.t -> bool
+(** Whether the outcome is replayable at [now]: true when [now] sits on the
+    same side of every boundary in [o_boundaries] as [o_at] did. *)
+
+val find_point : t -> parent_fp:string -> snap_fp:string -> now:Rtime.t -> outcome option
+(** A memoized outcome for this (issuing certificate, listing) pair, if one
+    exists and is replayable at [now]. *)
+
+val store_point : t -> outcome -> unit
+(** Memoize an outcome under its own [(o_parent_fp, o_snap_fp)] key. *)
+
+(** {2 RSA verdicts} *)
+
+val verify : t -> key:Rpki_crypto.Rsa.public -> signature:string -> string -> bool
+(** A memoizing {!Rpki_crypto.Rsa.verify}: the first call for a given
+    (key, signature, message) executes the real verification, later calls
+    replay the verdict.  Shaped to slot into {!Validation}'s [?verify]
+    hook. *)
+
+(** {2 The batch scheduler's tick boundary} *)
+
+val universe_digest : Universe.t -> string
+(** One digest over every publication point's URI and content fingerprint —
+    the tick's walk plan, computed once by the loop and shared by all
+    vantages rather than recomputed per vantage. *)
+
+val begin_tick : t -> digest:string -> unit
+(** Mark a tick boundary: record the universe digest for this tick and
+    snapshot the statistics baseline {!tick_stats} diffs against.  Memoized
+    content is kept — entries are content-addressed, so stale ones can only
+    miss. *)
+
+val digest : t -> string
+(** The digest recorded by the last {!begin_tick} ([""] before the first). *)
+
+(** {2 Statistics} *)
+
+type stats = {
+  sig_checked : int;   (** RSA verifications executed through the cache *)
+  sig_saved : int;     (** verifications answered from a memoized verdict *)
+  point_hits : int;    (** publication-point outcomes replayed *)
+  point_misses : int;  (** outcomes validated from scratch *)
+}
+
+val stats : t -> stats
+(** Cumulative since creation (or the last {!clear}). *)
+
+val tick_stats : t -> stats
+(** Since the last {!begin_tick}. *)

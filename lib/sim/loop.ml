@@ -54,6 +54,12 @@ type t = {
   mutable held_uris : (string * V4.Prefix.t list) list;
                                   (* points already frozen, with the prefixes
                                      their hold pinned *)
+  mutable valcache : Valcache.t option;
+                                  (* the shared validation plane every vantage
+                                     syncs through; None = independent
+                                     per-vantage validation (results are
+                                     identical either way — only the crypto
+                                     cost differs) *)
 }
 
 and tick_record = {
@@ -74,6 +80,10 @@ and tick_record = {
   regressions : Relying_party.regression list;
                                 (* the primary's own-history contradictions *)
   rtr_holds : int;              (* evidence-triggered holds active on the cache *)
+  sig_checks : int;             (* RSA verifications executed during this tick's
+                                   sync phase, across all vantages *)
+  sig_saved : int;              (* verifications answered by the shared
+                                   validation plane's verdict memo; 0 without it *)
 }
 
 (* Latency of one request to a publication point, from the data plane the
@@ -98,7 +108,8 @@ let create ~universe ~topo ~policy ~rp ~announcements ~probes =
       transport = Transport.create (); fetch_policy = Relying_party.default_policy;
       per_hop_latency = 1; net = None; history = []; vantages = []; gossip = None;
       gossip_period = 1; disk = None; stores = []; dead = []; epochs = [];
-      recoveries = []; point_good = []; held_uris = [] }
+      recoveries = []; point_good = []; held_uris = [];
+      valcache = Some (Valcache.create ()) }
   in
   Transport.set_latency_of t.transport (point_latency t);
   t
@@ -107,6 +118,17 @@ let rtr_cache t = t.rtr
 let transport t = t.transport
 let set_fetch_policy t p = t.fetch_policy <- p
 let set_per_hop_latency t c = t.per_hop_latency <- max 0 c
+
+(* Toggle the shared validation plane.  Enabling mid-run starts from an
+   empty cache; disabling drops it (results are unaffected either way). *)
+let set_valcache t enabled =
+  match (enabled, t.valcache) with
+  | true, Some _ | false, None -> ()
+  | true, None -> t.valcache <- Some (Valcache.create ())
+  | false, Some _ -> t.valcache <- None
+
+let valcache t = t.valcache
+let valcache_enabled t = Option.is_some t.valcache
 
 (* --- vantages and gossip --- *)
 
@@ -295,24 +317,42 @@ let regression_uri = function
 let step t ~now =
   Universe.refresh_mirrors t.universe;
   Universe.refresh_rrdp t.universe;
+  (* batch scheduling: one universe digest for the whole tick — the walk
+     plan every vantage shares — computed here rather than once per
+     vantage.  The shared plane's per-tick statistics baseline is reset at
+     the same boundary. *)
+  (match t.valcache with
+  | Some vc -> Valcache.begin_tick vc ~digest:(Valcache.universe_digest t.universe)
+  | None -> ());
+  let verifies_before = Rpki_crypto.Rsa.verification_count () in
   let primary_alive = not (is_dead t (Relying_party.name t.rp)) in
   let result =
     if primary_alive then
       Some
         (Relying_party.sync t.rp ~now ~universe:t.universe ~transport:t.transport
-           ~policy:t.fetch_policy ())
+           ~policy:t.fetch_policy ?valcache:t.valcache ())
     else None
   in
   (* every other live vantage observes the same universe this tick, over its
      own transport (same previous-tick data plane, priced from its own AS) —
-     filling its transparency log with what *it* was served *)
+     filling its transparency log with what *it* was served.  All vantages
+     consult the same shared validation plane: content they observe
+     identically is verified once, content a split view forked hashes to a
+     different cache line and is verified per view. *)
   List.iter
     (fun (v : Gossip.vantage) ->
       if (not (v.Gossip.v_rp == t.rp)) && not (is_dead t v.Gossip.v_name) then
         ignore
           (Relying_party.sync v.Gossip.v_rp ~now ~universe:t.universe
-             ~transport:v.Gossip.v_transport ~policy:t.fetch_policy ()))
+             ~transport:v.Gossip.v_transport ~policy:t.fetch_policy
+             ?valcache:t.valcache ()))
     t.vantages;
+  let sig_checks = Rpki_crypto.Rsa.verification_count () - verifies_before in
+  let sig_saved =
+    match t.valcache with
+    | Some vc -> (Valcache.tick_stats vc).Valcache.sig_saved
+    | None -> 0
+  in
   (* the sync's diff becomes the RTR cache's next serial delta; the sync's
      data staleness rides along so routers can tell fresh serials over old
      data from fresh data.  A dead primary feeds nothing: routers keep the
@@ -446,7 +486,9 @@ let step t ~now =
         (match result with Some r -> r.Relying_party.budget_exhausted | None -> false);
       gossip_report;
       regressions;
-      rtr_holds = List.length (Rpki_rtr.Session.cache_holds t.rtr) }
+      rtr_holds = List.length (Rpki_rtr.Session.cache_holds t.rtr);
+      sig_checks;
+      sig_saved }
   in
   t.history <- record :: t.history;
   record
@@ -601,12 +643,36 @@ let monitor_asn = function
   | "monitor-arin" -> Model.as_arin_host
   | name -> invalid_arg ("Loop.monitor_asn: " ^ name)
 
+(* Beyond the three named monitors, further vantages are synthesized
+   round-robin over the same repository-hosting ASes, each with its own log
+   endpoint inside a prefix that AS announces — the scaling configuration
+   for the multi-vantage experiments. *)
+let monitor_spec i =
+  match List.nth_opt monitor_specs i with
+  | Some (name, addr) -> (name, addr, monitor_asn name)
+  | None -> (
+    let i' = i - List.length monitor_specs in
+    let j = (i' / 3) + 1 in
+    match i' mod 3 with
+    | 0 ->
+      ( Printf.sprintf "monitor-sprint-%d" j,
+        Printf.sprintf "63.161.%d.%d" (201 + (j / 200)) (10 + (j mod 200)),
+        Model.as_sprint )
+    | 1 ->
+      ( Printf.sprintf "monitor-etb-%d" j,
+        Printf.sprintf "63.170.%d.%d" (201 + (j / 200)) (10 + (j mod 200)),
+        Model.as_etb )
+    | _ ->
+      (* ARIN's repo prefix is a single /24: capped well below its width *)
+      if j > 240 then invalid_arg "Loop.split_view_scenario: too many monitors";
+      (Printf.sprintf "monitor-arin-%d" j, Printf.sprintf "199.5.26.%d" (10 + j),
+       Model.as_arin_host))
+
 let split_view_scenario ?(policy = Policy.Drop_invalid) ?(grace = 4) ?(monitors = 2)
-    ?(gossip_period = 1) ?(fetch_policy = Relying_party.resilient_policy) () =
-  if monitors < 0 || monitors > List.length monitor_specs then
-    invalid_arg
-      (Printf.sprintf "Loop.split_view_scenario: 0-%d monitors" (List.length monitor_specs));
-  let model = Model.build () in
+    ?(gossip_period = 1) ?(fetch_policy = Relying_party.resilient_policy)
+    ?refresh_interval ?(valcache = true) () =
+  if monitors < 0 then invalid_arg "Loop.split_view_scenario: negative monitors";
+  let model = Model.build ?refresh_interval () in
   let _ = Model.add_fig5_right_roa model ~now:Rtime.epoch in
   let s = Topo_gen.small_scenario () in
   let topo = s.Topo_gen.small_topo in
@@ -637,10 +703,9 @@ let split_view_scenario ?(policy = Policy.Drop_invalid) ?(grace = 4) ?(monitors 
     ~endpoint:
       (Pub_point.create ~uri:"rsync://victim-rp.example/log"
          ~addr:(V4.addr_of_string_exn "198.18.0.7") ~host_asn:s.Topo_gen.source);
-  let chosen = List.filteri (fun i _ -> i < monitors) monitor_specs in
+  let chosen = List.init monitors monitor_spec in
   List.iter
-    (fun (name, addr) ->
-      let asn = monitor_asn name in
+    (fun (name, addr, asn) ->
       let mrp = Model.relying_party ~name ~asn model in
       register_vantage sim ~name ~rp:mrp
         ~endpoint:
@@ -649,8 +714,9 @@ let split_view_scenario ?(policy = Policy.Drop_invalid) ?(grace = 4) ?(monitors 
              ~addr:(V4.addr_of_string_exn addr) ~host_asn:asn))
     chosen;
   if monitors > 0 then enable_gossip ~period:gossip_period sim;
+  if not valcache then set_valcache sim false;
   { sv_sim = sim; sv_model = model; sv_target_filename = model.Model.roa_target20;
-    sv_monitors = List.map fst chosen }
+    sv_monitors = List.map (fun (n, _, _) -> n) chosen }
 
 (* --- the canned restart / rollback scenario --- *)
 
@@ -666,8 +732,8 @@ type restart_rig = {
    name, AS, trust anchor and grace as the original, so the only thing a
    restart changes is what survived on disk. *)
 let restart_scenario ?(persist = true) ?(grace = 4) ?(monitors = 2)
-    ?(gossip_period = 1) () =
-  let sv = split_view_scenario ~grace ~monitors ~gossip_period () in
+    ?(gossip_period = 1) ?valcache () =
+  let sv = split_view_scenario ~grace ~monitors ~gossip_period ?valcache () in
   let disk = Rpki_persist.Disk.create () in
   if persist then enable_persistence sv.sv_sim disk;
   let asn = Relying_party.asn sv.sv_sim.rp in

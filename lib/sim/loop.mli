@@ -47,6 +47,10 @@ type t = {
   mutable recoveries : (Rtime.t * string * Relying_party.recovery) list;
   mutable point_good : (string * Vrp.t list) list;
   mutable held_uris : (string * Rpki_ip.V4.Prefix.t list) list;
+  mutable valcache : Valcache.t option;
+      (** the shared validation plane all vantages sync through (on by
+          default); [None] = independent per-vantage validation.  Results
+          are identical either way — only crypto cost differs. *)
 }
 
 and tick_record = {
@@ -71,6 +75,11 @@ and tick_record = {
           log *)
   rtr_holds : int;              (** evidence-triggered holds active on the
                                     RTR cache after this tick *)
+  sig_checks : int;             (** RSA verifications executed during this
+                                    tick's sync phase, across all vantages *)
+  sig_saved : int;              (** verifications answered by the shared
+                                    validation plane's verdict memo this
+                                    tick; 0 when it is disabled *)
 }
 
 val create :
@@ -101,6 +110,18 @@ val set_fetch_policy : t -> Relying_party.fetch_policy -> unit
 val set_per_hop_latency : t -> int -> unit
 (** Transport ticks charged per forwarding hop (default 1; clamped at 0).
     0 restores PR-1's boolean-reachability behaviour exactly. *)
+
+val set_valcache : t -> bool -> unit
+(** Enable (default) or disable the shared validation plane.  Enabling
+    mid-run starts from an empty cache; either way every sync result,
+    detection tick and piece of evidence is identical — the cache is
+    transparent, only the number of RSA verifications executed changes. *)
+
+val valcache : t -> Valcache.t option
+(** The loop's shared validation plane, for statistics
+    ({!Valcache.stats} / {!Valcache.tick_stats}). *)
+
+val valcache_enabled : t -> bool
 
 val point_reachable : t -> Pub_point.t -> bool
 (** Reachability of a publication point from the RP's AS, judged on the data
@@ -272,15 +293,25 @@ val split_view_scenario :
   ?monitors:int ->
   ?gossip_period:int ->
   ?fetch_policy:Relying_party.fetch_policy ->
+  ?refresh_interval:int ->
+  ?valcache:bool ->
   unit ->
   split_view
 (** The Section 6 setting rigged for split-view detection: the victim
     relying party ("victim-rp", at the source AS, running [grace] — default
     4 — and [fetch_policy] — default {!Relying_party.resilient_policy})
-    plus [monitors] (default 2, max 3) monitor vantages at the
-    repository-hosting ASes (Sprint, ETB, ARIN's host), all gossiping every
-    [gossip_period] ticks.  With [monitors = 0] no gossip mesh is built —
-    the single-vantage baseline that cannot detect a fork.
+    plus [monitors] (default 2) monitor vantages at the repository-hosting
+    ASes (Sprint, ETB, ARIN's host), all gossiping every [gossip_period]
+    ticks.  Beyond three, monitors are synthesized round-robin over the
+    same three ASes with their own in-prefix log endpoints — the scaling
+    configuration for the multi-vantage experiments.  With [monitors = 0]
+    no gossip mesh is built — the single-vantage baseline that cannot
+    detect a fork.
+
+    [refresh_interval] shortens every authority's re-issuance period (see
+    {!Model.build}) so scaling runs can churn the universe every tick;
+    [valcache] (default true) controls the loop's shared validation plane
+    ({!set_valcache}).
 
     The split-view whack itself is the caller's move:
     [Rpki_attack.Split_view.plan ~authority:sv_model.continental
@@ -305,6 +336,7 @@ val restart_scenario :
   ?grace:int ->
   ?monitors:int ->
   ?gossip_period:int ->
+  ?valcache:bool ->
   unit ->
   restart_rig
 (** The split-view setting rigged for crash-and-rollback experiments.

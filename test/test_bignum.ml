@@ -113,6 +113,30 @@ let test_pow_mod () =
   check_eq "known" (Nat.of_int 445)
     (Nat.pow_mod ~base:(Nat.of_int 4) ~exp:(Nat.of_int 13) ~modulus:(Nat.of_int 497))
 
+(* Edge cases for the Montgomery path and its square-and-multiply fallback. *)
+let test_pow_mod_variants () =
+  let big_odd = Nat.succ (Nat.shift_left Nat.one 512) (* 2^512 + 1, odd *) in
+  let big_even = Nat.shift_left Nat.one 200 in
+  List.iter
+    (fun (name, g, e, m) ->
+      check_eq name
+        (Nat.pow_mod_simple ~base:g ~exp:e ~modulus:m)
+        (Nat.pow_mod ~base:g ~exp:e ~modulus:m))
+    [ ("rsa-shaped", Nat.of_decimal "123456789123456789", Nat.of_int 65537, big_odd);
+      ("even modulus", Nat.of_int 12345, Nat.of_int 65537, big_even);
+      ("base 0", Nat.zero, Nat.of_int 65537, big_odd);
+      ("base multiple of m", Nat.shift_left big_odd 7, Nat.of_int 65537, big_odd);
+      ("exp 0 odd m", Nat.of_int 9, Nat.zero, big_odd);
+      ("exp 1", Nat.of_int 9, Nat.one, big_odd);
+      ("single-limb odd m", Nat.of_int 123456, Nat.of_int 54321, Nat.of_int 1000003);
+      ("all-ones exp", Nat.of_int 3, Nat.pred (Nat.shift_left Nat.one 64), big_odd) ];
+  check_eq "simple mod 1" Nat.zero
+    (Nat.pow_mod_simple ~base:(Nat.of_int 7) ~exp:(Nat.of_int 3) ~modulus:Nat.one);
+  Alcotest.check_raises "zero modulus" Division_by_zero (fun () ->
+      ignore (Nat.pow_mod ~base:Nat.one ~exp:Nat.one ~modulus:Nat.zero));
+  Alcotest.check_raises "zero modulus simple" Division_by_zero (fun () ->
+      ignore (Nat.pow_mod_simple ~base:Nat.one ~exp:Nat.one ~modulus:Nat.zero))
+
 let test_gcd () =
   check_eq "gcd" (Nat.of_int 6) (Nat.gcd (Nat.of_int 48) (Nat.of_int 18));
   check_eq "gcd with zero" (Nat.of_int 5) (Nat.gcd (Nat.of_int 5) Nat.zero);
@@ -187,7 +211,23 @@ let props =
     prop "random below bound" (QCheck.pair QCheck.int arb_nat) (fun (seed, bound) ->
         QCheck.assume (not (Nat.is_zero bound));
         let rng = Rpki_util.Rng.create seed in
-        Nat.lt (Nat.random rng ~bound) bound) ]
+        Nat.lt (Nat.random rng ~bound) bound);
+    (* Windowed-Montgomery pow_mod agrees with square-and-multiply on random
+       base/exp/modulus — even moduli exercise the fallback dispatch. *)
+    prop "pow_mod matches square-and-multiply"
+      (QCheck.triple arb_nat arb_nat arb_nat_big)
+      (fun (g, e, m) ->
+        QCheck.assume (not (Nat.is_zero m));
+        Nat.equal
+          (Nat.pow_mod ~base:g ~exp:e ~modulus:m)
+          (Nat.pow_mod_simple ~base:g ~exp:e ~modulus:m));
+    prop "pow_mod odd modulus forced"
+      (QCheck.triple arb_nat arb_nat arb_nat_big)
+      (fun (g, e, m) ->
+        let m = if Nat.testbit m 0 then m else Nat.succ m in
+        Nat.equal
+          (Nat.pow_mod ~base:g ~exp:e ~modulus:m)
+          (Nat.pow_mod_simple ~base:g ~exp:e ~modulus:m)) ]
 
 let () =
   Alcotest.run "bignum"
@@ -201,6 +241,7 @@ let () =
           Alcotest.test_case "bit queries" `Quick test_bits;
           Alcotest.test_case "string conversions" `Quick test_strings;
           Alcotest.test_case "pow_mod" `Quick test_pow_mod;
+          Alcotest.test_case "pow_mod montgomery edges" `Quick test_pow_mod_variants;
           Alcotest.test_case "gcd" `Quick test_gcd ] );
       ( "zint-unit",
         [ Alcotest.test_case "signed arithmetic" `Quick test_zint;
