@@ -1387,8 +1387,202 @@ let multivantage () =
        (String.equal evidence_on evidence_off)
        (String.length evidence_on) checks_on checks_off)
 
+(* ------------------------------------------------------------------ *)
+(* RTR serving plane: one cache, thousands of sessions                 *)
+(* ------------------------------------------------------------------ *)
+
+(* The serving-plane claim: response bytes are encoded once per serial and
+   replayed, so bytes-encoded-per-serial is flat in the session count while
+   a per-session [Session.serve] re-encodes everything for every router.
+   The sweep drives a deterministic churn workload through
+   [Rpki_rtr.Server] at increasing session counts, checks after every
+   batched notify that all sessions converged to the cache's exact VRP set
+   (a mid-run hold included), and closes with a per-session baseline arm
+   and a Domain sweep that must not change a single accounting byte. *)
+let rtr () =
+  header "RTR serving plane: encode-once deltas, batched notify (sessions x churn)";
+  let module Server = Rpki_rtr.Server in
+  let module Session = Rpki_rtr.Session in
+  let module Pdu = Rpki_rtr.Pdu in
+  let ticks = if !quick then 8 else 20 in
+  let universe = if !quick then 200 else 1000 in
+  let session_counts = if !quick then [ 16; 128 ] else [ 16; 64; 256; 1024; 4096 ] in
+  let churn_levels = if !quick then [ 8 ] else [ 8; 64 ] in
+  (* tick [t]'s VRP set: a stable universe where the first [churn] prefixes
+     re-originate every tick — each serial is churn announcements plus churn
+     withdrawals, the steady drip of a production cache *)
+  let set_at ~churn t =
+    List.init universe (fun i ->
+        let asn = if i < churn then 1000 + t else 100 + (i mod 50) in
+        Vrp.make (V4.Prefix.make ((10 lsl 24) lor (i lsl 8)) 24) asn)
+  in
+  let hold_prefix = V4.Prefix.make (10 lsl 24) 24 in
+  let run_cell ~sessions ~churn ~domains =
+    let server = Server.create () in
+    let _ = List.init sessions (fun _ -> Server.attach server) in
+    Server.publish server (set_at ~churn 0);
+    ignore (Server.flush ~domains server);
+    let converge_ms = ref 0. in
+    for t = 1 to ticks do
+      Server.publish server (set_at ~churn t);
+      (* a mid-run evidence hold rides the same batch as that tick's serial *)
+      if t = ticks / 2 then
+        Server.hold server ~prefix:hold_prefix
+          ~vrps:[ Vrp.make hold_prefix 9999 ];
+      if t = (3 * ticks) / 4 then Server.release server ~prefix:hold_prefix;
+      let _, ms = time_ms (fun () -> Server.flush ~domains server) in
+      converge_ms := !converge_ms +. ms;
+      if not (Server.all_synced server) then
+        failwith
+          (Printf.sprintf
+             "rtr: sessions diverged after flush (sessions=%d tick=%d)" sessions t)
+    done;
+    (Server.stats server, !converge_ms)
+  in
+  (* the pre-server baseline: every router synced by its own Session.serve
+     call, every response encoded from scratch *)
+  let run_baseline ~sessions ~churn =
+    let cache = Session.create_cache () in
+    let routers = List.init sessions (fun _ -> Session.create_router ()) in
+    let bytes = ref 0 in
+    let sync_all () =
+      List.iter
+        (fun r ->
+          let q =
+            match Session.router_session r with
+            | Some sid ->
+              Pdu.encode
+                (Pdu.Serial_query { session_id = sid; serial = Session.router_serial r })
+            | None -> Pdu.encode Pdu.Reset_query
+          in
+          let resp = Session.serve cache q in
+          bytes := !bytes + String.length resp;
+          match Session.apply_response r resp with
+          | `Synced -> ()
+          | `Reset_required -> failwith "rtr: baseline reset")
+        routers
+    in
+    Session.publish cache (set_at ~churn 0);
+    sync_all ();
+    for t = 1 to ticks do
+      Session.publish cache (set_at ~churn t);
+      sync_all ()
+    done;
+    !bytes
+  in
+  let cells =
+    List.concat_map
+      (fun sessions ->
+        List.map (fun churn -> (sessions, churn, run_cell ~sessions ~churn ~domains:1))
+          churn_levels)
+      session_counts
+  in
+  let t =
+    Table.create
+      ~aligns:
+        [ Table.Right; Table.Right; Table.Right; Table.Right; Table.Right; Table.Right;
+          Table.Right ]
+      [ "sessions"; "churn"; "serials"; "enc B/serial"; "bytes sent"; "ms/batch";
+        "sess-syncs/s" ]
+  in
+  let per_serial (st : Server.stats) =
+    float_of_int st.Server.bytes_encoded /. float_of_int (max 1 st.Server.serial_bumps)
+  in
+  List.iter
+    (fun (sessions, churn, ((st : Server.stats), ms)) ->
+      let batches = max 1 st.Server.notify_batches in
+      Table.add_row t
+        [ string_of_int sessions; string_of_int churn;
+          string_of_int st.Server.serial_bumps;
+          Printf.sprintf "%.0f" (per_serial st);
+          string_of_int st.Server.bytes_sent;
+          Printf.sprintf "%.2f" (ms /. float_of_int batches);
+          Printf.sprintf "%.0f"
+            (float_of_int (sessions * batches) /. (max 1e-6 ms /. 1000.)) ])
+    cells;
+  Table.print t;
+  (* bytes encoded per serial must be flat in the session count: the
+     workload is identical, so the counters must be *equal*, not close *)
+  List.iter
+    (fun churn ->
+      let enc_of want =
+        List.find_map
+          (fun (s, c, ((st : Server.stats), _)) ->
+            if s = want && c = churn then Some st.Server.bytes_encoded else None)
+          cells
+        |> Option.get
+      in
+      let lo = List.hd session_counts
+      and hi = List.nth session_counts (List.length session_counts - 1) in
+      if enc_of lo <> enc_of hi then
+        failwith
+          (Printf.sprintf
+             "rtr: bytes encoded varies with session count at churn %d (%d vs %d)"
+             churn (enc_of lo) (enc_of hi)))
+    churn_levels;
+  (* the acceptance bar: at the big session count the shared buffers must
+     beat per-session encoding by >= 50x *)
+  let big = if !quick then 128 else 1024 in
+  let churn0 = List.hd churn_levels in
+  let baseline_bytes = run_baseline ~sessions:big ~churn:churn0 in
+  let server_bytes =
+    List.find_map
+      (fun (s, c, ((st : Server.stats), _)) ->
+        if s = big && c = churn0 then Some st.Server.bytes_encoded else None)
+      cells
+    |> Option.get
+  in
+  let reduction = float_of_int baseline_bytes /. float_of_int (max 1 server_bytes) in
+  Printf.printf
+    "\nper-session baseline at %d sessions: %d bytes encoded vs %d shared (%.0fx)\n"
+    big baseline_bytes server_bytes reduction;
+  if reduction < 50. then
+    failwith
+      (Printf.sprintf "rtr: only %.1fx encode reduction at %d sessions" reduction big);
+  (* Domains must be invisible in the accounting: same stats to the byte *)
+  let domain_counts = [ 1; 2; 4 ] in
+  let dstats =
+    List.map
+      (fun domains ->
+        let st, _ = run_cell ~sessions:(min big 256) ~churn:churn0 ~domains in
+        (domains, st))
+      domain_counts
+  in
+  let _, st1 = List.hd dstats in
+  List.iter
+    (fun (domains, st) ->
+      if st <> st1 then
+        failwith (Printf.sprintf "rtr: accounting changed under %d domains" domains))
+    dstats;
+  Printf.printf "domain sweep (%s): accounting identical to the byte\n"
+    (String.concat "/" (List.map string_of_int domain_counts));
+  write_json ~name:"rtr"
+    (Printf.sprintf
+       "{\"experiment\":\"rtr\",\"ticks\":%d,\"universe\":%d,\"cells\":[%s],\
+        \"baseline\":{\"sessions\":%d,\"bytes_encoded\":%d,\"server_bytes_encoded\":%d,\
+        \"reduction\":%.1f},\"domain_sweep\":{\"domains\":[%s],\"identical\":true}}"
+       ticks universe
+       (String.concat ","
+          (List.map
+             (fun (sessions, churn, ((st : Server.stats), ms)) ->
+               let batches = max 1 st.Server.notify_batches in
+               Printf.sprintf
+                 "{\"sessions\":%d,\"churn\":%d,\"serials\":%d,\"notify_batches\":%d,\
+                  \"bytes_encoded\":%d,\"bytes_encoded_per_serial\":%.1f,\
+                  \"bytes_sent\":%d,\"replays\":%d,\"ms_per_batch\":%.3f,\
+                  \"session_syncs_per_sec\":%.0f}"
+                 sessions churn st.Server.serial_bumps st.Server.notify_batches
+                 st.Server.bytes_encoded (per_serial st) st.Server.bytes_sent
+                 st.Server.replays
+                 (ms /. float_of_int batches)
+                 (float_of_int (sessions * batches) /. (max 1e-6 ms /. 1000.)))
+             cells))
+       big baseline_bytes server_bytes reduction
+       (String.concat "," (List.map string_of_int domain_counts)))
+
 let all : (string * (unit -> unit)) list =
   [ ("fig2", fig2); ("fig3", fig3); ("tab4", tab4); ("fig5", fig5); ("tab6", tab6);
     ("se5", se5); ("se6", se6); ("se7", se7); ("campaign", campaign); ("adoption", adoption);
     ("depth", depth); ("sync-incremental", sync_incremental); ("stall", stall);
-    ("transparency", transparency); ("restart", restart); ("multivantage", multivantage) ]
+    ("transparency", transparency); ("restart", restart); ("multivantage", multivantage);
+    ("rtr", rtr) ]

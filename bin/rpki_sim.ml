@@ -434,6 +434,63 @@ let restart_cmd =
     Term.(const run $ fault $ no_persist $ restart_at $ evidence $ verify $ vantages
           $ no_valcache)
 
+(* --- rtr: the multiplexed serving plane --- *)
+
+let rtr_cmd =
+  let sessions =
+    Arg.(value & opt int 256 & info [ "sessions" ] ~doc:"Router sessions to attach.")
+  in
+  let ticks =
+    Arg.(value & opt int 12 & info [ "ticks" ] ~doc:"Publish/flush rounds to run.")
+  in
+  let churn =
+    Arg.(value & opt int 16
+         & info [ "churn" ] ~doc:"VRPs that change origin every round.")
+  in
+  let domains =
+    Arg.(value & opt int 1
+         & info [ "domains" ] ~doc:"Domains for the flush fan-out.")
+  in
+  let run sessions ticks churn domains =
+    if sessions < 1 || ticks < 1 || churn < 0 || domains < 1 then
+      failwith "rtr: --sessions/--ticks/--domains must be >= 1, --churn >= 0";
+    let module Server = Rpki_rtr.Server in
+    let universe = max 64 (4 * churn) in
+    let set_at t =
+      List.init universe (fun i ->
+          let asn = if i < churn then 1000 + t else 100 + (i mod 50) in
+          Vrp.make (V4.Prefix.make ((10 lsl 24) lor (i lsl 8)) 24) asn)
+    in
+    let server = Server.create () in
+    let _ = List.init sessions (fun _ -> Server.attach server) in
+    Printf.printf
+      "%d sessions against one cache (%d VRPs, %d churned per round, %d domain%s)\n\n"
+      sessions universe churn domains (if domains = 1 then "" else "s");
+    for t = 0 to ticks - 1 do
+      Server.publish server (set_at t);
+      let rep = Server.flush ~domains server in
+      Printf.printf
+        "t%-3d serial %-4d notified %-5d delta %-5d reset %-4d skip %-5d %s\n" t
+        rep.Server.fr_serial rep.Server.fr_notified rep.Server.fr_advanced
+        (rep.Server.fr_resets) rep.Server.fr_skipped
+        (if Server.all_synced server then "all-synced" else "DIVERGED")
+    done;
+    let st = Server.stats server in
+    Printf.printf
+      "\nserials %d, notify batches %d (%d coalesced)\n\
+       encoded %d bytes in %d encodings (%d B/serial); replayed %d responses\n\
+       sent %d bytes / received %d bytes across %d sessions\n"
+      st.Server.serial_bumps st.Server.notify_batches st.Server.coalesced
+      st.Server.bytes_encoded st.Server.encode_calls
+      (st.Server.bytes_encoded / max 1 st.Server.serial_bumps)
+      st.Server.replays st.Server.bytes_sent st.Server.bytes_received sessions
+  in
+  Cmd.v
+    (Cmd.info "rtr"
+       ~doc:"Fan one RTR cache out to many router sessions: encode-once deltas, \
+             one batched serial-notify per round")
+    Term.(const run $ sessions $ ticks $ churn $ domains)
+
 let () =
   let doc = "the misbehaving-RPKI-authorities toolkit (HotNets'13 reproduction)" in
   let info = Cmd.info "rpki-sim" ~version:"1.0.0" ~doc in
@@ -441,4 +498,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ show_cmd; validate_cmd; ov_cmd; whack_cmd; monitor_cmd; sim_cmd; grid_cmd;
-            transparency_cmd; restart_cmd ]))
+            transparency_cmd; restart_cmd; rtr_cmd ]))

@@ -70,6 +70,19 @@ let apply_diff set d =
   in
   merge (drop set d.removed) d.added
 
+let invert_diff d = { added = d.removed; removed = d.added }
+
+(* FNV-1a over the sorted triples: order-independent once normalized, cheap
+   enough to run on every publish.  A plumbing guard, not a MAC. *)
+let fingerprint vrps =
+  let prime = 0x100000001b3L in
+  let mix h x = Int64.mul (Int64.logxor h (Int64.of_int x)) prime in
+  List.fold_left
+    (fun h v ->
+      mix (mix (mix h (V4.Prefix.addr v.prefix lor (V4.Prefix.len v.prefix lsl 32))) v.max_len)
+        v.asn)
+    0xcbf29ce484222325L vrps
+
 let to_string t =
   if t.max_len = V4.Prefix.len t.prefix then
     Printf.sprintf "(%s, AS%d)" (V4.Prefix.to_string t.prefix) t.asn

@@ -44,5 +44,16 @@ val apply_diff : t list -> diff -> t list
 (** Patch a normalized set with a diff, returning a normalized set.
     [apply_diff before (diff_of ~before ~after) = after]. *)
 
+val invert_diff : diff -> diff
+(** Swap announce and withdraw: [apply_diff (apply_diff s d) (invert_diff d)]
+    = [s].  Used to recover the base set a diff was computed against. *)
+
+val fingerprint : t list -> int64
+(** An order-independent-after-{!normalize} digest of a VRP set (FNV-1a over
+    the sorted triples).  Cheap enough to compute per publish; used by the
+    RTR plane to check that a diff is being applied to the set it was
+    computed against (see {!Rpki_rtr.Session.publish_diff}).  Not
+    cryptographic — a guard against plumbing bugs, not adversaries. *)
+
 val to_string : t -> string
 val pp : Format.formatter -> t -> unit

@@ -69,12 +69,24 @@ let install cache vrps =
 
 let publish cache vrps = install cache (Vrp.normalize vrps)
 
+exception Base_mismatch of { expected : int64; actual : int64 }
+
+let feed_fingerprint cache = Vrp.fingerprint cache.feed
+
 (* Install the relying party's sync diff directly as the next serial delta.
    The diff must be relative to the cache's *feed* — which holds when the
    cache is fed every sync of one relying party, diff-empty syncs included
-   (they are no-ops here).  Holds are applied on top, so a frozen prefix
-   stays at its pinned VRPs no matter what the diff says. *)
-let publish_diff cache diff = install cache (Vrp.apply_diff cache.feed diff)
+   (they are no-ops here).  [expect_base] turns that precondition into a
+   check: a diff computed against any other set raises instead of silently
+   corrupting the delta window.  Holds are applied on top, so a frozen
+   prefix stays at its pinned VRPs no matter what the diff says. *)
+let publish_diff ?expect_base cache diff =
+  (match expect_base with
+  | Some expected ->
+    let actual = feed_fingerprint cache in
+    if not (Int64.equal expected actual) then raise (Base_mismatch { expected; actual })
+  | None -> ());
+  install cache (Vrp.apply_diff cache.feed diff)
 
 let hold cache ~prefix ~vrps =
   cache.holds <-
@@ -104,38 +116,43 @@ let notify cache = Pdu.Serial_notify { session_id = cache.session_id; serial = c
    that far.  Composition cancels flapping: a VRP removed then re-added (or
    added then removed) across the window must not appear at all, or the
    router would see a withdrawal of a VRP it never had. *)
-module VMap = Map.Make (Vrp)
-
+(* The accumulator is a hashtable keyed by VRP — O(1) per delta entry
+   instead of a map's O(log n) per op (and no quadratic list appends),
+   which matters when the serving plane composes deep windows for
+   thousands of sessions under churn.  Results are sorted before
+   returning so the output — and hence every encoded response buffer —
+   stays deterministic. *)
 let changes_since cache ~serial =
   if serial = cache.serial then Some ([], [])
   else if serial > cache.serial || serial < cache.serial - List.length cache.deltas then None
   else begin
-    let window =
-      List.rev (List.filter_map (fun (s, d) -> if s > serial then Some d else None) cache.deltas)
-    in
-    let record op m v =
-      VMap.update v
-        (function None -> Some (op, op) | Some (first, _) -> Some (first, op))
-        m
-    in
-    let m =
-      List.fold_left
-        (fun m (d : Vrp.diff) ->
-          let m = List.fold_left (record `Withdraw) m d.Vrp.removed in
-          List.fold_left (record `Announce) m d.Vrp.added)
-        VMap.empty window
-    in
+    let tbl = Hashtbl.create 64 in
     (* first op tells the state at [serial] (a withdraw implies it was
-       present); last op tells the state now.  Only genuine transitions are
-       emitted. *)
-    Some
-      (VMap.fold
-         (fun v (first, last) (announced, withdrawn) ->
-           match (first, last) with
-           | `Announce, `Announce -> (v :: announced, withdrawn)
-           | `Withdraw, `Withdraw -> (announced, v :: withdrawn)
-           | `Announce, `Withdraw | `Withdraw, `Announce -> (announced, withdrawn))
-         m ([], []))
+       present); last op tells the state now.  [deltas] is newest-first, so
+       walk its reverse to apply oldest-first. *)
+    let record op v =
+      match Hashtbl.find_opt tbl v with
+      | None -> Hashtbl.replace tbl v (op, op)
+      | Some (first, _) -> Hashtbl.replace tbl v (first, op)
+    in
+    List.iter
+      (fun (s, (d : Vrp.diff)) ->
+        if s > serial then begin
+          List.iter (record `Withdraw) d.Vrp.removed;
+          List.iter (record `Announce) d.Vrp.added
+        end)
+      (List.rev cache.deltas);
+    (* only genuine transitions are emitted *)
+    let announced, withdrawn =
+      Hashtbl.fold
+        (fun v (first, last) (announced, withdrawn) ->
+          match (first, last) with
+          | `Announce, `Announce -> (v :: announced, withdrawn)
+          | `Withdraw, `Withdraw -> (announced, v :: withdrawn)
+          | `Announce, `Withdraw | `Withdraw, `Announce -> (announced, withdrawn))
+        tbl ([], [])
+    in
+    Some (List.sort Vrp.compare announced, List.sort Vrp.compare withdrawn)
   end
 
 (* Serve one client request; returns the response PDU sequence (as bytes). *)
@@ -174,6 +191,13 @@ type router = {
 }
 
 let create_router () = { r_session = None; r_serial = 0; r_vrps = [] }
+
+(* The client side of acting on a Cache Reset: forget everything and start
+   over with a Reset Query. *)
+let reset_router router =
+  router.r_session <- None;
+  router.r_serial <- 0;
+  router.r_vrps <- []
 
 let router_session router = router.r_session
 let router_serial router = router.r_serial

@@ -4,7 +4,14 @@
     deltas — the same {!Vrp.diff} the relying party emits per sync — so a
     Serial Query is answered by composing stored deltas rather than
     diffing full snapshots.  Every exchange round-trips through the
-    byte-exact {!Pdu} encoding. *)
+    byte-exact {!Pdu} encoding.
+
+    This module is the {e protocol core}: one cache, and the router state
+    machine that talks to it.  Production relying parties fan the same
+    cache out to thousands of routers — that multiplexed serving plane,
+    with shared encode-once response buffers and batched serial-notify,
+    is {!Server}; {!serve} below remains the one-session path it is built
+    from (and the compatibility surface for code that predates it). *)
 
 open Rpki_core
 open Rpki_ip
@@ -38,11 +45,29 @@ val publish : cache -> Vrp.t list -> unit
 (** Install a new VRP set (e.g. after each relying-party sync); bumps the
     serial and records a delta only when the set actually changed. *)
 
-val publish_diff : cache -> Vrp.diff -> unit
+exception
+  Base_mismatch of {
+    expected : int64;  (** fingerprint the producer computed its diff against *)
+    actual : int64;    (** fingerprint of the set the cache actually holds *)
+  }
+(** Raised by {!publish_diff} when [expect_base] disagrees with the cache's
+    feed: the diff was computed against some other set, and applying it
+    would silently corrupt the delta window (routers would receive
+    withdrawals of VRPs they never held, or miss announcements). *)
+
+val feed_fingerprint : cache -> int64
+(** {!Vrp.fingerprint} of the relying-party feed the cache holds (holds
+    excluded) — what {!publish_diff}'s [expect_base] is checked against. *)
+
+val publish_diff : ?expect_base:int64 -> cache -> Vrp.diff -> unit
 (** Install a relying party's sync diff directly as the next serial delta.
-    The diff must be relative to the cache's current set — which holds when
+    The diff must be relative to the cache's current feed — which holds when
     the cache is fed every sync of one relying party (empty diffs are
-    no-ops). *)
+    no-ops).  Pass [expect_base] (the {!Vrp.fingerprint} of the set the
+    diff was computed against) to have that precondition {e checked}:
+    a disagreement raises {!Base_mismatch} instead of corrupting the
+    window.  Without [expect_base] the historical unchecked behaviour is
+    kept. *)
 
 val hold : cache -> prefix:V4.Prefix.t -> vrps:Vrp.t list -> unit
 (** Evidence-triggered freeze: pin every VRP covered by [prefix] at the
@@ -74,7 +99,13 @@ val changes_since : cache -> serial:int -> (Vrp.t list * Vrp.t list) option
 val serve : cache -> string -> string
 (** Handle one encoded client request, returning the encoded response
     sequence (Cache Response … End of Data, or Cache Reset, or an Error
-    Report). *)
+    Report).
+
+    This is the one-session path: every call re-encodes the response from
+    scratch.  Serving many routers from one cache goes through {!Server},
+    which encodes each serial diff exactly once and replays the bytes;
+    [serve] is kept as the single-router compatibility shim and as the
+    reference the multiplexed plane is tested against. *)
 
 (** {2 Router (client) side} *)
 
@@ -82,6 +113,12 @@ type router
 (** Opaque router state: (session, serial) plus the VRPs it holds. *)
 
 val create_router : unit -> router
+
+val reset_router : router -> unit
+(** Forget session, serial and VRPs — the client side of acting on a Cache
+    Reset, before issuing a fresh Reset Query.  {!synchronize} does this
+    internally; {!Server} needs it spelled out because it drives the
+    exchange itself from shared buffers. *)
 
 val router_session : router -> int option
 val router_serial : router -> int

@@ -29,7 +29,9 @@ type t = {
   topo : Topology.t;
   policy : Policy.t;              (* uniform policy at every AS *)
   mutable rp : Relying_party.t;   (* mutable: a restart replaces the instance *)
-  rtr : Rpki_rtr.Session.cache;   (* fed one serial delta per changed tick *)
+  rtr : Rpki_rtr.Server.t;        (* the serving plane: fed one serial delta per
+                                     changed tick, flushed once per tick *)
+  mutable rtr_domains : int;      (* Domains for the flush fan-out *)
   announcements : Propagation.announcement list;
   probes : probe list;
   transport : Transport.t;        (* priced off the previous tick's data plane *)
@@ -104,7 +106,8 @@ let point_latency t pp = latency_from t ~asn:(Relying_party.asn t.rp) pp
 
 let create ~universe ~topo ~policy ~rp ~announcements ~probes =
   let t =
-    { universe; topo; policy; rp; rtr = Rpki_rtr.Session.create_cache (); announcements; probes;
+    { universe; topo; policy; rp; rtr = Rpki_rtr.Server.create (); rtr_domains = 1;
+      announcements; probes;
       transport = Transport.create (); fetch_policy = Relying_party.default_policy;
       per_hop_latency = 1; net = None; history = []; vantages = []; gossip = None;
       gossip_period = 1; disk = None; stores = []; dead = []; epochs = [];
@@ -114,7 +117,8 @@ let create ~universe ~topo ~policy ~rp ~announcements ~probes =
   Transport.set_latency_of t.transport (point_latency t);
   t
 
-let rtr_cache t = t.rtr
+let rtr_server t = t.rtr
+let rtr_cache t = Rpki_rtr.Server.cache t.rtr
 let transport t = t.transport
 let set_fetch_policy t p = t.fetch_policy <- p
 let set_per_hop_latency t c = t.per_hop_latency <- max 0 c
@@ -182,6 +186,51 @@ let enable_persistence t disk = t.disk <- Some disk
 
 let persistence_enabled t = Option.is_some t.disk
 
+(* --- configuration record --- *)
+
+module Config = struct
+  type vantage_spec = {
+    name : string;
+    rp : Relying_party.t;
+    endpoint : Pub_point.t;
+  }
+
+  type t = {
+    fetch_policy : Relying_party.fetch_policy;
+    per_hop_latency : int;
+    valcache : bool;
+    rtr_domains : int;
+    primary_endpoint : Pub_point.t option;
+    vantages : vantage_spec list;
+    gossip_period : int option;
+    gossip_timeout : int option;
+    persistence : Rpki_persist.Disk.t option;
+  }
+
+  let default =
+    { fetch_policy = Relying_party.default_policy; per_hop_latency = 1;
+      valcache = true; rtr_domains = 1; primary_endpoint = None; vantages = [];
+      gossip_period = None; gossip_timeout = None; persistence = None }
+end
+
+(* Apply the knobs in dependency order: scalars first, then vantage
+   registration (primary before extras, so the mesh order is stable), then
+   gossip — which freezes the vantage list — and persistence last. *)
+let configure t (c : Config.t) =
+  set_fetch_policy t c.Config.fetch_policy;
+  set_per_hop_latency t c.Config.per_hop_latency;
+  set_valcache t c.Config.valcache;
+  t.rtr_domains <- max 1 c.Config.rtr_domains;
+  Option.iter (fun endpoint -> primary_vantage t ~endpoint) c.Config.primary_endpoint;
+  List.iter
+    (fun (v : Config.vantage_spec) ->
+      register_vantage t ~name:v.Config.name ~rp:v.Config.rp ~endpoint:v.Config.endpoint)
+    c.Config.vantages;
+  Option.iter
+    (fun period -> enable_gossip ~period ?timeout:c.Config.gossip_timeout t)
+    c.Config.gossip_period;
+  Option.iter (fun disk -> enable_persistence t disk) c.Config.persistence
+
 (* One snapshot store per vantage, named after it, created lazily on the
    shared simulated disk. *)
 let store_for t name =
@@ -243,9 +292,9 @@ let restart_vantage t ~name ~now ~make =
        be restored.  Holds are process state and do not survive. *)
     (match recovery with
     | Relying_party.Recovered { rc_rtr_serial; _ } ->
-      Rpki_rtr.Session.restore t.rtr ~serial:rc_rtr_serial ~vrps:(Relying_party.vrps rp)
+      Rpki_rtr.Server.restore t.rtr ~serial:rc_rtr_serial ~vrps:(Relying_party.vrps rp)
     | Relying_party.Recovered_fresh _ ->
-      Rpki_rtr.Session.restore t.rtr ~serial:0 ~vrps:[]);
+      Rpki_rtr.Server.restore t.rtr ~serial:0 ~vrps:[]);
     t.held_uris <- [];
     (* the per-point last-good memory is the victim's memory: it survives
        exactly when the snapshot did *)
@@ -287,7 +336,7 @@ let install_hold t ~uri =
         let pinned =
           List.filter (fun (v : Vrp.t) -> V4.Prefix.equal v.Vrp.prefix prefix) good
         in
-        Rpki_rtr.Session.hold t.rtr ~prefix ~vrps:pinned)
+        Rpki_rtr.Server.hold t.rtr ~prefix ~vrps:pinned)
       prefixes;
     if prefixes <> [] then t.held_uris <- (uri, prefixes) :: t.held_uris
   end
@@ -296,7 +345,7 @@ let release_hold t ~uri =
   match List.assoc_opt uri t.held_uris with
   | None -> ()
   | Some prefixes ->
-    List.iter (fun prefix -> Rpki_rtr.Session.release t.rtr ~prefix) prefixes;
+    List.iter (fun prefix -> Rpki_rtr.Server.release t.rtr ~prefix) prefixes;
     t.held_uris <- List.remove_assoc uri t.held_uris
 
 (* Reachability of a publication point from the RP's AS, judged on the data
@@ -359,8 +408,15 @@ let step t ~now =
      cache's last state, exactly as real RTR clients would. *)
   (match result with
   | Some r ->
-    Rpki_rtr.Session.publish_diff t.rtr r.Relying_party.diff;
-    Rpki_rtr.Session.set_data_age t.rtr (Relying_party.max_data_age r)
+    (* the diff was computed against the previous sync's VRPs — recover that
+       base and fingerprint it, so a diff fed against any other state is a
+       typed error instead of silent delta-window corruption *)
+    let base =
+      Vrp.apply_diff r.Relying_party.vrps (Vrp.invert_diff r.Relying_party.diff)
+    in
+    Rpki_rtr.Server.publish_diff ~expect_base:(Vrp.fingerprint base) t.rtr
+      r.Relying_party.diff;
+    Rpki_rtr.Server.set_data_age t.rtr (Relying_party.max_data_age r)
   | None -> ());
   (* a sync that contradicted the primary's own restored history is local
      evidence — no gossip needed — and freezes the affected prefixes at the
@@ -371,7 +427,7 @@ let step t ~now =
   List.iter (fun rg -> install_hold t ~uri:(regression_uri rg)) regressions;
   (* routers act on the RTR cache — the primary's feed with any holds
      applied — so the data plane is classified from the cache's view *)
-  let rtr_index = Origin_validation.build (Rpki_rtr.Session.cache_vrps t.rtr) in
+  let rtr_index = Origin_validation.build (Rpki_rtr.Session.cache_vrps (rtr_cache t)) in
   let validity_of r = Origin_validation.classify rtr_index r in
   let net =
     Data_plane.build ~topo:t.topo ~policy_of:(fun _ -> t.policy) ~validity_of t.announcements
@@ -451,7 +507,7 @@ let step t ~now =
         (fun store ->
           ignore
             (Relying_party.save t.rp ~now
-               ~rtr_serial:(Rpki_rtr.Session.cache_serial t.rtr) store))
+               ~rtr_serial:(Rpki_rtr.Session.cache_serial (rtr_cache t)) store))
         (store_for t (Relying_party.name t.rp));
     List.iter
       (fun (v : Gossip.vantage) ->
@@ -461,19 +517,23 @@ let step t ~now =
             (store_for t v.Gossip.v_name))
       t.vantages
   end;
+  (* one batched notify per tick: the sync's publish and every hold taken
+     this tick (local regressions and gossip-verified evidence) coalesce
+     into a single Serial Notify fan-out to the attached sessions *)
+  ignore (Rpki_rtr.Server.flush ~domains:t.rtr_domains t.rtr);
   let record =
     { time = now;
       vrp_count =
         (match result with
         | Some r -> List.length r.Relying_party.vrps
-        | None -> List.length (Rpki_rtr.Session.cache_vrps t.rtr));
+        | None -> List.length (Rpki_rtr.Session.cache_vrps (rtr_cache t)));
       issue_count =
         (match result with Some r -> List.length r.Relying_party.issues | None -> 0);
       fetch_failures;
       probe_results;
       vrp_diff =
         (match result with Some r -> r.Relying_party.diff | None -> Vrp.empty_diff);
-      rtr_serial = Rpki_rtr.Session.cache_serial t.rtr;
+      rtr_serial = Rpki_rtr.Session.cache_serial (rtr_cache t);
       points_reused =
         (match result with Some r -> r.Relying_party.points_reused | None -> 0);
       points_revalidated =
@@ -486,7 +546,7 @@ let step t ~now =
         (match result with Some r -> r.Relying_party.budget_exhausted | None -> false);
       gossip_report;
       regressions;
-      rtr_holds = List.length (Rpki_rtr.Session.cache_holds t.rtr);
+      rtr_holds = List.length (Rpki_rtr.Session.cache_holds (rtr_cache t));
       sig_checks;
       sig_saved }
   in
@@ -698,23 +758,24 @@ let split_view_scenario ?(policy = Policy.Drop_invalid) ?(grace = 4) ?(monitors 
       { label = "sprint-repo"; addr = Model.sprint_repo_addr; expected_origin = Model.as_sprint } ]
   in
   let sim = create ~universe:model.Model.universe ~topo ~policy ~rp ~announcements ~probes in
-  set_fetch_policy sim fetch_policy;
-  primary_vantage sim
-    ~endpoint:
-      (Pub_point.create ~uri:"rsync://victim-rp.example/log"
-         ~addr:(V4.addr_of_string_exn "198.18.0.7") ~host_asn:s.Topo_gen.source);
   let chosen = List.init monitors monitor_spec in
-  List.iter
-    (fun (name, addr, asn) ->
-      let mrp = Model.relying_party ~name ~asn model in
-      register_vantage sim ~name ~rp:mrp
-        ~endpoint:
-          (Pub_point.create
-             ~uri:("rsync://" ^ name ^ ".example/log")
-             ~addr:(V4.addr_of_string_exn addr) ~host_asn:asn))
-    chosen;
-  if monitors > 0 then enable_gossip ~period:gossip_period sim;
-  if not valcache then set_valcache sim false;
+  configure sim
+    { Config.default with
+      Config.fetch_policy; valcache;
+      primary_endpoint =
+        Some
+          (Pub_point.create ~uri:"rsync://victim-rp.example/log"
+             ~addr:(V4.addr_of_string_exn "198.18.0.7") ~host_asn:s.Topo_gen.source);
+      vantages =
+        List.map
+          (fun (name, addr, asn) ->
+            { Config.name; rp = Model.relying_party ~name ~asn model;
+              endpoint =
+                Pub_point.create
+                  ~uri:("rsync://" ^ name ^ ".example/log")
+                  ~addr:(V4.addr_of_string_exn addr) ~host_asn:asn })
+          chosen;
+      gossip_period = (if monitors > 0 then Some gossip_period else None) };
   { sv_sim = sim; sv_model = model; sv_target_filename = model.Model.roa_target20;
     sv_monitors = List.map (fun (n, _, _) -> n) chosen }
 

@@ -28,7 +28,11 @@ type t = {
   policy : Policy.t;                         (** uniform at every AS *)
   mutable rp : Relying_party.t;              (** mutable: {!restart_vantage}
                                                  replaces the instance *)
-  rtr : Rpki_rtr.Session.cache;              (** fed one delta per changed tick *)
+  rtr : Rpki_rtr.Server.t;                   (** the RTR serving plane: fed one
+                                                 delta per changed tick, flushed
+                                                 (one batched notify) at tick
+                                                 end *)
+  mutable rtr_domains : int;                 (** Domains for the flush fan-out *)
   announcements : Propagation.announcement list;
   probes : probe list;
   transport : Transport.t;                   (** priced off the previous tick's
@@ -91,10 +95,63 @@ val create :
   probes:probe list ->
   t
 
+(** {2 Configuration}
+
+    Everything that used to be scattered over mutators and enable-flags
+    ([set_fetch_policy] / [set_per_hop_latency] / [set_valcache] /
+    [primary_vantage] / [register_vantage] / [enable_gossip] /
+    [enable_persistence]) collapsed into one record: build a {!Config.t}
+    from {!Config.default}, apply it once with {!configure}.  The
+    individual functions remain as thin deprecated wrappers so existing
+    callers keep compiling. *)
+
+module Config : sig
+  type vantage_spec = {
+    name : string;
+    rp : Relying_party.t;
+    endpoint : Pub_point.t;  (** where peers pull this vantage's log from *)
+  }
+
+  type t = {
+    fetch_policy : Relying_party.fetch_policy;
+        (** default {!Relying_party.default_policy} *)
+    per_hop_latency : int;   (** transport ticks per forwarding hop; default 1 *)
+    valcache : bool;         (** shared validation plane; default [true] *)
+    rtr_domains : int;       (** Domains for the RTR flush fan-out; default 1 *)
+    primary_endpoint : Pub_point.t option;
+        (** register the loop's own RP as a gossip vantage at this endpoint *)
+    vantages : vantage_spec list;  (** extra vantages, in registration order *)
+    gossip_period : int option;
+        (** [Some p] freezes the vantages into a gossip mesh, one round every
+            [p] ticks; [None] (default) = no gossip *)
+    gossip_timeout : int option;   (** per-pull cap, see {!Gossip.create} *)
+    persistence : Rpki_persist.Disk.t option;
+        (** [Some disk] snapshots every live vantage each tick *)
+  }
+
+  val default : t
+  (** No vantages, no gossip, no persistence; resilient defaults otherwise
+      (default fetch policy, 1 tick/hop, valcache on, 1 Domain). *)
+end
+
+val configure : t -> Config.t -> unit
+(** Apply a configuration to a freshly {!create}d loop: policy knobs first,
+    then the primary endpoint and extra vantages, then gossip and
+    persistence.  Raises [Invalid_argument] under the same conditions as
+    the individual wrappers (duplicate vantage names, gossip already
+    enabled). *)
+
+val rtr_server : t -> Rpki_rtr.Server.t
+(** The RTR serving plane fed by the loop: attach router sessions with
+    {!Rpki_rtr.Server.attach}; every {!step} ends with one batched
+    {!Rpki_rtr.Server.flush} (publish + any holds coalesce into a single
+    notify), run on {!Config.rtr_domains} Domains. *)
+
 val rtr_cache : t -> Rpki_rtr.Session.cache
-(** The RTR cache fed by the loop; attach routers to it with
-    {!Rpki_rtr.Session.synchronize}.  Its data age tracks the worst
-    staleness of each tick's sync. *)
+(** The serving plane's underlying cache; single-router code can still
+    attach to it directly with {!Rpki_rtr.Session.synchronize}.  Its data
+    age tracks the worst staleness of each tick's sync.  Deprecated in
+    favour of {!rtr_server} — kept so pre-server callers compile. *)
 
 val transport : t -> Transport.t
 (** The loop's transport.  Its latency oracle is wired to the previous
@@ -105,7 +162,8 @@ val transport : t -> Transport.t
 
 val set_fetch_policy : t -> Relying_party.fetch_policy -> unit
 (** Replace the fetch policy used by subsequent {!step}s
-    (default {!Relying_party.default_policy}). *)
+    (default {!Relying_party.default_policy}).  Deprecated wrapper:
+    prefer {!Config.fetch_policy}. *)
 
 val set_per_hop_latency : t -> int -> unit
 (** Transport ticks charged per forwarding hop (default 1; clamped at 0).
@@ -115,7 +173,8 @@ val set_valcache : t -> bool -> unit
 (** Enable (default) or disable the shared validation plane.  Enabling
     mid-run starts from an empty cache; either way every sync result,
     detection tick and piece of evidence is identical — the cache is
-    transparent, only the number of RSA verifications executed changes. *)
+    transparent, only the number of RSA verifications executed changes.
+    Deprecated wrapper: prefer {!Config.valcache}. *)
 
 val valcache : t -> Valcache.t option
 (** The loop's shared validation plane, for statistics
@@ -149,12 +208,14 @@ val pp_record : Format.formatter -> tick_record -> unit
 val primary_vantage : t -> endpoint:Pub_point.t -> unit
 (** Register the loop's own relying party (under its RP name) as a gossip
     vantage reachable at [endpoint].  The endpoint's address must be
-    routable for peers to pull from it. *)
+    routable for peers to pull from it.  Deprecated wrapper: prefer
+    {!Config.primary_endpoint}. *)
 
 val register_vantage : t -> name:string -> rp:Relying_party.t -> endpoint:Pub_point.t -> unit
 (** Add an extra vantage.  [rp] is synced every subsequent {!step} over a
     transport created here and priced from [rp]'s AS.  Raises
-    [Invalid_argument] on duplicate names or after {!enable_gossip}. *)
+    [Invalid_argument] on duplicate names or after {!enable_gossip}.
+    Deprecated wrapper: prefer {!Config.vantages}. *)
 
 val vantage_names : t -> string list
 
@@ -167,7 +228,8 @@ val vantage_transport : t -> name:string -> Transport.t
 val enable_gossip : ?period:int -> ?timeout:int -> t -> unit
 (** Freeze the registered vantages into a gossip mesh; a round runs every
     [period] ticks (default 1).  [timeout] caps each pull
-    (see {!Gossip.create}). *)
+    (see {!Gossip.create}).  Deprecated wrapper: prefer
+    {!Config.gossip_period}. *)
 
 val gossip_mesh : t -> Gossip.t option
 
@@ -201,7 +263,8 @@ val first_rollback_tick : t -> Rtime.t option
 
 val enable_persistence : t -> Rpki_persist.Disk.t -> unit
 (** Snapshot every live vantage's durable state at the end of each tick
-    onto [disk] (one {!Rpki_persist.Store.t} per vantage, named after it). *)
+    onto [disk] (one {!Rpki_persist.Store.t} per vantage, named after it).
+    Deprecated wrapper: prefer {!Config.persistence}. *)
 
 val persistence_enabled : t -> bool
 

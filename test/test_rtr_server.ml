@@ -1,0 +1,279 @@
+(* Tests for the multiplexed RTR serving plane (Rpki_rtr.Server).
+
+   The load-bearing property: a server fanning one cache out to N sessions
+   is observationally identical to N independent caches each fed the same
+   publish sequence and each serving one router — same final VRP sets, same
+   serials, same Cache Reset decisions when serials fall off the delta
+   window, holds visible identically.  The server is an optimisation
+   (encode-once buffers, batched notify, Domains) and must not be a
+   semantic change. *)
+
+open Rpki_core
+open Rpki_rtr
+open Rpki_ip
+
+let vrp_list = Alcotest.testable
+    (fun fmt l -> Format.pp_print_string fmt (String.concat " " (List.map Vrp.to_string l)))
+    (List.equal Vrp.equal)
+
+(* --- the reference model: one private cache + router per session --- *)
+
+(* Drive one router against its private cache exactly the way
+   [Server.flush] drives a session: serial query while the session holds,
+   Cache Reset -> Reset Query when the window closed.  Returns how many
+   Cache Resets the router took (0 or 1). *)
+let ref_sync cache router =
+  match Session.router_session router with
+  | Some sid when sid = Session.cache_session_id cache -> (
+    let q =
+      Pdu.encode
+        (Pdu.Serial_query { session_id = sid; serial = Session.router_serial router })
+    in
+    match Session.apply_response router (Session.serve cache q) with
+    | `Synced -> 0
+    | `Reset_required -> (
+      Session.reset_router router;
+      match
+        Session.apply_response router (Session.serve cache (Pdu.encode Pdu.Reset_query))
+      with
+      | `Synced -> 1
+      | `Reset_required -> Alcotest.fail "reference: reset loop"))
+  | _ -> (
+    Session.reset_router router;
+    match
+      Session.apply_response router (Session.serve cache (Pdu.encode Pdu.Reset_query))
+    with
+    | `Synced -> 0
+    | `Reset_required -> Alcotest.fail "reference: reset on fresh sync")
+
+(* --- scenario generator --- *)
+
+let pool =
+  [| V4.p "10.0.0.0/8"; V4.p "10.1.0.0/16"; V4.p "192.0.2.0/24"; V4.p "198.51.100.0/24" |]
+
+type op =
+  | Publish of Vrp.t list
+  | Hold of int * Vrp.t list (* pool index, pinned set *)
+  | Release of int
+  | Attach
+  | Flush
+
+let vrp_gen =
+  QCheck.Gen.(
+    map2
+      (fun i asn -> Vrp.make pool.(i mod Array.length pool) (1 + (abs asn mod 40)))
+      (int_bound (Array.length pool - 1))
+      int)
+
+let op_gen =
+  QCheck.Gen.(
+    frequency
+      [ (5, map (fun l -> Publish l) (list_size (int_bound 8) vrp_gen));
+        (1, map2 (fun i l -> Hold (i, l)) (int_bound (Array.length pool - 1))
+             (list_size (int_bound 3) vrp_gen));
+        (1, map (fun i -> Release i) (int_bound (Array.length pool - 1)));
+        (2, return Attach);
+        (4, return Flush) ])
+
+let print_op = function
+  | Publish l -> Printf.sprintf "publish[%d]" (List.length l)
+  | Hold (i, l) -> Printf.sprintf "hold[%d,%d]" i (List.length l)
+  | Release i -> Printf.sprintf "release[%d]" i
+  | Attach -> "attach"
+  | Flush -> "flush"
+
+let scenario_arb =
+  QCheck.make
+    ~print:(fun ops -> String.concat " " (List.map print_op ops))
+    QCheck.Gen.(list_size (int_range 10 40) op_gen)
+
+(* Replay [ops] into a server and into the reference model; compare every
+   session to its private router after the final flush.  A small history
+   limit makes stale sessions fall off the delta window, so the Cache Reset
+   path is exercised, not just the happy delta path. *)
+let check_observational_identity ?(domains = 1) ops =
+  let n_max = 6 and history_limit = 4 in
+  let server = Server.create ~history_limit () in
+  let refs =
+    Array.init n_max (fun _ ->
+        (Session.create_cache ~history_limit (), Session.create_router (), ref 0))
+  in
+  let sessions = ref [] in (* (server session, reference index), newest first *)
+  let attached = ref 0 in
+  let sync_all () =
+    ignore (Server.flush ~domains server);
+    List.iter
+      (fun (_, i) ->
+        let c, r, resets = refs.(i) in
+        resets := !resets + ref_sync c r)
+      !sessions
+  in
+  List.iter
+    (fun op ->
+      match op with
+      | Publish l ->
+        Server.publish server l;
+        Array.iter (fun (c, _, _) -> Session.publish c l) refs
+      | Hold (i, l) ->
+        Server.hold server ~prefix:pool.(i) ~vrps:l;
+        Array.iter (fun (c, _, _) -> Session.hold c ~prefix:pool.(i) ~vrps:l) refs
+      | Release i ->
+        Server.release server ~prefix:pool.(i);
+        Array.iter (fun (c, _, _) -> Session.release c ~prefix:pool.(i)) refs
+      | Attach ->
+        if !attached < n_max then begin
+          sessions := (Server.attach server, !attached) :: !sessions;
+          incr attached
+        end
+      | Flush -> sync_all ())
+    ops;
+  sync_all ();
+  if not (Server.all_synced server) then
+    QCheck.Test.fail_reportf "server not all_synced after final flush";
+  List.iter
+    (fun (s, i) ->
+      let _, r, resets = refs.(i) in
+      if not (List.equal Vrp.equal (Server.session_vrps s) (Session.router_vrps r))
+      then QCheck.Test.fail_reportf "session %d: VRP sets differ" i;
+      if Server.session_serial s <> Session.router_serial r then
+        QCheck.Test.fail_reportf "session %d: serial %d vs reference %d" i
+          (Server.session_serial s) (Session.router_serial r);
+      if Server.session_resets s <> !resets then
+        QCheck.Test.fail_reportf "session %d: %d resets vs reference %d" i
+          (Server.session_resets s) !resets;
+      if not (Server.session_synced server s) then
+        QCheck.Test.fail_reportf "session %d not synced" i)
+    !sessions;
+  (* the shared cache itself must agree with any of the private ones *)
+  let c0, _, _ = refs.(0) in
+  Session.cache_serial (Server.cache server) = Session.cache_serial c0
+  && List.equal Vrp.equal
+       (Session.cache_vrps (Server.cache server))
+       (Session.cache_vrps c0)
+
+let prop_identity =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:150
+       ~name:"multiplexed server == N independent caches" scenario_arb
+       check_observational_identity)
+
+let prop_identity_domains =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:40
+       ~name:"multiplexed server == N independent caches (4 domains)" scenario_arb
+       (check_observational_identity ~domains:4))
+
+(* --- unit tests --- *)
+
+let v s asn = Vrp.make (V4.p s) asn
+
+let seeded ?(sessions = 2) () =
+  let server = Server.create () in
+  let ss = List.init sessions (fun _ -> Server.attach server) in
+  Server.publish server [ v "10.0.0.0/8" 1 ];
+  ignore (Server.flush server);
+  (server, ss)
+
+let test_notify_coalescing () =
+  let server, _ = seeded () in
+  let before = (Server.stats server).Server.notify_batches in
+  Server.publish server [ v "10.0.0.0/8" 1; v "192.0.2.0/24" 2 ];
+  Server.publish server [ v "192.0.2.0/24" 2 ];
+  Server.publish server [ v "198.51.100.0/24" 3 ];
+  Alcotest.(check bool) "pending" true (Server.pending server);
+  let rep = Server.flush server in
+  Alcotest.(check int) "one batch" (before + 1) (Server.stats server).Server.notify_batches;
+  Alcotest.(check int) "two bumps coalesced" 2 rep.Server.fr_coalesced;
+  Alcotest.(check int) "both sessions notified" 2 rep.Server.fr_notified;
+  Alcotest.(check bool) "drained" false (Server.pending server);
+  (* a flush with nothing pending is free: zero report, no traffic *)
+  let sent = (Server.stats server).Server.bytes_sent in
+  let rep2 = Server.flush server in
+  Alcotest.(check int) "no-op notify" 0 rep2.Server.fr_notified;
+  Alcotest.(check int) "no-op bytes" sent (Server.stats server).Server.bytes_sent
+
+let test_encode_once () =
+  (* the same publish schedule against 1 session and against 64 must encode
+     exactly the same bytes; only delivery grows with the session count *)
+  let run n =
+    let server = Server.create () in
+    let _ = List.init n (fun _ -> Server.attach server) in
+    Server.publish server [ v "10.0.0.0/8" 1 ];
+    ignore (Server.flush server);
+    Server.publish server [ v "10.0.0.0/8" 1; v "192.0.2.0/24" 2 ];
+    ignore (Server.flush server);
+    Server.stats server
+  in
+  let one = run 1 and many = run 64 in
+  Alcotest.(check int) "bytes encoded flat" one.Server.bytes_encoded many.Server.bytes_encoded;
+  Alcotest.(check int) "encode calls flat" one.Server.encode_calls many.Server.encode_calls;
+  Alcotest.(check int) "replays scale" (64 * one.Server.replays) many.Server.replays;
+  Alcotest.(check bool) "delivery scales" true
+    (many.Server.bytes_sent > 32 * one.Server.bytes_sent)
+
+let test_base_mismatch () =
+  let server, _ = seeded () in
+  let good = Session.feed_fingerprint (Server.cache server) in
+  let diff = { Vrp.added = [ v "192.0.2.0/24" 9 ]; removed = [] } in
+  (match Server.publish_diff ~expect_base:(Int64.lognot good) server diff with
+  | () -> Alcotest.fail "expected Base_mismatch"
+  | exception Session.Base_mismatch { expected; actual } ->
+    Alcotest.(check bool) "mismatch reported" true (expected <> actual));
+  (* the guarded failure must not have corrupted anything *)
+  Server.publish_diff ~expect_base:good server diff;
+  ignore (Server.flush server);
+  Alcotest.(check bool) "recovers" true (Server.all_synced server)
+
+let test_detach () =
+  let server, ss = seeded ~sessions:3 () in
+  (match ss with
+  | s :: _ ->
+    Server.detach server s;
+    Alcotest.(check int) "count drops" 2 (Server.session_count server);
+    Alcotest.(check bool) "detached not synced" false (Server.session_synced server s)
+  | [] -> assert false);
+  Server.publish server [ v "198.51.100.0/24" 7 ];
+  let rep = Server.flush server in
+  Alcotest.(check int) "only live sessions notified" 2 rep.Server.fr_notified;
+  Alcotest.(check bool) "rest converge" true (Server.all_synced server)
+
+let test_restore_resets_sessions () =
+  let server, ss = seeded () in
+  Server.restore server ~serial:42 ~vrps:[ v "10.0.0.0/8" 5 ];
+  let rep = Server.flush server in
+  Alcotest.(check int) "every session reset" 2 rep.Server.fr_resets;
+  List.iter
+    (fun s ->
+      Alcotest.(check int) "serial continues" 42 (Server.session_serial s);
+      Alcotest.check vrp_list "restored set" [ v "10.0.0.0/8" 5 ] (Server.session_vrps s))
+    ss
+
+let test_domains_parity () =
+  (* the same schedule on 1 domain and on 4 must leave identical stats and
+     identical session states — the fan-out is an implementation detail *)
+  let run domains =
+    let server = Server.create ~history_limit:2 () in
+    let ss = List.init 32 (fun _ -> Server.attach server) in
+    for i = 1 to 6 do
+      Server.publish server (List.init (1 + (i mod 3)) (fun j -> v "10.0.0.0/8" (10 + i + j)));
+      if i mod 2 = 0 then ignore (Server.flush ~domains server)
+    done;
+    Server.hold server ~prefix:(V4.p "10.0.0.0/8") ~vrps:[ v "10.0.0.0/8" 99 ];
+    ignore (Server.flush ~domains server);
+    (Server.stats server, List.map Server.session_vrps ss)
+  in
+  let st1, vrps1 = run 1 and st4, vrps4 = run 4 in
+  Alcotest.(check bool) "stats identical" true (st1 = st4);
+  Alcotest.(check bool) "session states identical" true
+    (List.for_all2 (List.equal Vrp.equal) vrps1 vrps4)
+
+let () =
+  Alcotest.run "rtr-server"
+    [ ( "server",
+        [ Alcotest.test_case "notify coalescing" `Quick test_notify_coalescing;
+          Alcotest.test_case "encode once" `Quick test_encode_once;
+          Alcotest.test_case "base mismatch" `Quick test_base_mismatch;
+          Alcotest.test_case "detach" `Quick test_detach;
+          Alcotest.test_case "restore resets sessions" `Quick test_restore_resets_sessions;
+          Alcotest.test_case "domains parity" `Quick test_domains_parity ] );
+      ("property", [ prop_identity; prop_identity_domains ]) ]
