@@ -1580,9 +1580,262 @@ let rtr () =
        big baseline_bytes server_bytes reduction
        (String.concat "," (List.map string_of_int domain_counts)))
 
+(* ------------------------------------------------------------------ *)
+(* Soak: long-run endurance                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Three arms, all driven through the canned soak scenario or the canned
+   detection scenarios with the endurance knobs flipped:
+
+   1. disk cost — segmented O(delta) saves + periodic compaction vs the
+      pre-segmentation O(history) full snapshots, same ticks and churn;
+   2. memory — Valcache residency under per-tick churn with epoch
+      eviction on vs off (flat vs monotone), plus Gc live words across
+      the segmented run;
+   3. equivalence — the endurance knobs are pure cost: the split-view
+      and restart detection timelines must produce byte-identical
+      detection traces with the knobs on and off. *)
+
+let detection_trace history =
+  let line (r : Rpki_sim.Loop.tick_record) =
+    Printf.sprintf "t%d vrps=%d issues=%d diff=%d serial=%d holds=%d fail=[%s] probe=[%s] regress=[%s] gossip=[%s]"
+      r.Rpki_sim.Loop.time r.Rpki_sim.Loop.vrp_count r.Rpki_sim.Loop.issue_count
+      (Vrp.diff_size r.Rpki_sim.Loop.vrp_diff)
+      r.Rpki_sim.Loop.rtr_serial r.Rpki_sim.Loop.rtr_holds
+      (String.concat ";" r.Rpki_sim.Loop.fetch_failures)
+      (String.concat ";"
+         (List.map
+            (fun (n, ok) -> Printf.sprintf "%s:%b" n ok)
+            r.Rpki_sim.Loop.probe_results))
+      (String.concat ";"
+         (List.map Relying_party.regression_to_string r.Rpki_sim.Loop.regressions))
+      (match r.Rpki_sim.Loop.gossip_report with
+      | None -> "-"
+      | Some rep ->
+        String.concat ";" (List.map Gossip.describe_alarm rep.Gossip.r_alarms))
+  in
+  String.concat "\n" (List.rev_map line history)
+
+(* Flip the endurance knobs on a running sim: [on] is the segmented /
+   evicting / compacting configuration, [off] the pre-refactor baseline
+   (full snapshots, no eviction, no compaction). *)
+let set_endurance sim ~on =
+  sim.Rpki_sim.Loop.valcache_evict <- on;
+  sim.Rpki_sim.Loop.compact_every <- (if on then 4 else 0);
+  sim.Rpki_sim.Loop.save_full <- not on
+
+let soak_split_view_trace ~endurance =
+  let rig = Rpki_sim.Loop.restart_scenario ~persist:true ~grace:4 ~monitors:2 ~gossip_period:1 () in
+  let sv = rig.Rpki_sim.Loop.rr_sv in
+  let sim = sv.Rpki_sim.Loop.sv_sim in
+  set_endurance sim ~on:endurance;
+  let atk =
+    Split_view.plan ~authority:sv.Rpki_sim.Loop.sv_model.Model.continental
+      ~target_filename:sv.Rpki_sim.Loop.sv_target_filename ()
+  in
+  for now = 1 to 10 do
+    if now = 3 then Split_view.apply atk (Rpki_sim.Loop.transport sim);
+    ignore (Rpki_sim.Loop.step sim ~now)
+  done;
+  detection_trace (Rpki_sim.Loop.history sim)
+
+let soak_restart_trace ~endurance =
+  let rig = Rpki_sim.Loop.restart_scenario ~persist:true ~grace:0 ~monitors:2 ~gossip_period:1 () in
+  let sv = rig.Rpki_sim.Loop.rr_sv in
+  let sim = sv.Rpki_sim.Loop.sv_sim in
+  let model = sv.Rpki_sim.Loop.sv_model in
+  set_endurance sim ~on:endurance;
+  let atk = Rollback.plan ~authority:model.Model.continental in
+  for now = 1 to 12 do
+    if now = 3 then
+      Authority.revoke_roa model.Model.continental ~filename:model.Model.roa_cb_25 ~now;
+    if now = 6 then
+      ignore
+        (Rpki_sim.Loop.restart_vantage sim ~name:"victim-rp" ~now
+           ~make:rig.Rpki_sim.Loop.rr_respawn);
+    ignore (Rpki_sim.Loop.step sim ~now);
+    if now = 2 then Rollback.capture atk ~now;
+    if now = 5 then begin
+      Rpki_sim.Loop.kill_vantage sim ~name:"victim-rp";
+      Rollback.apply atk (Rpki_sim.Loop.transport sim)
+    end
+  done;
+  detection_trace (Rpki_sim.Loop.history sim)
+
+let soak () =
+  header "Soak: long-run endurance (segments vs snapshots, eviction, traces)";
+  (* --- arm 1: disk bytes per save, segmented vs full snapshots --- *)
+  let ticks = if !quick then 400 else 5000 in
+  (* the full-snapshot baseline's per-save cost grows with the log, so a
+     shorter baseline run UNDERSTATES it: the reported ratio is a
+     conservative lower bound (and the quick arms are same-length) *)
+  let full_ticks = if !quick then 400 else 1000 in
+  let base_cfg =
+    { Rpki_sim.Loop.default_soak with
+      Rpki_sim.Loop.sk_ticks = ticks; sk_churn_every = 6; sk_monitors = 1;
+      sk_compact_every = (if !quick then 64 else 256);
+      sk_sample_every = max 1 (ticks / 10) }
+  in
+  Printf.printf "running segmented arm (%d ticks)...\n%!" ticks;
+  let seg = Rpki_sim.Loop.run_soak ~config:base_cfg () in
+  Printf.printf "running full-snapshot baseline (%d ticks)...\n%!" full_ticks;
+  let full =
+    Rpki_sim.Loop.run_soak
+      ~config:
+        { base_cfg with
+          Rpki_sim.Loop.sk_ticks = full_ticks; sk_full_snapshots = true;
+          sk_compact_every = 0; sk_sample_every = max 1 (full_ticks / 10) }
+      ()
+  in
+  let ratio = full.Rpki_sim.Loop.so_bytes_per_save /. Float.max 1.0 seg.Rpki_sim.Loop.so_bytes_per_save in
+  let t =
+    Table.create
+      ~aligns:[ Table.Left; Table.Right; Table.Right; Table.Right; Table.Right; Table.Right ]
+      [ "mode"; "ticks"; "saves"; "bytes/save"; "final snap B"; "final chain B" ]
+  in
+  let last r = List.nth r.Rpki_sim.Loop.so_samples (List.length r.Rpki_sim.Loop.so_samples - 1) in
+  List.iter
+    (fun (name, (r : Rpki_sim.Loop.soak_report)) ->
+      let s = last r in
+      Table.add_row t
+        [ name; string_of_int r.Rpki_sim.Loop.so_config.Rpki_sim.Loop.sk_ticks;
+          string_of_int r.Rpki_sim.Loop.so_saves;
+          Printf.sprintf "%.0f" r.Rpki_sim.Loop.so_bytes_per_save;
+          string_of_int s.Rpki_sim.Loop.so_snapshot_bytes;
+          string_of_int s.Rpki_sim.Loop.so_chain_bytes ])
+    [ ("segmented+compact", seg); ("full snapshots", full) ];
+  Table.print t;
+  Printf.printf
+    "\nbytes-per-save ratio (full / segmented): %.1fx%s\n" ratio
+    (if full_ticks < ticks then
+       Printf.sprintf
+         " (baseline truncated at %d ticks; its per-save cost grows with the \
+          log, so this is a lower bound)"
+         full_ticks
+     else "");
+  let min_ratio = if !quick then 3.0 else 10.0 in
+  if ratio < min_ratio then
+    failwith
+      (Printf.sprintf "soak: segmented saves only %.1fx cheaper (need >= %.0fx)" ratio min_ratio);
+  (* Gc flatness across the segmented run: the last sample's live words
+     must not have drifted far above the first post-warmup sample's. *)
+  (match seg.Rpki_sim.Loop.so_samples with
+  | warm :: _ :: _ ->
+    let final = last seg in
+    let growth =
+      float_of_int final.Rpki_sim.Loop.so_live_words
+      /. float_of_int (max 1 warm.Rpki_sim.Loop.so_live_words)
+    in
+    Printf.printf "Gc live words: %d (t%d) -> %d (t%d), growth %.2fx\n"
+      warm.Rpki_sim.Loop.so_live_words warm.Rpki_sim.Loop.so_tick
+      final.Rpki_sim.Loop.so_live_words final.Rpki_sim.Loop.so_tick growth
+  | _ -> ());
+  (* --- arm 2: Valcache residency under churn, eviction on vs off --- *)
+  let res_ticks = if !quick then 300 else 360 in
+  let res_cfg =
+    { Rpki_sim.Loop.default_soak with
+      Rpki_sim.Loop.sk_ticks = res_ticks; sk_churn_every = 1; sk_monitors = 1;
+      sk_validity = Some 48; sk_refresh_interval = Some 48;
+      sk_sample_every = max 1 (res_ticks / 6) }
+  in
+  Printf.printf "\nrunning residency arm (2 x %d churned ticks)...\n%!" res_ticks;
+  let evict_on = Rpki_sim.Loop.run_soak ~config:res_cfg () in
+  let evict_off =
+    Rpki_sim.Loop.run_soak ~config:{ res_cfg with Rpki_sim.Loop.sk_evict = false } ()
+  in
+  let resident (r : Rpki_sim.Loop.soak_report) =
+    List.filter_map
+      (fun (s : Rpki_sim.Loop.soak_sample) ->
+        Option.map
+          (fun (rs : Valcache.residency) ->
+            (s.Rpki_sim.Loop.so_tick, rs.Valcache.rs_verdicts + rs.Valcache.rs_outcomes,
+             rs.Valcache.rs_verdicts_evicted + rs.Valcache.rs_outcomes_evicted))
+          s.Rpki_sim.Loop.so_residency)
+      r.Rpki_sim.Loop.so_samples
+  in
+  let on_curve = resident evict_on and off_curve = resident evict_off in
+  let t =
+    Table.create
+      ~aligns:[ Table.Right; Table.Right; Table.Right; Table.Right ]
+      [ "tick"; "resident (evict)"; "evicted"; "resident (no evict)" ]
+  in
+  List.iter2
+    (fun (tk, on_res, on_ev) (_, off_res, _) ->
+      Table.add_row t
+        [ string_of_int tk; string_of_int on_res; string_of_int on_ev;
+          string_of_int off_res ])
+    on_curve off_curve;
+  Table.print t;
+  let final3 l = match List.rev l with (_, r, _) :: _ -> r | [] -> 0 in
+  let mid3 l = match List.nth_opt l (List.length l / 2) with Some (_, r, _) -> r | None -> 0 in
+  let on_final = final3 on_curve and off_final = final3 off_curve in
+  if on_final >= off_final then
+    failwith "soak: eviction did not reduce Valcache residency under churn";
+  if on_final > 2 * max 1 (mid3 on_curve) then
+    failwith "soak: evicting residency still growing (not flat under churn)";
+  if off_final < mid3 off_curve then
+    failwith "soak: non-evicting residency unexpectedly shrank";
+  Printf.printf
+    "\nResidency after %d ticks of per-tick churn: %d entries with eviction\n\
+     (%d dropped over the run) vs %d without — flat vs monotone.\n"
+    res_ticks on_final
+    (match List.rev on_curve with (_, _, e) :: _ -> e | [] -> 0)
+    off_final;
+  (* --- arm 3: detection traces are invariant under the knobs --- *)
+  let sv_on = soak_split_view_trace ~endurance:true in
+  let sv_off = soak_split_view_trace ~endurance:false in
+  if not (String.equal sv_on sv_off) then
+    failwith "soak: split-view detection trace changed under endurance knobs";
+  let rs_on = soak_restart_trace ~endurance:true in
+  let rs_off = soak_restart_trace ~endurance:false in
+  if not (String.equal rs_on rs_off) then
+    failwith "soak: restart detection trace changed under endurance knobs";
+  Printf.printf
+    "Detection traces byte-identical with endurance knobs on/off:\n\
+     split-view arm (%d trace bytes), restart arm (%d trace bytes).\n"
+    (String.length sv_on) (String.length rs_on);
+  let sample_json (s : Rpki_sim.Loop.soak_sample) =
+    Printf.sprintf
+      "{\"tick\":%d,\"live_words\":%d,\"snapshot_bytes\":%d,\"chain_bytes\":%d,\
+       \"segments\":%d,\"save_bytes\":%d,\"log_size\":%d%s}"
+      s.Rpki_sim.Loop.so_tick s.Rpki_sim.Loop.so_live_words
+      s.Rpki_sim.Loop.so_snapshot_bytes s.Rpki_sim.Loop.so_chain_bytes
+      s.Rpki_sim.Loop.so_segments s.Rpki_sim.Loop.so_save_bytes
+      s.Rpki_sim.Loop.so_log_size
+      (match s.Rpki_sim.Loop.so_residency with
+      | None -> ""
+      | Some rs ->
+        Printf.sprintf
+          ",\"resident\":%d,\"evicted\":%d"
+          (rs.Valcache.rs_verdicts + rs.Valcache.rs_outcomes)
+          (rs.Valcache.rs_verdicts_evicted + rs.Valcache.rs_outcomes_evicted))
+  in
+  let report_json (r : Rpki_sim.Loop.soak_report) =
+    Printf.sprintf
+      "{\"ticks\":%d,\"churn_every\":%d,\"compact_every\":%d,\"evict\":%b,\
+       \"full_snapshots\":%b,\"saves\":%d,\"total_save_bytes\":%d,\
+       \"bytes_per_save\":%.1f,\"samples\":[%s]}"
+      r.Rpki_sim.Loop.so_config.Rpki_sim.Loop.sk_ticks
+      r.Rpki_sim.Loop.so_config.Rpki_sim.Loop.sk_churn_every
+      r.Rpki_sim.Loop.so_config.Rpki_sim.Loop.sk_compact_every
+      r.Rpki_sim.Loop.so_config.Rpki_sim.Loop.sk_evict
+      r.Rpki_sim.Loop.so_config.Rpki_sim.Loop.sk_full_snapshots
+      r.Rpki_sim.Loop.so_saves r.Rpki_sim.Loop.so_total_save_bytes
+      r.Rpki_sim.Loop.so_bytes_per_save
+      (String.concat "," (List.map sample_json r.Rpki_sim.Loop.so_samples))
+  in
+  write_json ~name:"soak"
+    (Printf.sprintf
+       "{\"experiment\":\"soak\",\"bytes_per_save_ratio\":%.1f,\
+        \"segmented\":%s,\"full\":%s,\"evict_on\":%s,\"evict_off\":%s,\
+        \"traces_identical\":{\"split_view\":%b,\"restart\":%b}}"
+       ratio (report_json seg) (report_json full) (report_json evict_on)
+       (report_json evict_off)
+       (String.equal sv_on sv_off) (String.equal rs_on rs_off))
+
 let all : (string * (unit -> unit)) list =
   [ ("fig2", fig2); ("fig3", fig3); ("tab4", tab4); ("fig5", fig5); ("tab6", tab6);
     ("se5", se5); ("se6", se6); ("se7", se7); ("campaign", campaign); ("adoption", adoption);
     ("depth", depth); ("sync-incremental", sync_incremental); ("stall", stall);
     ("transparency", transparency); ("restart", restart); ("multivantage", multivantage);
-    ("rtr", rtr) ]
+    ("rtr", rtr); ("soak", soak) ]

@@ -8,7 +8,8 @@
      monitor  — run a manipulation and show what a monitor would report
      sim      — run the Section 6 closed-loop timeline
      grid     — print the Figure 5 validity grid
-     transparency — run the split-view attack under gossiping vantages *)
+     transparency — run the split-view attack under gossiping vantages
+     soak     — long-run endurance: segmented persistence and eviction curves *)
 
 open Cmdliner
 open Rpki_core
@@ -491,6 +492,77 @@ let rtr_cmd =
              one batched serial-notify per round")
     Term.(const run $ sessions $ ticks $ churn $ domains)
 
+(* --- soak: long-run endurance --- *)
+
+let soak_cmd =
+  let ticks =
+    Arg.(value & opt int 2000
+         & info [ "ticks" ] ~doc:"Simulation length in ticks.")
+  in
+  let churn =
+    Arg.(value & opt int 0
+         & info [ "churn" ] ~doc:"Re-issue ARIN's subtree every N ticks (0 = no churn).")
+  in
+  let no_compact =
+    Arg.(value & flag
+         & info [ "no-compact" ] ~doc:"Never fold persistence chains into their base snapshot.")
+  in
+  let no_evict =
+    Arg.(value & flag
+         & info [ "no-evict" ] ~doc:"Disable epoch-based Valcache eviction at tick end.")
+  in
+  let full_snapshots =
+    Arg.(value & flag
+         & info [ "full-snapshots" ]
+             ~doc:"Force O(history) full saves instead of O(delta) segments (the \
+                   pre-segmentation baseline).")
+  in
+  let run ticks churn no_compact no_evict full_snapshots =
+    if ticks < 1 then failwith "soak: --ticks must be >= 1";
+    if churn < 0 then failwith "soak: --churn must be >= 0";
+    let module Loop = Rpki_sim.Loop in
+    let config =
+      { Loop.default_soak with
+        Loop.sk_ticks = ticks; sk_churn_every = churn;
+        sk_compact_every = (if no_compact then 0 else Loop.default_soak.Loop.sk_compact_every);
+        sk_evict = not no_evict; sk_full_snapshots = full_snapshots;
+        sk_sample_every = max 1 (ticks / 10) }
+    in
+    Printf.printf
+      "soak: %d ticks, churn every %s, %s saves, compaction %s, eviction %s\n\n"
+      ticks
+      (if churn = 0 then "never" else Printf.sprintf "%d ticks" churn)
+      (if full_snapshots then "full-snapshot" else "segmented")
+      (if config.Loop.sk_compact_every = 0 then "off"
+       else Printf.sprintf "every %d ticks" config.Loop.sk_compact_every)
+      (if no_evict then "off" else "on");
+    let r = Loop.run_soak ~config () in
+    Printf.printf
+      "%6s %12s %10s %10s %9s %12s %8s %10s %9s\n"
+      "tick" "live words" "snap B" "chain B" "segments" "save B" "log" "resident" "evicted";
+    List.iter
+      (fun (s : Loop.soak_sample) ->
+        let resident, evicted =
+          match s.Loop.so_residency with
+          | None -> ("-", "-")
+          | Some rs ->
+            ( string_of_int (rs.Valcache.rs_verdicts + rs.Valcache.rs_outcomes),
+              string_of_int (rs.Valcache.rs_verdicts_evicted + rs.Valcache.rs_outcomes_evicted) )
+        in
+        Printf.printf "%6d %12d %10d %10d %9d %12d %8d %10s %9s\n"
+          s.Loop.so_tick s.Loop.so_live_words s.Loop.so_snapshot_bytes
+          s.Loop.so_chain_bytes s.Loop.so_segments s.Loop.so_save_bytes
+          s.Loop.so_log_size resident evicted)
+      r.Loop.so_samples;
+    Printf.printf "\n%d saves, %d bytes written, %.1f bytes/save\n"
+      r.Loop.so_saves r.Loop.so_total_save_bytes r.Loop.so_bytes_per_save
+  in
+  Cmd.v
+    (Cmd.info "soak"
+       ~doc:"Run the long-run endurance soak: segmented persistence, Valcache \
+             eviction and memory growth curves over thousands of ticks")
+    Term.(const run $ ticks $ churn $ no_compact $ no_evict $ full_snapshots)
+
 let () =
   let doc = "the misbehaving-RPKI-authorities toolkit (HotNets'13 reproduction)" in
   let info = Cmd.info "rpki-sim" ~version:"1.0.0" ~doc in
@@ -498,4 +570,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ show_cmd; validate_cmd; ov_cmd; whack_cmd; monitor_cmd; sim_cmd; grid_cmd;
-            transparency_cmd; restart_cmd; rtr_cmd ]))
+            transparency_cmd; restart_cmd; rtr_cmd; soak_cmd ]))

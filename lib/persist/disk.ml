@@ -27,10 +27,12 @@ type t = {
   mutable fired : fault list; (* most recent first *)
   mutable writes : int;
   mutable renames : int;
+  mutable bytes_written : int;
 }
 
 let create () =
-  { files = Hashtbl.create 7; armed = None; fired = []; writes = 0; renames = 0 }
+  { files = Hashtbl.create 7; armed = None; fired = []; writes = 0; renames = 0;
+    bytes_written = 0 }
 
 let inject t fault =
   (match t.armed with
@@ -63,6 +65,7 @@ let corrupt_write fault data =
 
 let write t ~name data =
   t.writes <- t.writes + 1;
+  t.bytes_written <- t.bytes_written + String.length data;
   let data =
     match t.armed with
     | Some (Torn_write | Partial_flush | Bit_flip _) as f ->
@@ -103,3 +106,4 @@ let size t ~name =
 let bytes_used t = Hashtbl.fold (fun _ d acc -> acc + String.length d) t.files 0
 let writes t = t.writes
 let renames t = t.renames
+let bytes_written t = t.bytes_written

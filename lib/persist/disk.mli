@@ -38,3 +38,7 @@ val size : t -> name:string -> int
 val bytes_used : t -> int
 val writes : t -> int
 val renames : t -> int
+
+val bytes_written : t -> int
+(** Cumulative bytes handed to {!write} since creation (before any armed
+    fault shortened them) — the I/O cost line the soak experiments plot. *)

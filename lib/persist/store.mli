@@ -1,9 +1,18 @@
-(** Generation-numbered snapshot store with atomic write-then-rename.
+(** Generation-numbered snapshot store with atomic write-then-rename: a
+    checkpointed base snapshot plus an append-only chain of sealed segments.
 
-    A store owns two files on the simulated disk: the snapshot itself and a
-    generation marker written after the snapshot rename.  A crash between
-    the two renames is detectable: the marker runs ahead of the snapshot and
-    [load] reports [Stale] instead of silently serving the old generation. *)
+    A store owns a base snapshot file, zero or more segment files (one per
+    {!append}, named by generation) and a generation marker written after
+    every data rename.  A crash between the two renames is detectable: the
+    marker runs ahead of the chain and {!load_chain} reports [Stale] instead
+    of silently serving an older generation.
+
+    {!save} writes a full base (retiring any segments) — the O(history)
+    path.  {!append} seals a new segment holding only the records handed to
+    it — the O(delta) path a long-running relying party saves through.
+    {!compact} folds base + segments back into one base snapshot; it stages,
+    verifies, swaps and only then deletes, so any one-shot {!Disk} fault
+    fired mid-compaction leaves the store exactly as it was. *)
 
 type t
 
@@ -12,7 +21,12 @@ val name : t -> string
 val disk : t -> Disk.t
 
 val save : t -> now:int -> Codec.record list -> int
-(** Write a new snapshot; returns its generation (marker + 1). *)
+(** Write a full base snapshot and retire any sealed segments; returns its
+    generation (marker + 1). *)
+
+val append : t -> now:int -> Codec.record list -> int
+(** Seal a new segment holding exactly [records]; returns its generation.
+    Falls back to {!save} when no base snapshot exists yet. *)
 
 type load_error =
   | No_snapshot
@@ -22,11 +36,41 @@ type load_error =
 val load_error_to_string : load_error -> string
 
 val load : t -> (Codec.snapshot, load_error) result
+(** The base snapshot alone (validated against the chain's marker).  Most
+    callers want {!load_chain}. *)
+
+val load_chain : t -> (Codec.snapshot list, load_error) result
+(** The whole chain, base snapshot first, then each sealed segment in
+    generation order.  Every generation between the base's and the marker's
+    must be present and decode cleanly, or the chain is refused ([Stale]
+    for a missing segment — the dropped-rename crash window — [Corrupt]
+    for a damaged one). *)
+
+val compact :
+  t -> now:int -> fold:(Codec.record list list -> Codec.record list) ->
+  (int, string) result
+(** Fold base + segments into one base snapshot.  [fold] receives each
+    container's records, base first, and returns the folded record list.
+    The folded base keeps the chain's newest generation (the marker does
+    not move).  Crash-safe against the one-shot {!Disk} faults: the folded
+    container is staged and read back before the swap, and the swap is
+    re-read before the segments are deleted — on any detected fault the
+    result is [Error] and the store is untouched (still segmented, still
+    loadable).  [Ok generation] with no segments sealed is a no-op. *)
+
 val generation : t -> int
 (** The marker's generation; 0 if never saved. *)
 
+val segment_count : t -> int
+(** Sealed segments beyond the base in the currently loadable chain; 0 when
+    the chain is unreadable. *)
+
 val snapshot_bytes : t -> int
-(** Size of the current snapshot file; 0 if none. *)
+(** Size of the base snapshot file; 0 if none. *)
+
+val chain_bytes : t -> int
+(** Total on-disk bytes of base + segments (what restore must read). *)
 
 val wipe : t -> unit
-(** Delete snapshot, marker and temporaries (simulates losing the disk). *)
+(** Delete base, segments, marker and temporaries (simulates losing the
+    disk). *)

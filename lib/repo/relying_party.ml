@@ -146,6 +146,24 @@ type cached_point = {
   cp_at : Rtime.t; (* when this copy was last confirmed fresh *)
 }
 
+(* Where incremental persistence left off against one store: how many log
+   observations the chain already holds and the head they were sealed
+   under — the checkpoint the next segment's consistency proof starts
+   from.  Keyed by store name so one vantage can save to several stores. *)
+type persist_mark = {
+  pm_obs : int;
+  pm_head : Rpki_transparency.Log.head;
+}
+
+(* One state a publication point served this vantage, as this vantage
+   validated it — the rollback layer's unit of "proven-honest state". *)
+type point_state = {
+  ps_at : Rtime.t;
+  ps_vrp_hash : string;  (* vrp_set_hash of ps_vrps: the content address
+                            gossip evidence carries *)
+  ps_vrps : Vrp.t list;
+}
+
 type t = {
   name : string;
   asn : int; (* the AS where this relying party sits *)
@@ -185,6 +203,14 @@ type t = {
                                  (Side Effect 7), handled by validation and
                                  gossip — never a rollback alarm. *)
   mutable tkey : Rpki_crypto.Rsa.keypair option; (* lazy tree-head signing key *)
+  persist_marks : (string, persist_mark) Hashtbl.t; (* store name -> mark *)
+  point_history : (string, point_state list) Hashtbl.t;
+  (* bounded per-uri history (newest first) of the VRP contributions this
+     vantage itself validated.  {!rollback_last_good} searches it when
+     gossip proves a fork late: the entry matching the proven-honest side's
+     VRP-set hash is the state the RTR hold should freeze at.  Process
+     state only — after a restart the history is empty and rollback
+     degrades to pinning nothing, which is fail-closed. *)
 }
 
 (* Epoch 0 keeps the PR-3 log id (= the vantage name); later incarnations are
@@ -198,7 +224,8 @@ let create ~name ~asn ~tals ?(use_stale = true) ?grace ?(log_epoch = 0) () =
     vrp_memory = Hashtbl.create 64; last_result = None; effective_vrps = [];
     index = Origin_validation.empty_index; log_epoch;
     tlog = Rpki_transparency.Log.create ~log_id:(log_id_for ~name ~epoch:log_epoch);
-    peer_heads = []; log_baseline = 0; tkey = None }
+    peer_heads = []; log_baseline = 0; tkey = None;
+    persist_marks = Hashtbl.create 4; point_history = Hashtbl.create 16 }
 
 let name t = t.name
 let asn t = t.asn
@@ -272,6 +299,35 @@ let vrp_set_hash vrps =
    of every boundary the original validation compared against — the rule is
    shared with the cross-vantage cache. *)
 let entry_current (entry : memo_entry) ~now = Valcache.outcome_current entry ~now
+
+let history_depth = 8
+
+(* Record the state [uri] served this sync.  A re-observed hash moves to the
+   front (it *is* the newest state again); depth is bounded so long runs
+   keep O(points) history, not O(history). *)
+let note_point_state t ~uri ~at ~vrp_hash vrps =
+  let prior = Option.value (Hashtbl.find_opt t.point_history uri) ~default:[] in
+  let prior = List.filter (fun ps -> not (String.equal ps.ps_vrp_hash vrp_hash)) prior in
+  (* canonical (sorted, deduplicated) form, same as {!point_vrps}, so a
+     rolled-back last-good is indistinguishable from a freshly validated one *)
+  let entry =
+    { ps_at = at; ps_vrp_hash = vrp_hash; ps_vrps = List.sort_uniq Vrp.compare vrps }
+  in
+  Hashtbl.replace t.point_history uri
+    (List.filteri (fun i _ -> i < history_depth) (entry :: prior))
+
+(* The honest-side rollback: gossip has proved a fork at [uri] and
+   identified the proven-honest side's VRP-set hash; return the VRP
+   contribution this vantage itself validated under that hash, newest such
+   state first.  [None] when this vantage never validated that state (e.g.
+   a fresh post-restart incarnation) — the caller's hold then pins nothing
+   for the point, which fails closed. *)
+let rollback_last_good t ~uri ~vrp_hash =
+  match Hashtbl.find_opt t.point_history uri with
+  | None -> None
+  | Some hist ->
+    Option.map (fun ps -> ps.ps_vrps)
+      (List.find_opt (fun ps -> String.equal ps.ps_vrp_hash vrp_hash) hist)
 
 (* Deterministic retry backoff: exponential in the attempt number plus a
    per-(uri, attempt) jitter derived by hashing — no RNG state, so a sync
@@ -551,6 +607,8 @@ let sync t ~now ~universe ?reachable ?transport ?(policy = default_policy) ?valc
                 :: !regressions
             | _ -> ())
           | `Unchanged -> ());
+          note_point_state t ~uri ~at:now
+            ~vrp_hash:ob.Rpki_transparency.Log.ob_vrp_hash entry.Valcache.o_vrps;
           List.iter process_ca entry.Valcache.o_children)
     end
   (* From-scratch validation of one point's contents, recording every
@@ -813,21 +871,48 @@ let vrp_of_der = function
 
 let record kind payload = { Rpki_persist.Codec.r_kind = kind; r_payload = payload }
 
-let save t ~now ?(rtr_serial = 0) store =
+(* The Merkle checkpoint a segment is sealed under: the previous persisted
+   head plus the consistency proof from it to the head the segment carries.
+   Restore walks these from base through every segment — a chain that does
+   not prove one append-only history is refused wholesale. *)
+let encode_checkpoint ~prev ~proof =
+  Der.encode
+    (Der.Sequence
+       [ Der.Octet_string (Tlog.encode_head prev);
+         Der.Sequence (List.map (fun h -> Der.Octet_string h) proof) ])
+
+let decode_checkpoint payload =
+  match Der.decode payload with
+  | Ok (Der.Sequence [ Der.Octet_string prev; Der.Sequence hashes ]) -> (
+    let proof =
+      List.map
+        (function
+          | Der.Octet_string h -> h
+          | _ -> raise (Restore_error "malformed checkpoint proof"))
+        hashes
+    in
+    match Tlog.decode_head prev with
+    | Some h -> (h, proof)
+    | None -> raise (Restore_error "malformed checkpoint head"))
+  | _ -> raise (Restore_error "malformed checkpoint record")
+
+(* Every container — full base or sealed segment — carries the bounded
+   state records: identity, current signed head, gossip-verified peer heads
+   and the last-good VRP set.  Restore takes the newest.  Only the
+   observation list is history-sized, and the segmented path writes just
+   the observations appended since the store's mark. *)
+let bounded_records t ~now ~rtr_serial =
   let meta =
     Der.encode
       (Der.Sequence
          [ Der.Utf8 t.name; Der.int_ t.asn; Der.int_ t.log_epoch; Der.int_ rtr_serial ])
   in
+  let sh = signed_tree_head t ~now in
   let sth =
-    let sh = signed_tree_head t ~now in
     Der.encode
       (Der.Sequence
          [ Der.Octet_string (Tlog.encode_head sh.Tlog.sh_head);
            Der.Octet_string sh.Tlog.sh_sig ])
-  in
-  let obs =
-    List.map (fun o -> record "obs" (Tlog.encode_observation o)) (Tlog.observations t.tlog)
   in
   let peers =
     List.rev_map
@@ -840,16 +925,70 @@ let save t ~now ?(rtr_serial = 0) store =
   let vrps =
     record "vrps" (Der.encode (Der.Sequence (List.map vrp_to_der t.effective_vrps)))
   in
-  Rpki_persist.Store.save store ~now
-    ((record "meta" meta :: record "sth" sth :: obs) @ peers @ [ vrps ])
+  (record "meta" meta, record "sth" sth, peers, vrps, sh.Tlog.sh_head)
+
+let save t ~now ?(rtr_serial = 0) ?(mode = `Auto) store =
+  let meta, sth, peers, vrps, head = bounded_records t ~now ~rtr_serial in
+  let size = Tlog.size t.tlog in
+  let key = Rpki_persist.Store.name store in
+  let mark =
+    match mode with
+    | `Full -> None
+    | `Auto -> (
+      match Hashtbl.find_opt t.persist_marks key with
+      | Some m
+        when Rpki_persist.Store.generation store > 0
+             && m.pm_obs <= size
+             && String.equal m.pm_head.Tlog.h_log_id (Tlog.log_id t.tlog) ->
+        Some m
+      | _ -> None (* no usable mark (wiped store, log reset): full save *))
+  in
+  let generation =
+    match mark with
+    | None ->
+      let obs =
+        List.map (fun o -> record "obs" (Tlog.encode_observation o)) (Tlog.observations t.tlog)
+      in
+      Rpki_persist.Store.save store ~now ((meta :: sth :: obs) @ peers @ [ vrps ])
+    | Some m ->
+      (* O(delta): only the observations appended since the mark, sealed
+         under the checkpoint that ties them to the previous head *)
+      let fresh =
+        List.map
+          (fun (_, o) -> record "obs" (Tlog.encode_observation o))
+          (Tlog.since t.tlog m.pm_obs)
+      in
+      let proof =
+        if m.pm_obs = 0 then []
+        else Tlog.consistency_proof t.tlog ~old_size:m.pm_obs ~size
+      in
+      let ckpt = record "ckpt" (encode_checkpoint ~prev:m.pm_head ~proof) in
+      Rpki_persist.Store.append store ~now
+        ((meta :: sth :: ckpt :: fresh) @ peers @ [ vrps ])
+  in
+  Hashtbl.replace t.persist_marks key { pm_obs = size; pm_head = head };
+  generation
+
+(* Fold a segmented chain back into one full-shaped base container: every
+   observation in order, the newest container's meta/sth/peers/vrps, no
+   checkpoints (the folded base has no predecessor).  Restore cannot tell a
+   folded base from a full save. *)
+let fold_containers containers =
+  let is kind (r : Rpki_persist.Codec.record) = String.equal r.Rpki_persist.Codec.r_kind kind in
+  let obs = List.concat_map (List.filter (is "obs")) containers in
+  let last = List.nth containers (List.length containers - 1) in
+  let keep kind = List.filter (is kind) last in
+  keep "meta" @ keep "sth" @ obs @ keep "peer" @ keep "vrps"
+
+let compact_store store ~now = Rpki_persist.Store.compact store ~now ~fold:fold_containers
 
 let restore t store =
-  match Rpki_persist.Store.load store with
+  match Rpki_persist.Store.load_chain store with
   | Error Rpki_persist.Store.No_snapshot -> Recovered_fresh No_snapshot
   | Error (Rpki_persist.Store.Corrupt why) -> Recovered_fresh (Snapshot_corrupt why)
   | Error (Rpki_persist.Store.Stale { snap_generation; marker }) ->
     Recovered_fresh (Snapshot_stale { snap_generation; marker })
-  | Ok snap -> (
+  | Ok containers -> (
     let bad fmt = Printf.ksprintf (fun s -> raise (Restore_error s)) fmt in
     try
       let meta = ref None in
@@ -857,42 +996,86 @@ let restore t store =
       let obs = ref [] in
       let peers = ref [] in
       let vrps = ref None in
+      (* Walk the chain base-first.  Observations accumulate across
+         containers (each segment holds only its delta); the bounded
+         records are rewritten whole on every save, so the newest container
+         wins.  Each segment must carry a checkpoint naming the previous
+         container's head byte-for-byte and a consistency proof from it to
+         the segment's own head — the chain is one append-only history or
+         it is refused. *)
+      let prev_head = ref None in
       List.iter
-        (fun (r : Rpki_persist.Codec.record) ->
-          let payload = r.Rpki_persist.Codec.r_payload in
-          match r.Rpki_persist.Codec.r_kind with
-          | "meta" -> (
-            match Der.decode payload with
-            | Ok
-                (Der.Sequence
-                  [ Der.Utf8 n; (Der.Integer _ as a); (Der.Integer _ as e);
-                    (Der.Integer _ as s) ]) ->
-              meta := Some (n, Der.to_int_exn a, Der.to_int_exn e, Der.to_int_exn s)
-            | _ -> bad "malformed meta record")
-          | "sth" -> (
-            match Der.decode payload with
-            | Ok (Der.Sequence [ Der.Octet_string head; Der.Octet_string signature ]) -> (
-              match Tlog.decode_head head with
-              | Some h -> sth := Some { Tlog.sh_head = h; sh_sig = signature }
-              | None -> bad "malformed persisted tree head")
-            | _ -> bad "malformed sth record")
-          | "obs" -> (
-            match Tlog.decode_observation payload with
-            | Some o -> obs := o :: !obs
-            | None -> bad "malformed observation record")
-          | "peer" -> (
-            match Der.decode payload with
-            | Ok (Der.Sequence [ Der.Utf8 peer; Der.Octet_string head ]) -> (
-              match Tlog.decode_head head with
-              | Some h -> peers := (peer, h) :: !peers
-              | None -> bad "malformed peer head for %s" peer)
-            | _ -> bad "malformed peer record")
-          | "vrps" -> (
-            match Der.decode payload with
-            | Ok (Der.Sequence vs) -> vrps := Some (List.map vrp_of_der vs)
-            | _ -> bad "malformed vrps record")
-          | other -> bad "unknown record kind %S" other)
-        snap.Rpki_persist.Codec.s_records;
+        (fun (snap : Rpki_persist.Codec.snapshot) ->
+          let g = snap.Rpki_persist.Codec.s_generation in
+          let c_meta = ref None in
+          let c_sth = ref None in
+          let c_ckpt = ref None in
+          let c_peers = ref [] in
+          let c_vrps = ref None in
+          List.iter
+            (fun (r : Rpki_persist.Codec.record) ->
+              let payload = r.Rpki_persist.Codec.r_payload in
+              match r.Rpki_persist.Codec.r_kind with
+              | "meta" -> (
+                match Der.decode payload with
+                | Ok
+                    (Der.Sequence
+                      [ Der.Utf8 n; (Der.Integer _ as a); (Der.Integer _ as e);
+                        (Der.Integer _ as s) ]) ->
+                  c_meta := Some (n, Der.to_int_exn a, Der.to_int_exn e, Der.to_int_exn s)
+                | _ -> bad "malformed meta record")
+              | "sth" -> (
+                match Der.decode payload with
+                | Ok (Der.Sequence [ Der.Octet_string head; Der.Octet_string signature ]) -> (
+                  match Tlog.decode_head head with
+                  | Some h -> c_sth := Some { Tlog.sh_head = h; sh_sig = signature }
+                  | None -> bad "malformed persisted tree head")
+                | _ -> bad "malformed sth record")
+              | "ckpt" -> c_ckpt := Some (decode_checkpoint payload)
+              | "obs" -> (
+                match Tlog.decode_observation payload with
+                | Some o -> obs := o :: !obs
+                | None -> bad "malformed observation record")
+              | "peer" -> (
+                match Der.decode payload with
+                | Ok (Der.Sequence [ Der.Utf8 peer; Der.Octet_string head ]) -> (
+                  match Tlog.decode_head head with
+                  | Some h -> c_peers := (peer, h) :: !c_peers
+                  | None -> bad "malformed peer head for %s" peer)
+                | _ -> bad "malformed peer record")
+              | "vrps" -> (
+                match Der.decode payload with
+                | Ok (Der.Sequence vs) -> c_vrps := Some (List.map vrp_of_der vs)
+                | _ -> bad "malformed vrps record")
+              | other -> bad "unknown record kind %S" other)
+            snap.Rpki_persist.Codec.s_records;
+          let c_sth =
+            match !c_sth with
+            | Some s -> s
+            | None -> bad "container %d missing its signed tree head" g
+          in
+          (match (!prev_head, !c_ckpt) with
+          | None, None -> () (* the base container: no predecessor to prove *)
+          | None, Some _ -> bad "base container carries a checkpoint"
+          | Some _, None -> bad "segment %d missing its checkpoint" g
+          | Some prev, Some (ckpt_head, proof) ->
+            if not (String.equal (Tlog.encode_head ckpt_head) (Tlog.encode_head prev)) then
+              bad "segment %d checkpoint does not name the previous head" g;
+            if
+              not
+                (Tlog.verify_head_consistency ~old_head:ckpt_head
+                   ~new_head:c_sth.Tlog.sh_head proof)
+            then bad "segment %d consistency proof fails" g);
+          prev_head := Some c_sth.Tlog.sh_head;
+          sth := Some c_sth;
+          (match !c_meta with
+          | Some m -> meta := Some m
+          | None -> bad "container %d missing its meta record" g);
+          (match !c_vrps with
+          | Some v -> vrps := Some v
+          | None -> bad "container %d missing its vrps record" g);
+          peers := !c_peers)
+        containers;
       let name, _asn, epoch, rtr_serial =
         match !meta with Some m -> m | None -> bad "missing meta record"
       in
@@ -927,9 +1110,14 @@ let restore t store =
       t.peer_heads <- !peers;
       t.effective_vrps <- Vrp.normalize vrps;
       t.index <- Origin_validation.build t.effective_vrps;
+      (* the verified final head doubles as the next save's checkpoint, so
+         the first post-restore save appends instead of rewriting history *)
+      Hashtbl.replace t.persist_marks (Rpki_persist.Store.name store)
+        { pm_obs = Tlog.size log; pm_head = sth.Tlog.sh_head };
+      let newest = List.nth containers (List.length containers - 1) in
       Recovered
-        { rc_generation = snap.Rpki_persist.Codec.s_generation;
-          rc_saved_at = snap.Rpki_persist.Codec.s_saved_at;
+        { rc_generation = newest.Rpki_persist.Codec.s_generation;
+          rc_saved_at = newest.Rpki_persist.Codec.s_saved_at;
           rc_rtr_serial = rtr_serial }
     with
     | Restore_error why -> Recovered_fresh (Log_inconsistent why)

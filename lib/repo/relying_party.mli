@@ -213,13 +213,31 @@ val point_vrps : t -> uri:string -> Vrp.t list
     i.e. which prefixes a fork at that point can affect.  Empty if the point
     was never validated (or the memo was flushed). *)
 
+val rollback_last_good : t -> uri:string -> vrp_hash:string -> Vrp.t list option
+(** The honest-side rollback.  When gossip proves a fork at [uri] one or
+    more periods late, the tainted view may already be absorbed into this
+    vantage's current state; the evidence bundle's proven-honest side
+    carries the VRP-set hash of the newest state honest vantages saw.
+    This returns the VRP contribution this vantage itself validated under
+    exactly that hash (from a bounded per-point history of recent states),
+    so the caller can freeze the RTR hold at the rolled-back set instead of
+    pinning the tainted one.  [None] when this vantage never validated that
+    state — e.g. a fresh post-restart incarnation — in which case a hold
+    pinning nothing is the fail-closed answer. *)
+
 (** {2 Persistence}
 
     {!save} writes the anti-rollback baseline — transparency log, own signed
     tree head, gossip-verified peer heads, last-good VRP set, RTR serial —
-    as one generation-numbered, checksummed snapshot.  {!restore} is
-    fail-closed: a missing, corrupt, stale or internally inconsistent
-    snapshot (e.g. a rehydrated log that disagrees with its own signed head)
+    through a generation-numbered, checksummed {!Rpki_persist.Store}.  The
+    first save writes a full base snapshot; later saves seal an O(delta)
+    segment holding only the observations appended since the last persisted
+    checkpoint, under a Merkle consistency proof tying it to the previous
+    head.  {!compact_store} folds a long chain back into one base.
+    {!restore} walks base through segments, re-verifies every checkpoint
+    and the final head, and is fail-closed: a missing, corrupt, stale or
+    internally inconsistent chain (e.g. a rehydrated log that disagrees
+    with its own signed head, or a segment whose consistency proof fails)
     degrades to {!Recovered_fresh} with a typed reason.  It never crashes
     and never silently trusts a bad snapshot. *)
 
@@ -239,16 +257,31 @@ type recovery =
 
 val recovery_to_string : recovery -> string
 
-val save : t -> now:Rtime.t -> ?rtr_serial:int -> Rpki_persist.Store.t -> int
-(** Snapshot this vantage's durable state; returns the new generation.
-    [rtr_serial] (default 0) is the RTR cache serial to persist alongside. *)
+val save :
+  t -> now:Rtime.t -> ?rtr_serial:int -> ?mode:[ `Auto | `Full ] ->
+  Rpki_persist.Store.t -> int
+(** Persist this vantage's durable state; returns the new generation.
+    [rtr_serial] (default 0) is the RTR cache serial to persist alongside.
+    [`Auto] (the default) appends an O(delta) checkpointed segment when the
+    store already holds a chain this relying party has a mark for, and
+    falls back to a full base snapshot otherwise (first save, wiped store,
+    log reset).  [`Full] forces the O(history) full snapshot — the
+    pre-segmentation behavior, kept for baseline comparisons. *)
+
+val compact_store : Rpki_persist.Store.t -> now:Rtime.t -> (int, string) result
+(** Fold a relying-party store's base + segments into one full base
+    snapshot (all observations in order, newest bounded records, no
+    checkpoints).  Crash-safe: on any detected disk fault the store is left
+    segmented and loadable, and the error says why. *)
 
 val restore : t -> Rpki_persist.Store.t -> recovery
-(** Rehydrate a freshly {!create}d relying party from a snapshot.  On
-    success the transparency log (verified against its persisted signed
-    head), peer heads, effective VRP set (with a rebuilt origin-validation
-    index) and log epoch are restored; caches, memos and grace memory start
-    empty.  On failure the relying party is left untouched. *)
+(** Rehydrate a freshly {!create}d relying party from a snapshot chain.  On
+    success the transparency log (rebuilt from base + segments, each
+    segment's consistency proof re-verified, the whole verified against the
+    newest persisted signed head), peer heads, effective VRP set (with a
+    rebuilt origin-validation index) and log epoch are restored; caches,
+    memos and grace memory start empty.  On failure the relying party is
+    left untouched. *)
 
 val sync :
   t ->

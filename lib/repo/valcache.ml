@@ -70,27 +70,60 @@ let sub_stats a b =
     point_hits = a.point_hits - b.point_hits;
     point_misses = a.point_misses - b.point_misses }
 
+(* A memoized verdict, with the expiry epoch-based eviction judges it by:
+   the latest validity boundary among the publication-point outcomes whose
+   validation consulted it.  [None] until the first such outcome is stored
+   (a verdict is never evicted before its content has been tied to a
+   window). *)
+type verdict = { vd_value : bool; mutable vd_deadline : Rtime.t option }
+
+type residency = {
+  rs_verdicts : int;          (* memoized verdicts currently resident *)
+  rs_outcomes : int;          (* publication-point outcomes currently resident *)
+  rs_verdicts_evicted : int;  (* cumulative verdicts dropped by [evict] *)
+  rs_outcomes_evicted : int;  (* cumulative outcomes dropped by [evict] *)
+}
+
 type t = {
-  verdicts : (string, bool) Hashtbl.t;
+  verdicts : (string, verdict) Hashtbl.t;
   points : (string, outcome) Hashtbl.t;
   mutable digest : string;       (* the current tick's universe digest *)
   mutable totals : stats;        (* cumulative since creation *)
   mutable tick_base : stats;     (* totals at the last [begin_tick] *)
+  pending : (string, unit) Hashtbl.t;
+                                 (* verdict keys consulted since the last
+                                    [store_point] — they inherit that
+                                    outcome's expiry deadline *)
+  mutable verdicts_evicted : int;
+  mutable outcomes_evicted : int;
 }
 
 let create () =
   { verdicts = Hashtbl.create 256; points = Hashtbl.create 64;
-    digest = ""; totals = empty_stats; tick_base = empty_stats }
+    digest = ""; totals = empty_stats; tick_base = empty_stats;
+    pending = Hashtbl.create 32; verdicts_evicted = 0; outcomes_evicted = 0 }
 
+(* The operator's wipe: drop everything, statistics included.  Distinct
+   from {!evict}, which drops only window-expired entries and keeps the
+   counters — so a wipe can never masquerade as eviction in a bench. *)
 let clear t =
   Hashtbl.reset t.verdicts;
   Hashtbl.reset t.points;
   t.digest <- "";
   t.totals <- empty_stats;
-  t.tick_base <- empty_stats
+  t.tick_base <- empty_stats;
+  Hashtbl.reset t.pending;
+  t.verdicts_evicted <- 0;
+  t.outcomes_evicted <- 0
 
 let stats t = t.totals
 let tick_stats t = sub_stats t.totals t.tick_base
+
+let residency t =
+  { rs_verdicts = Hashtbl.length t.verdicts;
+    rs_outcomes = Hashtbl.length t.points;
+    rs_verdicts_evicted = t.verdicts_evicted;
+    rs_outcomes_evicted = t.outcomes_evicted }
 
 (* --- the RSA verdict layer --- *)
 
@@ -105,14 +138,15 @@ let verdict_key ~key ~signature msg =
 
 let verify t ~key ~signature msg =
   let k = verdict_key ~key ~signature msg in
+  Hashtbl.replace t.pending k ();
   match Hashtbl.find_opt t.verdicts k with
   | Some v ->
     t.totals <- add_stats t.totals { empty_stats with sig_saved = 1 };
-    v
+    v.vd_value
   | None ->
     t.totals <- add_stats t.totals { empty_stats with sig_checked = 1 };
     let v = Rpki_crypto.Rsa.verify ~key ~signature msg in
-    Hashtbl.replace t.verdicts k v;
+    Hashtbl.replace t.verdicts k { vd_value = v; vd_deadline = None };
     v
 
 (* --- the publication-point outcome layer --- *)
@@ -130,8 +164,64 @@ let find_point t ~parent_fp ~snap_fp ~now =
     t.totals <- add_stats t.totals { empty_stats with point_misses = 1 };
     None
 
+let rtime_max a b = if Rtime.compare a b >= 0 then a else b
+
 let store_point t o =
-  Hashtbl.replace t.points (point_key ~parent_fp:o.o_parent_fp ~snap_fp:o.o_snap_fp) o
+  Hashtbl.replace t.points (point_key ~parent_fp:o.o_parent_fp ~snap_fp:o.o_snap_fp) o;
+  (* the verdicts consulted on the way to this outcome expire with its last
+     validity boundary: once every window the validation compared against
+     has passed, neither the outcome nor its signatures can serve a future
+     lookup profitably *)
+  (match o.o_boundaries with
+  | [] -> ()
+  | b :: bs ->
+    let deadline = List.fold_left rtime_max b bs in
+    Hashtbl.iter
+      (fun k () ->
+        match Hashtbl.find_opt t.verdicts k with
+        | None -> ()
+        | Some v ->
+          v.vd_deadline <-
+            Some
+              (match v.vd_deadline with
+              | None -> deadline
+              | Some d -> rtime_max d deadline))
+      t.pending);
+  Hashtbl.reset t.pending
+
+(* --- epoch-based eviction ------------------------------------------------
+
+   The cache is a pure memo, so dropping entries can never change results —
+   only re-run crypto.  [evict ~now] drops exactly the entries whose every
+   consulted validity boundary lies strictly in the past: an outcome all of
+   whose windows have closed, and a verdict whose inherited deadline (the
+   latest boundary of the outcomes that consulted it) has passed.  Entries
+   for live content are untouched, so residency tracks the distinct live
+   content in the universe instead of growing with history. *)
+
+let all_passed boundaries ~now =
+  boundaries <> [] && List.for_all (fun b -> Rtime.compare b now < 0) boundaries
+
+let evict t ~now =
+  let dead_points =
+    Hashtbl.fold
+      (fun k o acc -> if all_passed o.o_boundaries ~now then k :: acc else acc)
+      t.points []
+  in
+  List.iter (Hashtbl.remove t.points) dead_points;
+  t.outcomes_evicted <- t.outcomes_evicted + List.length dead_points;
+  let dead_verdicts =
+    Hashtbl.fold
+      (fun k v acc ->
+        match v.vd_deadline with
+        | Some d when Rtime.compare d now < 0 -> k :: acc
+        | _ -> acc)
+      t.verdicts []
+  in
+  List.iter (Hashtbl.remove t.verdicts) dead_verdicts;
+  t.verdicts_evicted <- t.verdicts_evicted + List.length dead_verdicts
+
+let end_tick t ~now = evict t ~now
 
 (* --- the batch scheduler's tick boundary --- *)
 

@@ -22,7 +22,10 @@ type t
 val create : unit -> t
 
 val clear : t -> unit
-(** Drop every memoized verdict and outcome, and reset the statistics. *)
+(** The operator's wipe: drop every memoized verdict and outcome and reset
+    all statistics, eviction counters included.  Distinct from {!evict} —
+    a wipe zeroes the counters, so it can never masquerade as eviction in a
+    bench. *)
 
 (** {2 Publication-point outcomes} *)
 
@@ -79,6 +82,31 @@ val begin_tick : t -> digest:string -> unit
 
 val digest : t -> string
 (** The digest recorded by the last {!begin_tick} ([""] before the first). *)
+
+(** {2 Epoch-based eviction} *)
+
+val evict : t -> now:Rtime.t -> unit
+(** Drop exactly the entries whose every consulted validity boundary lies
+    strictly before [now]: publication-point outcomes all of whose windows
+    have closed, and RSA verdicts whose inherited deadline (the latest
+    boundary among the outcomes whose validation consulted them) has
+    passed.  Pure memo, so eviction can never change results — only re-run
+    crypto; entries for live content are untouched. *)
+
+val end_tick : t -> now:Rtime.t -> unit
+(** The tick-boundary hook the simulation loop calls after a tick's
+    validations finish: currently {!evict}[ ~now]. *)
+
+type residency = {
+  rs_verdicts : int;          (** memoized verdicts currently resident *)
+  rs_outcomes : int;          (** point outcomes currently resident *)
+  rs_verdicts_evicted : int;  (** cumulative verdicts dropped by {!evict} *)
+  rs_outcomes_evicted : int;  (** cumulative outcomes dropped by {!evict} *)
+}
+
+val residency : t -> residency
+(** Current table sizes and cumulative eviction counts — the flat-memory
+    evidence the soak bench records. *)
 
 (** {2 Statistics} *)
 

@@ -62,6 +62,18 @@ type t = {
                                      per-vantage validation (results are
                                      identical either way — only the crypto
                                      cost differs) *)
+  mutable valcache_evict : bool;  (* run Valcache.end_tick at every tick end,
+                                     dropping window-expired entries — flat
+                                     residency under churn.  Pure memo: results
+                                     are identical with it off *)
+  mutable compact_every : int;    (* fold every persistence chain back into its
+                                     base every this many ticks; 0 = never *)
+  mutable save_full : bool;       (* force O(history) full snapshots instead of
+                                     O(delta) segments — the pre-segmentation
+                                     baseline the soak bench compares against *)
+  mutable keep_history : bool;    (* accumulate tick records in [history];
+                                     long soaks turn this off so the run's
+                                     memory stays flat *)
 }
 
 and tick_record = {
@@ -112,7 +124,8 @@ let create ~universe ~topo ~policy ~rp ~announcements ~probes =
       per_hop_latency = 1; net = None; history = []; vantages = []; gossip = None;
       gossip_period = 1; disk = None; stores = []; dead = []; epochs = [];
       recoveries = []; point_good = []; held_uris = [];
-      valcache = Some (Valcache.create ()) }
+      valcache = Some (Valcache.create ()); valcache_evict = true;
+      compact_every = 0; save_full = false; keep_history = true }
   in
   Transport.set_latency_of t.transport (point_latency t);
   t
@@ -199,18 +212,24 @@ module Config = struct
     fetch_policy : Relying_party.fetch_policy;
     per_hop_latency : int;
     valcache : bool;
+    valcache_evict : bool;
     rtr_domains : int;
     primary_endpoint : Pub_point.t option;
     vantages : vantage_spec list;
     gossip_period : int option;
     gossip_timeout : int option;
     persistence : Rpki_persist.Disk.t option;
+    compact_every : int;
+    save_full : bool;
+    keep_history : bool;
   }
 
   let default =
     { fetch_policy = Relying_party.default_policy; per_hop_latency = 1;
-      valcache = true; rtr_domains = 1; primary_endpoint = None; vantages = [];
-      gossip_period = None; gossip_timeout = None; persistence = None }
+      valcache = true; valcache_evict = true; rtr_domains = 1;
+      primary_endpoint = None; vantages = [];
+      gossip_period = None; gossip_timeout = None; persistence = None;
+      compact_every = 0; save_full = false; keep_history = true }
 end
 
 (* Apply the knobs in dependency order: scalars first, then vantage
@@ -220,6 +239,10 @@ let configure t (c : Config.t) =
   set_fetch_policy t c.Config.fetch_policy;
   set_per_hop_latency t c.Config.per_hop_latency;
   set_valcache t c.Config.valcache;
+  t.valcache_evict <- c.Config.valcache_evict;
+  t.compact_every <- max 0 c.Config.compact_every;
+  t.save_full <- c.Config.save_full;
+  t.keep_history <- c.Config.keep_history;
   t.rtr_domains <- max 1 c.Config.rtr_domains;
   Option.iter (fun endpoint -> primary_vantage t ~endpoint) c.Config.primary_endpoint;
   List.iter
@@ -477,11 +500,44 @@ let step t ~now =
           else None)
         t.vantages
     in
+    (* the proven-honest side of an evidence bundle: for a fork involving
+       the primary, the attested record from the *other* vantage; for a
+       served rollback, the state recorded earlier under the higher
+       manifest number.  A fork between two non-primary monitors proves
+       nothing about the primary's own state, so it installs a plain hold. *)
+    let primary_name = Relying_party.name t.rp in
+    let honest_side = function
+      | Gossip.Fork { left; right; _ } ->
+        if String.equal left.Gossip.att_vantage primary_name then Some right
+        else if String.equal right.Gossip.att_vantage primary_name then Some left
+        else None
+      | Gossip.Rollback { rb_earlier; _ } -> Some rb_earlier
+      | _ -> None
+    in
     List.iter
       (fun alarm ->
         match alarm with
         | Gossip.Fork { fork_uri = uri; _ } | Gossip.Rollback { rb_uri = uri; _ } ->
-          if Gossip.verify_fork ~key_of alarm then install_hold t ~uri
+          if Gossip.verify_fork ~key_of alarm then begin
+            (* When gossip proves the fork late (period > 1), the tainted
+               view has already been absorbed into [point_good] by earlier
+               ticks.  Roll last-good back to the newest state this vantage
+               itself validated under the proven-honest side's VRP-set
+               hash, so the hold freezes at honest data instead of pinning
+               the tainted view.  No match (restarted vantage, state never
+               seen) leaves last-good alone — the pre-existing fail-safe. *)
+            (match honest_side alarm with
+            | None -> ()
+            | Some side ->
+              let vrp_hash =
+                side.Gossip.att_obs.Rpki_transparency.Log.ob_vrp_hash
+              in
+              (match Relying_party.rollback_last_good t.rp ~uri ~vrp_hash with
+              | Some vrps ->
+                t.point_good <- (uri, vrps) :: List.remove_assoc uri t.point_good
+              | None -> ()));
+            install_hold t ~uri
+          end
         | Gossip.Inconsistent_heads _ | Gossip.Bad_head_signature _
         | Gossip.Bad_inclusion _ | Gossip.Log_reset _ -> ())
       rep.Gossip.r_alarms);
@@ -502,20 +558,29 @@ let step t ~now =
   (* durable state is snapshotted after gossip, so the peer heads verified
      this round are part of the baseline a restart gets back *)
   if persistence_enabled t then begin
+    let mode = if t.save_full then `Full else `Auto in
     if primary_alive then
       Option.iter
         (fun store ->
           ignore
-            (Relying_party.save t.rp ~now
+            (Relying_party.save t.rp ~now ~mode
                ~rtr_serial:(Rpki_rtr.Session.cache_serial (rtr_cache t)) store))
         (store_for t (Relying_party.name t.rp));
     List.iter
       (fun (v : Gossip.vantage) ->
         if (not (v.Gossip.v_rp == t.rp)) && not (is_dead t v.Gossip.v_name) then
           Option.iter
-            (fun store -> ignore (Relying_party.save v.Gossip.v_rp ~now store))
+            (fun store -> ignore (Relying_party.save v.Gossip.v_rp ~now ~mode store))
             (store_for t v.Gossip.v_name))
-      t.vantages
+      t.vantages;
+    (* scheduled compaction: fold each chain back into its base.  A
+       detected disk fault leaves the store segmented and loadable, so the
+       result is deliberately ignored here — restore still works either
+       way, and benches read the fault trail off the disk itself *)
+    if t.compact_every > 0 && now mod t.compact_every = 0 then
+      List.iter
+        (fun (_, store) -> ignore (Relying_party.compact_store store ~now))
+        t.stores
   end;
   (* one batched notify per tick: the sync's publish and every hold taken
      this tick (local regressions and gossip-verified evidence) coalesce
@@ -550,7 +615,12 @@ let step t ~now =
       sig_checks;
       sig_saved }
   in
-  t.history <- record :: t.history;
+  (* epoch-based eviction at the tick boundary: entries whose every
+     consulted validity window has closed can never serve another hit *)
+  (match t.valcache with
+  | Some vc when t.valcache_evict -> Valcache.end_tick vc ~now
+  | _ -> ());
+  if t.keep_history then t.history <- record :: t.history;
   record
 
 let history t = List.rev t.history
@@ -730,9 +800,9 @@ let monitor_spec i =
 
 let split_view_scenario ?(policy = Policy.Drop_invalid) ?(grace = 4) ?(monitors = 2)
     ?(gossip_period = 1) ?(fetch_policy = Relying_party.resilient_policy)
-    ?refresh_interval ?(valcache = true) () =
+    ?validity ?refresh_interval ?(valcache = true) () =
   if monitors < 0 then invalid_arg "Loop.split_view_scenario: negative monitors";
-  let model = Model.build ?refresh_interval () in
+  let model = Model.build ?validity ?refresh_interval () in
   let _ = Model.add_fig5_right_roa model ~now:Rtime.epoch in
   let s = Topo_gen.small_scenario () in
   let topo = s.Topo_gen.small_topo in
@@ -802,3 +872,96 @@ let restart_scenario ?(persist = true) ?(grace = 4) ?(monitors = 2)
     Model.relying_party ~name:"victim-rp" ~asn ~grace ~log_epoch sv.sv_model
   in
   { rr_sv = sv; rr_disk = disk; rr_respawn = respawn }
+
+(* --- the canned long-run soak scenario ----------------------------------
+
+   Endurance, not detection: run the split-view setting for thousands of
+   ticks under configurable churn, with persistence on, and measure the
+   three growth curves the refactor is supposed to flatten — disk bytes per
+   save (O(delta) segments vs O(history) full snapshots), Valcache
+   residency (epoch eviction vs monotone growth) and Gc live words. *)
+
+type soak_config = {
+  sk_ticks : int;
+  sk_churn_every : int;      (* maintain ARIN's subtree every n ticks; 0 = no churn *)
+  sk_compact_every : int;    (* fold persistence chains every n ticks; 0 = never *)
+  sk_evict : bool;           (* epoch-based Valcache eviction at tick end *)
+  sk_full_snapshots : bool;  (* force O(history) full saves (the baseline) *)
+  sk_valcache : bool;
+  sk_monitors : int;
+  sk_gossip_period : int;
+  sk_sample_every : int;     (* record a sample every n ticks (and at the end) *)
+  sk_validity : int option;  (* issuance validity window, in ticks *)
+  sk_refresh_interval : int option;
+}
+
+let default_soak =
+  { sk_ticks = 2000; sk_churn_every = 0; sk_compact_every = 64; sk_evict = true;
+    sk_full_snapshots = false; sk_valcache = true; sk_monitors = 1;
+    sk_gossip_period = 16; sk_sample_every = 100; sk_validity = None;
+    sk_refresh_interval = None }
+
+type soak_sample = {
+  so_tick : int;
+  so_live_words : int;       (* Gc.stat live words after a major collection *)
+  so_snapshot_bytes : int;   (* the primary store's base snapshot size *)
+  so_chain_bytes : int;      (* base + segments: what a restore must read *)
+  so_segments : int;         (* sealed segments beyond the base *)
+  so_save_bytes : int;       (* disk bytes written since the previous sample *)
+  so_log_size : int;         (* primary transparency-log leaves *)
+  so_residency : Valcache.residency option;
+}
+
+type soak_report = {
+  so_config : soak_config;
+  so_samples : soak_sample list;  (* oldest first; the last is the final state *)
+  so_saves : int;                 (* saves executed across all vantages *)
+  so_total_save_bytes : int;      (* cumulative disk bytes written *)
+  so_bytes_per_save : float;
+}
+
+let run_soak ?(config = default_soak) () =
+  let c = config in
+  if c.sk_ticks < 1 then invalid_arg "Loop.run_soak: ticks must be positive";
+  let sv =
+    split_view_scenario ~monitors:c.sk_monitors ~gossip_period:c.sk_gossip_period
+      ?validity:c.sk_validity ?refresh_interval:c.sk_refresh_interval
+      ~valcache:c.sk_valcache ()
+  in
+  let t = sv.sv_sim in
+  let disk = Rpki_persist.Disk.create () in
+  enable_persistence t disk;
+  t.valcache_evict <- c.sk_evict;
+  t.compact_every <- c.sk_compact_every;
+  t.save_full <- c.sk_full_snapshots;
+  t.keep_history <- false;
+  let primary_store = vantage_store t ~name:(Relying_party.name t.rp) in
+  let vantage_count = 1 + c.sk_monitors in
+  let samples = ref [] in
+  let last_written = ref 0 in
+  let sample ~tick =
+    Gc.full_major ();
+    let written = Rpki_persist.Disk.bytes_written disk in
+    samples :=
+      { so_tick = tick;
+        so_live_words = (Gc.stat ()).Gc.live_words;
+        so_snapshot_bytes = Rpki_persist.Store.snapshot_bytes primary_store;
+        so_chain_bytes = Rpki_persist.Store.chain_bytes primary_store;
+        so_segments = Rpki_persist.Store.segment_count primary_store;
+        so_save_bytes = written - !last_written;
+        so_log_size = Rpki_transparency.Log.size (Relying_party.transparency_log t.rp);
+        so_residency = Option.map Valcache.residency t.valcache }
+      :: !samples;
+    last_written := written
+  in
+  for now = 1 to c.sk_ticks do
+    if c.sk_churn_every > 0 && now mod c.sk_churn_every = 0 then
+      Authority.maintain sv.sv_model.Model.arin ~now;
+    ignore (step t ~now);
+    if now mod c.sk_sample_every = 0 || now = c.sk_ticks then sample ~tick:now
+  done;
+  let saves = c.sk_ticks * vantage_count in
+  let total = Rpki_persist.Disk.bytes_written disk in
+  { so_config = c; so_samples = List.rev !samples; so_saves = saves;
+    so_total_save_bytes = total;
+    so_bytes_per_save = float_of_int total /. float_of_int (max 1 saves) }

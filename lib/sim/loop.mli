@@ -55,6 +55,19 @@ type t = {
       (** the shared validation plane all vantages sync through (on by
           default); [None] = independent per-vantage validation.  Results
           are identical either way — only crypto cost differs. *)
+  mutable valcache_evict : bool;
+      (** run {!Valcache.end_tick} at every tick end (on by default),
+          dropping window-expired entries so residency stays flat under
+          churn.  Pure memo — results are identical with it off. *)
+  mutable compact_every : int;
+      (** fold every persistence chain into its base snapshot every this
+          many ticks ({!Relying_party.compact_store}); 0 (default) = never *)
+  mutable save_full : bool;
+      (** force O(history) full snapshots instead of O(delta) segments —
+          the pre-segmentation baseline the soak bench compares against *)
+  mutable keep_history : bool;
+      (** accumulate tick records in [history] (on by default); long soaks
+          turn this off so the run's memory stays flat *)
 }
 
 and tick_record = {
@@ -117,6 +130,8 @@ module Config : sig
         (** default {!Relying_party.default_policy} *)
     per_hop_latency : int;   (** transport ticks per forwarding hop; default 1 *)
     valcache : bool;         (** shared validation plane; default [true] *)
+    valcache_evict : bool;   (** epoch-based eviction at tick end; default
+                                 [true].  Pure memo — results identical off *)
     rtr_domains : int;       (** Domains for the RTR flush fan-out; default 1 *)
     primary_endpoint : Pub_point.t option;
         (** register the loop's own RP as a gossip vantage at this endpoint *)
@@ -127,6 +142,11 @@ module Config : sig
     gossip_timeout : int option;   (** per-pull cap, see {!Gossip.create} *)
     persistence : Rpki_persist.Disk.t option;
         (** [Some disk] snapshots every live vantage each tick *)
+    compact_every : int;     (** fold persistence chains every this many
+                                 ticks; 0 (default) = never *)
+    save_full : bool;        (** force O(history) full snapshots; default
+                                 [false] (O(delta) segmented saves) *)
+    keep_history : bool;     (** accumulate tick records; default [true] *)
   }
 
   val default : t
@@ -356,6 +376,7 @@ val split_view_scenario :
   ?monitors:int ->
   ?gossip_period:int ->
   ?fetch_policy:Relying_party.fetch_policy ->
+  ?validity:int ->
   ?refresh_interval:int ->
   ?valcache:bool ->
   unit ->
@@ -407,3 +428,59 @@ val restart_scenario :
     vantage; with [persist = false] the rig measures the fresh-start
     oracle — the victim restarts with no baseline and a served rollback
     goes undetected. *)
+
+(** {2 The canned long-run soak scenario}
+
+    Endurance, not detection: run the split-view setting for thousands of
+    ticks under configurable churn, with persistence on, and measure the
+    growth curves the endurance refactor flattens — disk bytes per save
+    (O(delta) segments vs O(history) full snapshots), Valcache residency
+    (epoch eviction vs monotone growth) and Gc live words. *)
+
+type soak_config = {
+  sk_ticks : int;            (** simulation length, in ticks *)
+  sk_churn_every : int;      (** re-issue ARIN's subtree every n ticks
+                                 ({!Rpki_repo.Authority.maintain});
+                                 0 = no churn *)
+  sk_compact_every : int;    (** fold persistence chains every n ticks;
+                                 0 = never *)
+  sk_evict : bool;           (** epoch-based Valcache eviction at tick end *)
+  sk_full_snapshots : bool;  (** force O(history) full saves (the baseline) *)
+  sk_valcache : bool;        (** shared validation plane on *)
+  sk_monitors : int;         (** monitor vantages alongside the primary *)
+  sk_gossip_period : int;
+  sk_sample_every : int;     (** record a sample every n ticks (and at the
+                                 last tick regardless) *)
+  sk_validity : int option;  (** issuance validity window, in ticks — short
+                                 windows are what make entries evictable *)
+  sk_refresh_interval : int option;
+}
+
+val default_soak : soak_config
+(** 2000 ticks, no churn, compaction every 64 ticks, eviction on, segmented
+    saves, 1 monitor, gossip every 16 ticks, a sample every 100 ticks. *)
+
+type soak_sample = {
+  so_tick : int;
+  so_live_words : int;       (** [Gc.stat].live_words after [Gc.full_major] *)
+  so_snapshot_bytes : int;   (** the primary store's base snapshot size *)
+  so_chain_bytes : int;      (** base + segments: what a restore must read *)
+  so_segments : int;         (** sealed segments beyond the base *)
+  so_save_bytes : int;       (** disk bytes written since the previous sample *)
+  so_log_size : int;         (** primary transparency-log leaves *)
+  so_residency : Valcache.residency option;
+}
+
+type soak_report = {
+  so_config : soak_config;
+  so_samples : soak_sample list;  (** oldest first; last = final state *)
+  so_saves : int;                 (** saves executed across all vantages *)
+  so_total_save_bytes : int;      (** cumulative disk bytes written *)
+  so_bytes_per_save : float;
+}
+
+val run_soak : ?config:soak_config -> unit -> soak_report
+(** Build a {!split_view_scenario} with persistence on a fresh simulated
+    disk, apply the config's endurance knobs ([keep_history] off so the
+    run itself stays flat), drive [sk_ticks] ticks with the configured
+    churn, and sample the growth curves. *)

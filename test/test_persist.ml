@@ -210,6 +210,82 @@ let test_rp_corrupt_snapshot_explicit () =
     Disk.write disk ~name:"persist-rp.snap" bytes
   done
 
+(* --- segmented persistence vs the uncompacted reference ----------------
+
+   The endurance refactor's soundness property: under ARBITRARY
+   interleavings of churn, incremental (segment) saves, compaction —
+   sometimes under a one-shot disk fault — and mid-run crash/restores, a
+   relying party restored from the segment chain is indistinguishable from
+   one restored from an uncompacted full-snapshot store fed the same
+   states: same transparency-log head, same VRP set, same peer heads. *)
+
+let drain_armed_fault disk =
+  (* a fault armed for a compaction that never wrote must not leak into the
+     next save: fire it against scratch bytes instead *)
+  (match Disk.armed disk with
+  | None -> ()
+  | Some (Disk.Torn_write | Disk.Partial_flush | Disk.Bit_flip _) ->
+    Disk.write disk ~name:".scratch" "xx"
+  | Some Disk.Drop_rename ->
+    Disk.write disk ~name:".scratch" "xx";
+    Disk.rename disk ~src:".scratch" ~dst:".scratch");
+  Disk.delete disk ~name:".scratch"
+
+let prop_segmented_matches_uncompacted seed =
+  let rng = Rpki_util.Rng.create (seed * 13 + 5) in
+  let m = Model.build () in
+  let rp = ref (Model.relying_party ~name:"seg-rp" m) in
+  let tals = [ Relying_party.tal_of_authority m.Model.arin ] in
+  let seg_disk = Disk.create () and full_disk = Disk.create () in
+  let seg = Store.create seg_disk ~name:"seg-rp" in
+  let full = Store.create full_disk ~name:"seg-rp" in
+  let faults =
+    [| Disk.Torn_write; Disk.Partial_flush; Disk.Bit_flip (seed * 31); Disk.Drop_rename |]
+  in
+  let restore_or_fail store =
+    let fresh =
+      Relying_party.create ~name:"seg-rp" ~asn:(Relying_party.asn !rp) ~tals
+        ~log_epoch:1 ()
+    in
+    match Relying_party.restore fresh store with
+    | Relying_party.Recovered _ -> fresh
+    | Relying_party.Recovered_fresh why ->
+      QCheck.Test.fail_reportf "seed %d: restore degraded: %s" seed
+        (Relying_party.fresh_reason_to_string why)
+  in
+  let rounds = 4 + Rpki_util.Rng.int rng 3 in
+  for now = 1 to rounds do
+    if Rpki_util.Rng.int rng 3 = 0 then Authority.maintain m.Model.arin ~now;
+    ignore (Relying_party.sync !rp ~now ~universe:m.Model.universe ());
+    ignore (Relying_party.save !rp ~now ~mode:`Auto seg);
+    ignore (Relying_party.save !rp ~now ~mode:`Full full);
+    match Rpki_util.Rng.int rng 4 with
+    | 0 ->
+      (* fold the chain, half the time under a one-shot fault: compaction
+         must either complete or leave the old chain untouched *)
+      if Rpki_util.Rng.int rng 2 = 0 then
+        Disk.inject seg_disk faults.(Rpki_util.Rng.int rng 4);
+      ignore (Relying_party.compact_store seg ~now);
+      drain_armed_fault seg_disk
+    | 1 ->
+      (* crash and restart: continue from what the segment chain restores *)
+      rp := restore_or_fail seg
+    | _ -> ()
+  done;
+  let a = restore_or_fail seg in
+  let b = restore_or_fail full in
+  let root r =
+    Rpki_transparency.Log.encode_head
+      (Rpki_transparency.Log.head (Relying_party.transparency_log r) ~at:0)
+  in
+  if not (String.equal (root a) (root b)) then
+    QCheck.Test.fail_reportf "seed %d: log heads diverge" seed;
+  if Relying_party.vrps a <> Relying_party.vrps b then
+    QCheck.Test.fail_reportf "seed %d: VRP sets diverge" seed;
+  if Relying_party.peer_heads a <> Relying_party.peer_heads b then
+    QCheck.Test.fail_reportf "seed %d: peer heads diverge" seed;
+  true
+
 let prop c n p = QCheck_alcotest.to_alcotest (QCheck.Test.make ~count:c ~name:n seed_gen p)
 
 let () =
@@ -222,6 +298,9 @@ let () =
       ("store",
        [ Alcotest.test_case "save/load/wipe round-trip" `Quick test_store_roundtrip;
          Alcotest.test_case "fault envelope degrades explicitly" `Quick test_fault_envelope ]);
+      ("segment-chain",
+       [ prop 8 "segmented+compacted store matches the uncompacted reference"
+           prop_segmented_matches_uncompacted ]);
       ("relying-party",
        [ Alcotest.test_case "save/restore is bit-identical" `Quick
            test_rp_save_restore_bit_identical;

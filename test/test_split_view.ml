@@ -209,6 +209,60 @@ let test_gossip_period_trades_latency () =
           (tk >= 3 && tk <= 3 + period))
     [ 1; 2; 3 ]
 
+(* The late-fork regression: with gossip_period > 1 the victim syncs the
+   tainted view on an off-round tick, so last-good absorbs it *before* the
+   fork is proven.  The honest-side rollback must then walk the victim's
+   own point history back to the newest state matching the proven-honest
+   side's VRP-set hash — so both last-good and the RTR hold freeze at
+   honest data, not at the absorbed tainted view. *)
+let test_late_fork_rolls_back_last_good () =
+  let sv = Loop.split_view_scenario ~monitors:2 ~grace:6 ~gossip_period:2 () in
+  let t = sv.Loop.sv_sim in
+  let uri = Pub_point.uri (Authority.pub sv.Loop.sv_model.Model.continental) in
+  let target =
+    Rpki_core.Vrp.make ~max_len:20 (Rpki_ip.V4.p "63.174.16.0/20") 17054
+  in
+  let has_target l =
+    List.exists (fun v -> Rpki_core.Vrp.compare v target = 0) l
+  in
+  ignore (Loop.step t ~now:1);
+  ignore (Loop.step t ~now:2);
+  let honest = List.assoc uri t.Loop.point_good in
+  Alcotest.(check bool) "honest last-good carries the target VRP" true
+    (has_target honest);
+  let atk =
+    Split_view.plan ~authority:sv.Loop.sv_model.Model.continental
+      ~target_filename:sv.Loop.sv_target_filename ()
+  in
+  Split_view.apply atk (Loop.transport t);
+  (* t3 is an off-round tick (period 2): the tainted view is validated and
+     absorbed into last-good with no gossip to contradict it *)
+  ignore (Loop.step t ~now:3);
+  Alcotest.(check bool) "no alarm on the off-round tick" true
+    (Loop.first_fork_tick t = None);
+  Alcotest.(check bool) "tainted view absorbed into last-good" false
+    (has_target (List.assoc uri t.Loop.point_good));
+  (* t4: the gossip round proves the fork one period late *)
+  ignore (Loop.step t ~now:4);
+  Alcotest.(check (option int)) "fork proven on the next round" (Some 4)
+    (Loop.first_fork_tick t);
+  (* last-good rolled back to the newest proven-honest state — byte-equal
+     to what the victim itself validated before the fork *)
+  let rolled = List.assoc uri t.Loop.point_good in
+  Alcotest.(check int) "rolled last-good is the honest state"
+    0
+    (compare (List.map Rpki_core.Vrp.to_string honest)
+       (List.map Rpki_core.Vrp.to_string rolled));
+  (* and the hold pinned honest data: the suppressed VRP stays
+     router-visible through the end of the run *)
+  for now = 5 to 8 do
+    ignore (Loop.step t ~now)
+  done;
+  let final = List.nth (Loop.history t) (List.length (Loop.history t) - 1) in
+  Alcotest.(check bool) "hold active" true (final.Loop.rtr_holds > 0);
+  Alcotest.(check bool) "suppressed VRP pinned at the honest state" true
+    (has_target (Rpki_rtr.Session.cache_vrps (Loop.rtr_cache t)))
+
 let () =
   Alcotest.run "split-view"
     [ ("detection",
@@ -221,7 +275,9 @@ let () =
          Alcotest.test_case "lifting the fork heals without residual alarms" `Quick
            test_lift_heals;
          Alcotest.test_case "gossip period trades detection latency" `Quick
-           test_gossip_period_trades_latency ]);
+           test_gossip_period_trades_latency;
+         Alcotest.test_case "a late-proven fork rolls last-good back to honest state"
+           `Quick test_late_fork_rolls_back_last_good ]);
       ("false-positives",
        [ Alcotest.test_case "faulty-but-consistent transports never alarm" `Quick
            test_no_false_positives_under_faulty_transport ]) ]
