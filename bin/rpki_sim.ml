@@ -9,7 +9,8 @@
      sim      — run the Section 6 closed-loop timeline
      grid     — print the Figure 5 validity grid
      transparency — run the split-view attack under gossiping vantages
-     soak     — long-run endurance: segmented persistence and eviction curves *)
+     soak     — long-run endurance: segmented persistence and eviction curves
+     scale    — split-view detection on a generated internet-scale world *)
 
 open Cmdliner
 open Rpki_core
@@ -563,6 +564,87 @@ let soak_cmd =
              eviction and memory growth curves over thousands of ticks")
     Term.(const run $ ticks $ churn $ no_compact $ no_evict $ full_snapshots)
 
+(* --- scale: generated worlds --- *)
+
+let scale_cmd =
+  let ases =
+    Arg.(value & opt int 1000
+         & info [ "ases" ] ~doc:"Number of ASes in the generated topology.")
+  in
+  let seed =
+    Arg.(value & opt int 11 & info [ "seed" ] ~doc:"Generator seed.")
+  in
+  let monitors =
+    Arg.(value & opt int 3
+         & info [ "monitors" ] ~doc:"Monitor vantages gossiping with the victim RP.")
+  in
+  let placement =
+    Arg.(value & opt string "degree"
+         & info [ "placement" ]
+             ~doc:"Vantage placement policy: degree, role, random or random:SEED.")
+  in
+  let ticks =
+    Arg.(value & opt int 10 & info [ "ticks" ] ~doc:"Simulation length in ticks.")
+  in
+  let attack_at =
+    Arg.(value & opt int 3
+         & info [ "attack-at" ]
+             ~doc:"Tick at which the split-view fork is applied (0 = no attack).")
+  in
+  let run ases seed monitors placement ticks attack_at =
+    if ases < 8 then failwith "scale: --ases must be >= 8";
+    if ticks < 1 then failwith "scale: --ticks must be >= 1";
+    let module World = Rpki_world.Synthesis in
+    let module Placement = Rpki_world.Placement in
+    let module Loop = Rpki_sim.Loop in
+    let placement =
+      match Placement.policy_of_string placement with
+      | Some p -> p
+      | None -> failwith (Printf.sprintf "scale: unknown placement %S" placement)
+    in
+    let spec =
+      { World.default_spec with
+        World.graph =
+          { Rpki_bgp.As_graph.default_spec with Rpki_bgp.As_graph.ases; seed } }
+    in
+    let rig = Loop.world_scenario ~monitors ~placement ~world:spec () in
+    print_endline (World.summary rig.Loop.wr_world);
+    Printf.printf "monitors (%s): %s\n\n"
+      (Placement.policy_to_string placement)
+      (String.concat ", " rig.Loop.wr_monitors);
+    let sim = rig.Loop.wr_sim in
+    let atk =
+      Rpki_attack.Split_view.plan ~authority:rig.Loop.wr_target_authority
+        ~target_filename:rig.Loop.wr_target_filename ()
+    in
+    for now = 1 to ticks do
+      if now = attack_at then begin
+        Printf.printf "t%d: forking the victim CA's view (split-view attack)\n" now;
+        Rpki_attack.Split_view.apply atk (Loop.transport sim)
+      end;
+      let r = Loop.step sim ~now in
+      Printf.printf "t%-3d vrps %-5d probe %s%s\n" now r.Loop.vrp_count
+        (String.concat ","
+           (List.map (fun (n, ok) -> Printf.sprintf "%s:%b" n ok) r.Loop.probe_results))
+        (match r.Loop.gossip_report with
+        | Some rep when rep.Gossip.r_alarms <> [] ->
+          "  FORK: "
+          ^ String.concat "; " (List.map Gossip.describe_alarm rep.Gossip.r_alarms)
+        | _ -> "")
+    done;
+    match (attack_at > 0 && attack_at <= ticks, Loop.first_fork_tick sim) with
+    | false, _ -> ()
+    | true, Some tk ->
+      Printf.printf "\nfork detected at t%d (latency %d ticks after the attack)\n" tk
+        (tk - attack_at)
+    | true, None -> Printf.printf "\nfork NOT detected within %d ticks\n" ticks
+  in
+  Cmd.v
+    (Cmd.info "scale"
+       ~doc:"Generate an internet-scale AS topology, synthesize an RPKI universe \
+             onto it, and re-run the split-view detection scenario on the result")
+    Term.(const run $ ases $ seed $ monitors $ placement $ ticks $ attack_at)
+
 let () =
   let doc = "the misbehaving-RPKI-authorities toolkit (HotNets'13 reproduction)" in
   let info = Cmd.info "rpki-sim" ~version:"1.0.0" ~doc in
@@ -570,4 +652,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ show_cmd; validate_cmd; ov_cmd; whack_cmd; monitor_cmd; sim_cmd; grid_cmd;
-            transparency_cmd; restart_cmd; rtr_cmd; soak_cmd ]))
+            transparency_cmd; restart_cmd; rtr_cmd; soak_cmd; scale_cmd ]))

@@ -67,71 +67,131 @@ let exports (e : entry) ~(to_ : Topology.rel) =
 
 type rib = (int, entry) Hashtbl.t (* asn -> best route for the prefix *)
 
-(* Compute every AS's best route for one prefix. *)
+(* A compact adjacency index over a topology snapshot: ASNs are renumbered
+   to dense indices and every AS's neighbour list is one immutable array.
+   The fixpoint below touches neighbour lists many times per AS; rebuilding
+   them from three hashtable lookups per visit (as [Topology.neighbours]
+   does) dominated propagation time on 2000+ AS graphs. *)
+type adjacency = {
+  adj_version : int;              (* Topology.version at build time *)
+  index_of : (int, int) Hashtbl.t;
+  asn_of : int array;             (* index -> asn, ascending *)
+  neigh : (int * Topology.rel) array array;
+      (* per index: (neighbour index, neighbour's relationship to this AS),
+         in [Topology.neighbours] order *)
+}
+
+let build_adjacency (topo : Topology.t) : adjacency =
+  let adj_version = Topology.version topo in
+  let asn_of = Array.of_list (Topology.asns topo) in
+  let n = Array.length asn_of in
+  let index_of = Hashtbl.create (2 * n) in
+  Array.iteri (fun i asn -> Hashtbl.replace index_of asn i) asn_of;
+  let neigh =
+    Array.map
+      (fun asn ->
+        Topology.neighbours topo asn
+        |> List.map (fun (m, rel) -> (Hashtbl.find index_of m, rel))
+        |> Array.of_list)
+      asn_of
+  in
+  { adj_version; index_of; asn_of; neigh }
+
+(* A few adjacencies are memoized, keyed by physical topology identity: the
+   loop recomputes a data plane (one [compute] per announced prefix) every
+   tick over the same topology object. *)
+let adjacency_memo : (Topology.t * adjacency) list ref = ref []
+
+let adjacency_of (topo : Topology.t) : adjacency =
+  match List.find_opt (fun (t, _) -> t == topo) !adjacency_memo with
+  | Some (_, adj) when adj.adj_version = Topology.version topo -> adj
+  | _ ->
+    let adj = build_adjacency topo in
+    let others = List.filter (fun (t, _) -> t != topo) !adjacency_memo in
+    adjacency_memo := (topo, adj) :: List.filteri (fun i _ -> i < 3) others;
+    adj
+
+(* Compute every AS's best route for one prefix.
+
+   Worklist fixpoint: only ASes whose entry just improved re-export, instead
+   of sweeping every AS each round.  Each replacement strictly improves the
+   holder's preference key and paths are loop-free, so the monotone process
+   terminates at the same fixpoint the full sweep reached. *)
 let compute ~(topo : Topology.t) ~(policy_of : int -> Policy.t)
     ~(validity_of : Route.t -> Origin_validation.state) (anns : announcement list) : rib =
-  let rib : rib = Hashtbl.create 64 in
-  let all_asns = Topology.asns topo in
+  let adj = adjacency_of topo in
+  let n = Array.length adj.asn_of in
+  let best : entry option array = Array.make n None in
+  let policy = Array.map policy_of adj.asn_of in
+  let queue = Queue.create () in
+  let queued = Array.make n false in
+  let enqueue i =
+    if not queued.(i) then begin
+      queued.(i) <- true;
+      Queue.push i queue
+    end
+  in
   (* seed self-originations *)
   List.iter
     (fun ann ->
-      if Topology.mem topo ann.origin then begin
+      match Hashtbl.find_opt adj.index_of ann.origin with
+      | None -> ()
+      | Some i ->
         let e =
           { ann; path = [ ann.origin ]; learned = Self_originated;
             validity = validity_of (Route.make ann.prefix ann.origin) }
         in
-        if admissible ~policy:(policy_of ann.origin) e then begin
-          match Hashtbl.find_opt rib ann.origin with
-          | Some cur when not (better ~policy:(policy_of ann.origin) e cur) -> ()
-          | _ -> Hashtbl.replace rib ann.origin e
-        end
-      end)
+        if admissible ~policy:policy.(i) e then begin
+          match best.(i) with
+          | Some cur when not (better ~policy:policy.(i) e cur) -> ()
+          | _ ->
+            best.(i) <- Some e;
+            enqueue i
+        end)
     anns;
-  (* iterate to fixpoint *)
-  let changed = ref true in
-  let rounds = ref 0 in
-  while !changed do
-    changed := false;
-    incr rounds;
-    if !rounds > 4 * (List.length all_asns + 2) then failwith "Propagation.compute: no convergence";
-    List.iter
-      (fun asn ->
-        let policy = policy_of asn in
-        let consider (candidate : entry) =
-          if admissible ~policy candidate && not (List.mem asn candidate.path) then begin
-            let candidate = { candidate with path = asn :: candidate.path } in
-            match Hashtbl.find_opt rib asn with
-            | Some cur when not (better ~policy candidate cur) -> ()
-            | _ ->
-              Hashtbl.replace rib asn candidate;
-              changed := true
-          end
-        in
-        List.iter
-          (fun (n, rel) ->
-            (* [rel] is n's relationship to asn; the exporter n sees asn with
-               the converse relationship *)
-            let to_ : Topology.rel =
-              match rel with
-              | Topology.Customer -> Topology.Provider
-              | Topology.Provider -> Topology.Customer
-              | Topology.Peer -> Topology.Peer
+  (* drain: the popped AS re-exports its (possibly improved) route *)
+  let steps = ref 0 in
+  let limit = 4 * n * (n + 2) in
+  while not (Queue.is_empty queue) do
+    incr steps;
+    if !steps > limit then failwith "Propagation.compute: no convergence";
+    let i = Queue.pop queue in
+    queued.(i) <- false;
+    match best.(i) with
+    | None -> ()
+    | Some e ->
+      Array.iter
+        (fun (j, rel_j_to_i) ->
+          (* [rel_j_to_i] is neighbour j's relationship to the exporter i;
+             that is exactly the [to_] the export rule judges *)
+          if exports e ~to_:rel_j_to_i then begin
+            let learned =
+              (* j learns the route over the converse relationship: if j is
+                 i's customer, j learned it from its provider i *)
+              match rel_j_to_i with
+              | Topology.Customer -> From_provider
+              | Topology.Provider -> From_customer
+              | Topology.Peer -> From_peer
             in
-            match Hashtbl.find_opt rib n with
-            | None -> ()
-            | Some e ->
-              if exports e ~to_ then begin
-                let learned =
-                  match rel with
-                  | Topology.Customer -> From_customer
-                  | Topology.Provider -> From_provider
-                  | Topology.Peer -> From_peer
-                in
-                consider { e with learned }
-              end)
-          (Topology.neighbours topo asn))
-      all_asns
+            let candidate = { e with learned } in
+            let asn_j = adj.asn_of.(j) in
+            if admissible ~policy:policy.(j) candidate
+               && not (List.mem asn_j candidate.path)
+            then begin
+              let candidate = { candidate with path = asn_j :: candidate.path } in
+              match best.(j) with
+              | Some cur when not (better ~policy:policy.(j) candidate cur) -> ()
+              | _ ->
+                best.(j) <- Some candidate;
+                enqueue j
+            end
+          end)
+        adj.neigh.(i)
   done;
+  let rib : rib = Hashtbl.create (2 * n) in
+  Array.iteri
+    (fun i e -> match e with None -> () | Some e -> Hashtbl.replace rib adj.asn_of.(i) e)
+    best;
   rib
 
 let route rib asn = Hashtbl.find_opt rib asn

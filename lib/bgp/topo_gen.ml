@@ -1,11 +1,11 @@
 (* Synthetic Internet-like AS topologies.
 
-   Real AS-relationship data (CAIDA) is not available offline, so we
-   generate hierarchical topologies with the familiar structure: a clique of
-   tier-1 providers peering with each other, tier-2 ISPs multihomed to
-   tier-1s and peering laterally, and stub ASes homed to tier-2s.  The
-   experiments only need shape (who wins a hijack, how far routes spread),
-   which this preserves. *)
+   Since the world generator landed, this module is a thin front-end over
+   {!As_graph}: [generate] delegates to [As_graph.tiered] (the fixed-depth
+   hierarchy the earlier experiments were built on), and [small_scenario]
+   wraps the fixed Table-6 topology.  New code should use {!As_graph}
+   directly — the power-law generator scales to thousands of ASes and
+   carries roles, degrees and customer cones. *)
 
 type spec = {
   tier1 : int;            (* size of the top clique *)
@@ -23,49 +23,27 @@ let default_spec =
 
 type generated = {
   topo : Topology.t;
+  graph : As_graph.t;     (* the same topology with world-generator metadata *)
   tier1_asns : int list;
   tier2_asns : int list;
   stub_asns : int list;
 }
 
 let generate (spec : spec) =
-  let rng = Rpki_util.Rng.create spec.seed in
-  let topo = Topology.create () in
-  let tier1_asns = List.init spec.tier1 (fun i -> 100 + i) in
-  let tier2_asns = List.init spec.tier2 (fun i -> 1000 + i) in
-  let stub_asns = List.init spec.stubs (fun i -> 10000 + i) in
-  List.iter (Topology.add_as topo) tier1_asns;
-  (* tier-1 full mesh of peerings *)
-  List.iteri
-    (fun i a -> List.iteri (fun j b -> if i < j then Topology.peer topo a b) tier1_asns)
-    tier1_asns;
-  (* tier-2: multihome to distinct tier-1s *)
-  List.iter
-    (fun t2 ->
-      let providers =
-        Rpki_util.Rng.shuffle rng tier1_asns
-        |> List.filteri (fun i _ -> i < spec.providers_per_tier2)
-      in
-      List.iter (fun p -> Topology.link topo ~provider:p ~customer:t2) providers)
-    tier2_asns;
-  (* lateral tier-2 peerings *)
-  List.iteri
-    (fun i a ->
-      List.iteri
-        (fun j b ->
-          if i < j && Rpki_util.Rng.float rng < spec.peer_fraction then Topology.peer topo a b)
-        tier2_asns)
-    tier2_asns;
-  (* stubs: homed to tier-2s *)
-  List.iter
-    (fun s ->
-      let providers =
-        Rpki_util.Rng.shuffle rng tier2_asns
-        |> List.filteri (fun i _ -> i < spec.providers_per_stub)
-      in
-      List.iter (fun p -> Topology.link topo ~provider:p ~customer:s) providers)
-    stub_asns;
-  { topo; tier1_asns; tier2_asns; stub_asns }
+  let graph =
+    As_graph.tiered ~tier1:spec.tier1 ~tier2:spec.tier2 ~stubs:spec.stubs
+      ~providers_per_tier2:spec.providers_per_tier2
+      ~providers_per_stub:spec.providers_per_stub ~peer_fraction:spec.peer_fraction
+      ~seed:spec.seed ()
+  in
+  (* the tiered ASN ranges are part of this module's contract *)
+  let in_range lo hi asn = asn >= lo && asn < hi in
+  let all = As_graph.asns graph in
+  { topo = As_graph.topology graph;
+    graph;
+    tier1_asns = List.filter (in_range 100 1000) all;
+    tier2_asns = List.filter (in_range 1000 10000) all;
+    stub_asns = List.filter (in_range 10000 max_int) all }
 
 (* The small fixed topology used by the Table 6 and Section 6 narratives:
 
@@ -100,3 +78,5 @@ let small_scenario () =
   Topology.link topo ~provider:mid2 ~customer:source;
   Topology.link topo ~provider:mid3 ~customer:source;
   { small_topo = topo; t1a; t1b; mid1; mid2; mid3; victim; source; attacker }
+
+let small_graph (s : small) = As_graph.of_topology ~tier1:[ s.t1a; s.t1b ] s.small_topo

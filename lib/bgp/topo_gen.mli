@@ -1,10 +1,10 @@
 (** Synthetic Internet-like AS topologies.
 
-    Real AS-relationship data (CAIDA) is not available offline, so these
-    generators produce the familiar hierarchy: a tier-1 clique, multihomed
-    tier-2 ISPs with lateral peerings, and stub ASes.  The experiments need
-    only shape (who wins a hijack, how far routes spread), which this
-    preserves. *)
+    A thin front-end over {!As_graph} since the world generator landed:
+    [generate] delegates to {!As_graph.tiered} (tier-1 clique, multihomed
+    tier-2 ISPs with lateral peerings, stub ASes), and the fixed Table-6
+    scenario gains an {!As_graph.of_topology} wrapper.  New code wanting
+    internet-scale graphs should use {!As_graph.generate} directly. *)
 
 type spec = {
   tier1 : int;
@@ -21,6 +21,8 @@ val default_spec : spec
 
 type generated = {
   topo : Topology.t;
+  graph : As_graph.t;  (** the same topology with world-generator metadata
+                           (roles, degrees, customer cones) *)
   tier1_asns : int list;
   tier2_asns : int list;
   stub_asns : int list;
@@ -45,3 +47,7 @@ type small = {
 }
 
 val small_scenario : unit -> small
+
+val small_graph : small -> As_graph.t
+(** The fixed topology wrapped in world-generator metadata ([t1a]/[t1b]
+    classed tier-1). *)

@@ -19,6 +19,12 @@ val peers : t -> int -> int list
 val asns : t -> int list
 (** All ASes, sorted. *)
 
+val as_count : t -> int
+
+val version : t -> int
+(** Bumped on every mutation (AS or edge added) — lets derived structures
+    (adjacency indexes, graph metadata) detect staleness cheaply. *)
+
 val link : t -> provider:int -> customer:int -> unit
 (** Add a customer-provider edge. Raises [Invalid_argument] on self links or
     provider cycles. *)
@@ -29,5 +35,8 @@ val peer : t -> int -> int -> unit
 val neighbours : t -> int -> (int * rel) list
 (** Each neighbour with {e its} relationship to the queried AS:
     [(n, Customer)] means [n] is a customer of the queried AS. *)
+
+val degree : t -> int -> int
+(** Total neighbour count (providers + customers + peers). *)
 
 val rel_to_string : rel -> string

@@ -873,6 +873,102 @@ let restart_scenario ?(persist = true) ?(grace = 4) ?(monitors = 2)
   in
   { rr_sv = sv; rr_disk = disk; rr_respawn = respawn }
 
+(* --- scenarios on generated worlds --------------------------------------
+
+   The same split-view / stall / restart settings, parameterized by an
+   {!Rpki_world.Synthesis} world instead of the fixed Section 6 model: the
+   graph is generated (power-law, thousands of ASes), the universe is
+   synthesized onto it, monitor vantages are placed by a
+   {!Rpki_world.Placement} policy, and transport is priced off the
+   generated data plane exactly as for the canned scenarios. *)
+
+module World = Rpki_world.Synthesis
+module Placement = Rpki_world.Placement
+
+type world_rig = {
+  wr_sim : t;
+  wr_world : World.world;
+  wr_target_filename : string;     (* the victim's ROA — the fork target *)
+  wr_target_authority : Authority.t;
+  wr_monitors : string list;
+  wr_disk : Rpki_persist.Disk.t option;
+  wr_respawn : (log_epoch:int -> Relying_party.t) option;
+}
+
+(* A fetch policy scaled to the world: the resilient shape, with the sync
+   budget sized to the number of publication points times a generous
+   per-point transport allowance (generated graphs have diameter ~5-6). *)
+let world_fetch_policy (w : World.world) =
+  let points = List.length (World.cas w) + 1 in
+  { Relying_party.resilient_policy with
+    Relying_party.sync_budget =
+      max Relying_party.resilient_policy.Relying_party.sync_budget (64 * points) }
+
+let world_scenario ?(policy = Policy.Drop_invalid) ?(grace = 4) ?(monitors = 2)
+    ?(placement = Placement.By_degree) ?(gossip_period = 1) ?fetch_policy
+    ?(valcache = true) ?(persist = false) ?(world = World.default_spec) () =
+  if monitors < 0 then invalid_arg "Loop.world_scenario: negative monitors";
+  let w = World.build world in
+  let g = World.graph w in
+  let rp_asn = World.rp_asn w in
+  let tals = [ Relying_party.tal_of_authority (World.root w) ] in
+  let rp = Relying_party.create ~name:"victim-rp" ~asn:rp_asn ~tals ~grace () in
+  let monitor_asns =
+    Placement.vantage_asns g placement ~count:monitors ~exclude:[ rp_asn ]
+  in
+  let announcements =
+    World.base_announcements w
+    @ List.map (World.announcement_for w) monitor_asns
+    |> List.sort_uniq compare
+  in
+  let probes =
+    [ { label = "victim-prefix";
+        addr = World.host_addr w ~asn:(World.victim w) ~host:1;
+        expected_origin = World.victim w } ]
+  in
+  let sim =
+    create ~universe:(World.universe w) ~topo:(As_graph.topology g) ~policy ~rp
+      ~announcements ~probes
+  in
+  let fetch_policy =
+    match fetch_policy with Some p -> p | None -> world_fetch_policy w
+  in
+  let monitor_name asn = Printf.sprintf "monitor-as%d" asn in
+  configure sim
+    { Config.default with
+      Config.fetch_policy; valcache;
+      primary_endpoint =
+        Some
+          (Pub_point.create ~uri:"rsync://victim-rp.world/log"
+             ~addr:(World.host_addr w ~asn:rp_asn ~host:7) ~host_asn:rp_asn);
+      vantages =
+        List.map
+          (fun asn ->
+            let name = monitor_name asn in
+            { Config.name;
+              rp = Relying_party.create ~name ~asn ~tals ();
+              endpoint =
+                Pub_point.create
+                  ~uri:(Printf.sprintf "rsync://%s.world/log" name)
+                  ~addr:(World.host_addr w ~asn ~host:9) ~host_asn:asn })
+          monitor_asns;
+      gossip_period = (if monitors > 0 then Some gossip_period else None) };
+  let disk, respawn =
+    if persist then begin
+      let disk = Rpki_persist.Disk.create () in
+      enable_persistence sim disk;
+      ( Some disk,
+        Some (fun ~log_epoch ->
+            Relying_party.create ~name:"victim-rp" ~asn:rp_asn ~tals ~grace
+              ~log_epoch ()) )
+    end
+    else (None, None)
+  in
+  { wr_sim = sim; wr_world = w; wr_target_filename = World.victim_roa w;
+    wr_target_authority = World.victim_ca w;
+    wr_monitors = List.map monitor_name monitor_asns; wr_disk = disk;
+    wr_respawn = respawn }
+
 (* --- the canned long-run soak scenario ----------------------------------
 
    Endurance, not detection: run the split-view setting for thousands of
@@ -893,13 +989,17 @@ type soak_config = {
   sk_sample_every : int;     (* record a sample every n ticks (and at the end) *)
   sk_validity : int option;  (* issuance validity window, in ticks *)
   sk_refresh_interval : int option;
+  sk_world : World.spec option;
+                             (* Some spec = soak a generated world (churn then
+                                maintains the synthesized root's subtree);
+                                None = the canned small scenario *)
 }
 
 let default_soak =
   { sk_ticks = 2000; sk_churn_every = 0; sk_compact_every = 64; sk_evict = true;
     sk_full_snapshots = false; sk_valcache = true; sk_monitors = 1;
     sk_gossip_period = 16; sk_sample_every = 100; sk_validity = None;
-    sk_refresh_interval = None }
+    sk_refresh_interval = None; sk_world = None }
 
 type soak_sample = {
   so_tick : int;
@@ -923,12 +1023,33 @@ type soak_report = {
 let run_soak ?(config = default_soak) () =
   let c = config in
   if c.sk_ticks < 1 then invalid_arg "Loop.run_soak: ticks must be positive";
-  let sv =
-    split_view_scenario ~monitors:c.sk_monitors ~gossip_period:c.sk_gossip_period
-      ?validity:c.sk_validity ?refresh_interval:c.sk_refresh_interval
-      ~valcache:c.sk_valcache ()
+  let t, churn =
+    match c.sk_world with
+    | None ->
+      let sv =
+        split_view_scenario ~monitors:c.sk_monitors ~gossip_period:c.sk_gossip_period
+          ?validity:c.sk_validity ?refresh_interval:c.sk_refresh_interval
+          ~valcache:c.sk_valcache ()
+      in
+      (sv.sv_sim, fun ~now -> Authority.maintain sv.sv_model.Model.arin ~now)
+    | Some wspec ->
+      (* the soak's validity knobs override the world spec's, so one config
+         drives both the canned and the generated arms *)
+      let wspec =
+        { wspec with
+          World.validity =
+            (match c.sk_validity with Some _ -> c.sk_validity | None -> wspec.World.validity);
+          refresh_interval =
+            (match c.sk_refresh_interval with
+            | Some _ -> c.sk_refresh_interval
+            | None -> wspec.World.refresh_interval) }
+      in
+      let rig =
+        world_scenario ~monitors:c.sk_monitors ~gossip_period:c.sk_gossip_period
+          ~valcache:c.sk_valcache ~world:wspec ()
+      in
+      (rig.wr_sim, fun ~now -> Authority.maintain (World.root rig.wr_world) ~now)
   in
-  let t = sv.sv_sim in
   let disk = Rpki_persist.Disk.create () in
   enable_persistence t disk;
   t.valcache_evict <- c.sk_evict;
@@ -955,8 +1076,7 @@ let run_soak ?(config = default_soak) () =
     last_written := written
   in
   for now = 1 to c.sk_ticks do
-    if c.sk_churn_every > 0 && now mod c.sk_churn_every = 0 then
-      Authority.maintain sv.sv_model.Model.arin ~now;
+    if c.sk_churn_every > 0 && now mod c.sk_churn_every = 0 then churn ~now;
     ignore (step t ~now);
     if now mod c.sk_sample_every = 0 || now = c.sk_ticks then sample ~tick:now
   done;

@@ -429,6 +429,54 @@ val restart_scenario :
     oracle — the victim restarts with no baseline and a served rollback
     goes undetected. *)
 
+(** {2 Scenarios on generated worlds}
+
+    The split-view / stall / restart settings parameterized by a generated
+    {!Rpki_world.Synthesis} world instead of the fixed Section 6 model:
+    power-law graph, synthesized CA hierarchy and ROAs, monitor vantages
+    placed by an {!Rpki_world.Placement} policy, transport priced off the
+    generated data plane. *)
+
+type world_rig = {
+  wr_sim : t;
+  wr_world : Rpki_world.Synthesis.world;
+  wr_target_filename : string;
+      (** the victim's ROA — apply
+          [Rpki_attack.Split_view.plan ~authority:wr_target_authority
+          ~target_filename:wr_target_filename ()] to [transport wr_sim] to
+          fork the victim's view, or corrupt/stall the same point for the
+          other scenario families *)
+  wr_target_authority : Rpki_repo.Authority.t;
+  wr_monitors : string list;  (** registered monitor vantage names *)
+  wr_disk : Rpki_persist.Disk.t option;  (** with [persist]: the simulated
+                                             disk, for fault injection *)
+  wr_respawn : (log_epoch:int -> Relying_party.t) option;
+      (** with [persist]: rebuilds the victim instance for
+          {!restart_vantage} *)
+}
+
+val world_scenario :
+  ?policy:Policy.t ->
+  ?grace:int ->
+  ?monitors:int ->
+  ?placement:Rpki_world.Placement.policy ->
+  ?gossip_period:int ->
+  ?fetch_policy:Relying_party.fetch_policy ->
+  ?valcache:bool ->
+  ?persist:bool ->
+  ?world:Rpki_world.Synthesis.spec ->
+  unit ->
+  world_rig
+(** Build a world from [world] (default {!Rpki_world.Synthesis.default_spec})
+    and rig it like {!split_view_scenario}: the primary relying party
+    ("victim-rp", grace default 4) at the world's designated RP stub,
+    [monitors] (default 2) monitor vantages at ASes chosen by [placement]
+    (default [By_degree]), all gossiping every [gossip_period] ticks.  The
+    default [fetch_policy] is the resilient shape with the sync budget
+    scaled to the world's publication-point count.  [persist] (default
+    false) adds end-of-tick snapshots on a fresh simulated disk and a
+    respawn builder — the restart-scenario rigging. *)
+
 (** {2 The canned long-run soak scenario}
 
     Endurance, not detection: run the split-view setting for thousands of
@@ -454,6 +502,11 @@ type soak_config = {
   sk_validity : int option;  (** issuance validity window, in ticks — short
                                  windows are what make entries evictable *)
   sk_refresh_interval : int option;
+  sk_world : Rpki_world.Synthesis.spec option;
+      (** [Some spec] soaks a generated world (built via {!world_scenario};
+          churn maintains the synthesized root's subtree; the soak's
+          validity knobs override the spec's); [None] (default) soaks the
+          canned small scenario *)
 }
 
 val default_soak : soak_config

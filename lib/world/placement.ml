@@ -1,0 +1,67 @@
+(* Vantage placement over a generated world.
+
+   Where monitors sit in the topology decides how fast a split view is
+   caught and how expensive gossip pulls are (the routeserver measurement
+   literature's point: validation placement determines blast radius).
+   Three policies:
+
+   - [By_degree]: the best-connected ASes — realistic for monitors run by
+     large ISPs and IXPs, and the configuration the scale bench asserts
+     detection under;
+   - [By_role]: round-robin tier-1 / transit / stub (each bucket by
+     descending degree) — spreads vantages across hierarchy layers;
+   - [Random seed]: uniform, the baseline a placement policy must beat. *)
+
+open Rpki_bgp
+
+type policy =
+  | By_degree
+  | By_role
+  | Random of int (* seed *)
+
+let policy_to_string = function
+  | By_degree -> "degree"
+  | By_role -> "role"
+  | Random s -> Printf.sprintf "random:%d" s
+
+let policy_of_string s =
+  match String.lowercase_ascii s with
+  | "degree" -> Some By_degree
+  | "role" -> Some By_role
+  | s when String.length s >= 7 && String.sub s 0 7 = "random:" -> (
+    match int_of_string_opt (String.sub s 7 (String.length s - 7)) with
+    | Some seed -> Some (Random seed)
+    | None -> None)
+  | "random" -> Some (Random 1)
+  | _ -> None
+
+(* Round-robin across role buckets, each bucket by descending degree. *)
+let by_role_order (g : As_graph.t) =
+  let ordered = As_graph.by_degree g in
+  let bucket r = List.filter (fun a -> As_graph.role g a = r) ordered in
+  let buckets = [ bucket As_graph.Tier1; bucket As_graph.Transit; bucket As_graph.Stub ] in
+  let rec weave = function
+    | [] -> []
+    | buckets ->
+      let heads = List.filter_map (function [] -> None | h :: _ -> Some h) buckets in
+      let tails = List.filter_map (function [] | [ _ ] -> None | _ :: t -> Some t) buckets in
+      heads @ weave tails
+  in
+  weave buckets
+
+let vantage_asns (g : As_graph.t) (policy : policy) ~count ~exclude =
+  if count < 0 then invalid_arg "Placement.vantage_asns: negative count";
+  let order =
+    match policy with
+    | By_degree -> As_graph.by_degree g
+    | By_role -> by_role_order g
+    | Random seed ->
+      let rng = Rpki_util.Rng.create seed in
+      Rpki_util.Rng.shuffle rng (As_graph.asns g)
+  in
+  let eligible = List.filter (fun a -> not (List.mem a exclude)) order in
+  if List.length eligible < count then
+    invalid_arg
+      (Printf.sprintf "Placement.vantage_asns: only %d eligible ASes for %d vantages"
+         (List.length eligible) count);
+  List.filteri (fun i _ -> i < count) eligible

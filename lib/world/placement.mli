@@ -1,0 +1,21 @@
+(** Vantage placement over a generated world.
+
+    Where monitors sit decides how fast a split view is caught: the
+    placement policies pick the ASes whose relying parties join the gossip
+    mesh. *)
+
+open Rpki_bgp
+
+type policy =
+  | By_degree      (** the best-connected ASes first *)
+  | By_role        (** round-robin tier-1 / transit / stub, each by degree *)
+  | Random of int  (** uniform, seeded — the baseline *)
+
+val policy_to_string : policy -> string
+
+val policy_of_string : string -> policy option
+(** ["degree"], ["role"], ["random"] or ["random:<seed>"]. *)
+
+val vantage_asns : As_graph.t -> policy -> count:int -> exclude:int list -> int list
+(** The first [count] ASes of the policy's order, [exclude]d ASes skipped.
+    Raises [Invalid_argument] when fewer than [count] remain. *)

@@ -90,6 +90,32 @@ let test_eviction_flattens_residency () =
     true
     (resident (last on) < resident (last off))
 
+(* Soak on a generated world: [sk_world] swaps the canned split-view rig
+   for a synthesized one (world churn re-signs the generated root's
+   subtree) without disturbing any endurance invariant. *)
+let test_soak_on_generated_world () =
+  let module World = Rpki_world.Synthesis in
+  let module As_graph = Rpki_bgp.As_graph in
+  let wspec =
+    { World.default_spec with
+      World.graph = { As_graph.default_spec with As_graph.ases = 80; seed = 5 };
+      ca_min_cone = 8 }
+  in
+  let config =
+    { Loop.default_soak with
+      Loop.sk_ticks = 120; sk_churn_every = 8; sk_compact_every = 32;
+      sk_sample_every = 24; sk_world = Some wspec }
+  in
+  let r = Loop.run_soak ~config () in
+  let samples = r.Loop.so_samples in
+  let final = List.nth samples (List.length samples - 1) in
+  Alcotest.(check bool) "ran the full soak" true (final.Loop.so_tick >= 120);
+  Alcotest.(check bool) "saves happened" true (r.Loop.so_saves > 0);
+  Alcotest.(check bool) "segmented saves stay O(delta)" true
+    (r.Loop.so_bytes_per_save < 20000.);
+  Alcotest.(check bool) "compaction bounds the chain" true
+    (List.for_all (fun (s : Loop.soak_sample) -> s.Loop.so_segments <= 32) samples)
+
 (* --- clear vs evict ----------------------------------------------------- *)
 
 let outcome ~snap ~boundaries =
@@ -138,7 +164,9 @@ let () =
         [ Alcotest.test_case "2000-tick soak runs with flat memory" `Slow
             test_soak_flat_memory;
           Alcotest.test_case "epoch eviction flattens residency under churn" `Quick
-            test_eviction_flattens_residency ] );
+            test_eviction_flattens_residency;
+          Alcotest.test_case "soak runs on a generated world" `Slow
+            test_soak_on_generated_world ] );
       ( "clear-vs-evict",
         [ Alcotest.test_case "clear zeroes counters, evict accounts" `Quick
             test_clear_is_not_evict;
