@@ -1951,9 +1951,277 @@ let scale () =
                  ases cas dmax dmed synth_ms rig_ms avg_tick max_tick latency proof)
              cells)))
 
+(* ------------------------------------------------------------------ *)
+(* Fault mix: corpus-weighted faults x unsafe-VRP policy               *)
+(* ------------------------------------------------------------------ *)
+
+(* Two questions, one harness.
+
+   The downgrade grid: make one sub-CA's publication point unreachable and
+   sweep what the relying party does with the VRPs that covered its space
+   (accept / warn / reject, Routinator's --unsafe-vrps) against whether
+   stale fallback is allowed.  The interesting cell is reject without
+   stale: dropping the covering ROA restores the victim's route (the Side
+   Effect 6 outage heals)... and silently lets a hijack of the same space
+   propagate, because the prefix flips from INVALID to UNKNOWN for
+   everyone.  Warn keeps the protection and surfaces the hazard instead.
+
+   The corpus sweep: the fault-mix engine rolls every authority each tick
+   against the empirical error distribution (expired CRLs 47x, missing
+   manifests 20x, seqnum gaps 18x, ... from the checked-in corpus table)
+   and we read the degradation off the loop per rate x policy.  A rate-0
+   engine run is asserted trace-identical to a run with no engine. *)
+let faultmix () =
+  header "Fault mix: corpus faults x unsafe-VRP policy (graceful degradation)";
+  let ticks = if !quick then 10 else 14 in
+  let outage_at = 4 in
+  let as_attacker = 64666 in
+  let legit = Route.make (V4.p "63.174.16.0/20") Model.as_continental in
+  let hijack = Route.make (V4.p "63.174.16.0/20") as_attacker in
+  let unsafe_policies =
+    [ ("accept", Relying_party.Unsafe_accept);
+      ("warn", Relying_party.Unsafe_warn);
+      ("reject", Relying_party.Unsafe_reject) ]
+  in
+  let fetch_policies =
+    [ ("default", Relying_party.default_policy);
+      ("no-stale",
+       { Relying_party.default_policy with Relying_party.use_stale = false }) ]
+  in
+  (* --- the downgrade grid ------------------------------------------ *)
+  let run_cell ~unsafe ~fetch_policy =
+    let rig = Rpki_sim.Loop.fault_mix_scenario ~unsafe ~fetch_policy ~rate:0. () in
+    let sim = rig.Rpki_sim.Loop.fm_sim in
+    List.init ticks (fun i ->
+        let now = i + 1 in
+        if now = outage_at then
+          Transport.set_fault (Rpki_sim.Loop.transport sim)
+            ~uri:rig.Rpki_sim.Loop.fm_victim_uri Transport.Unreachable;
+        let _, r = Rpki_sim.Loop.fault_mix_step rig ~now in
+        let result = Option.get (Relying_party.last_result sim.Rpki_sim.Loop.rp) in
+        ( now,
+          Origin_validation.classify result.Relying_party.index legit,
+          Origin_validation.classify result.Relying_party.index hijack,
+          r.Rpki_sim.Loop.unsafe_count,
+          result ))
+  in
+  let grid =
+    List.map
+      (fun (fn, fp) ->
+        ( fn,
+          List.map
+            (fun (un, up) -> (un, run_cell ~unsafe:up ~fetch_policy:fp))
+            unsafe_policies ))
+      fetch_policies
+  in
+  let final tl = List.nth tl (ticks - 1) in
+  let t =
+    Table.create
+      ~aligns:[ Table.Left; Table.Left; Table.Left; Table.Left; Table.Right; Table.Right ]
+      [ "fetch"; "unsafe"; "victim route"; "hijack route"; "unsafe VRPs"; "VRPs" ]
+  in
+  List.iter
+    (fun (fn, cells) ->
+      List.iter
+        (fun (un, tl) ->
+          let _, lg, hj, unsafe_n, result = final tl in
+          Table.add_row t
+            [ fn; un;
+              Origin_validation.state_to_string lg;
+              Origin_validation.state_to_string hj;
+              string_of_int unsafe_n;
+              string_of_int (List.length result.Relying_party.vrps) ])
+        cells)
+    grid;
+  Table.print t;
+  (* the acceptance bar: the no-stale column must show the downgrade
+     interaction — reject restores the victim's route and loses the
+     hijack protection; warn keeps the protection and reports the unsafe
+     set; accept reports nothing *)
+  let cell fn un = List.assoc un (List.assoc fn grid) in
+  let _, lg_a, hj_a, un_a, res_a = final (cell "no-stale" "accept") in
+  let _, lg_w, hj_w, un_w, res_w = final (cell "no-stale" "warn") in
+  let _, lg_r, hj_r, un_r, res_r = final (cell "no-stale" "reject") in
+  if not (lg_a = Origin_validation.Invalid && hj_a = Origin_validation.Invalid && un_a = 0)
+  then failwith "faultmix: accept cell should go invalid with no unsafe reporting";
+  if not (lg_w = Origin_validation.Invalid && hj_w = Origin_validation.Invalid && un_w > 0)
+  then failwith "faultmix: warn cell should keep protection and report unsafe VRPs";
+  if not (lg_r = Origin_validation.Unknown && hj_r = Origin_validation.Unknown && un_r > 0)
+  then failwith "faultmix: reject cell should flip the space to unknown";
+  if res_w.Relying_party.vrps <> res_a.Relying_party.vrps then
+    failwith "faultmix: warn must not change the effective VRP set";
+  if
+    not
+      (List.for_all
+         (fun v -> List.exists (fun u -> Vrp.compare u v = 0) res_a.Relying_party.vrps)
+         res_r.Relying_party.vrps)
+  then failwith "faultmix: reject's VRP set must be a subset of accept's";
+  Printf.printf
+    "\nWith stale fallback the outage is masked (cached data keeps serving) and\n\
+     no VRP is unsafe.  Without it, Continental's resources join the failed\n\
+     set: ACCEPT keeps Sprint's covering /12-13 ROA, so both the victim route\n\
+     and the hijack stay INVALID (outage, but protected).  REJECT drops the\n\
+     covering VRP: the victim route heals to UNKNOWN — and so does the\n\
+     hijack, which now propagates.  WARN = accept + %d unsafe VRP(s) surfaced.\n"
+    un_w;
+  (* --- rate-0 is trace-identical to no-engine ----------------------- *)
+  let trace_of records =
+    String.concat ";"
+      (List.map
+         (fun (r : Rpki_sim.Loop.tick_record) ->
+           Printf.sprintf "%d:%d:%d:%d:%d:%d:%b" r.Rpki_sim.Loop.time
+             r.Rpki_sim.Loop.vrp_count r.Rpki_sim.Loop.issue_count
+             r.Rpki_sim.Loop.rtr_serial r.Rpki_sim.Loop.sync_elapsed
+             r.Rpki_sim.Loop.unsafe_count r.Rpki_sim.Loop.budget_exhausted)
+         records)
+  in
+  let rig0 = Rpki_sim.Loop.fault_mix_scenario ~rate:0. () in
+  let with_engine =
+    List.init ticks (fun i -> snd (Rpki_sim.Loop.fault_mix_step rig0 ~now:(i + 1)))
+  in
+  let sc = Rpki_sim.Loop.section6_scenario () in
+  let without_engine =
+    List.init ticks (fun i -> Rpki_sim.Loop.step sc.Rpki_sim.Loop.sim ~now:(i + 1))
+  in
+  let rate0_identical = trace_of with_engine = trace_of without_engine in
+  if not rate0_identical then
+    failwith "faultmix: rate-0 engine run diverged from the engine-less run";
+  Printf.printf "\nrate-0 engine run: trace-identical to a run with no engine.\n";
+  (* --- the corpus sweep: fault rate x unsafe policy ----------------- *)
+  let rates = if !quick then [ 0.; 0.3 ] else [ 0.; 0.15; 0.4 ] in
+  let mix_ticks = if !quick then 12 else 24 in
+  (* the sweep runs without stale fallback, so the corpus's transport
+     categories (dns / refused / timeout, ~10% of draws) open genuine
+     failed-CA windows for the unsafe analysis instead of being masked by
+     the cache *)
+  let run_mix ~rate ~unsafe =
+    let rig =
+      Rpki_sim.Loop.fault_mix_scenario ~seed:7 ~rate ~unsafe
+        ~fetch_policy:(List.assoc "no-stale" fetch_policies) ()
+    in
+    let records =
+      List.init mix_ticks (fun i -> snd (Rpki_sim.Loop.fault_mix_step rig ~now:(i + 1)))
+    in
+    let engine = rig.Rpki_sim.Loop.fm_engine in
+    let sum f = List.fold_left (fun acc r -> acc + f r) 0 records in
+    let issues = sum (fun r -> r.Rpki_sim.Loop.issue_count) in
+    let max_unsafe =
+      List.fold_left (fun acc r -> max acc r.Rpki_sim.Loop.unsafe_count) 0 records
+    in
+    let last = List.nth records (mix_ticks - 1) in
+    ( Fault_mix.injected engine,
+      Fault_mix.repaired engine,
+      Fault_mix.counts engine,
+      float_of_int issues /. float_of_int mix_ticks,
+      max_unsafe,
+      last.Rpki_sim.Loop.vrp_count )
+  in
+  let mix =
+    List.concat_map
+      (fun rate ->
+        List.map
+          (fun (un, up) -> (rate, un, run_mix ~rate ~unsafe:up))
+          unsafe_policies)
+      rates
+  in
+  let t =
+    Table.create
+      ~aligns:
+        [ Table.Right; Table.Left; Table.Right; Table.Right; Table.Right; Table.Right;
+          Table.Right ]
+      [ "rate"; "unsafe"; "injected"; "repaired"; "issues/tick"; "max unsafe"; "VRPs" ]
+  in
+  List.iter
+    (fun (rate, un, (inj, rep, _, ipt, mu, vrps)) ->
+      Table.add_row t
+        [ Printf.sprintf "%.2f" rate; un; string_of_int inj; string_of_int rep;
+          Printf.sprintf "%.1f" ipt; string_of_int mu; string_of_int vrps ])
+    mix;
+  Table.print t;
+  (* per-category injections at the heaviest swept rate, against the
+     corpus weights they were drawn from *)
+  let heavy_rate = List.fold_left max 0. rates in
+  (match
+     List.find_opt (fun (rate, un, _) -> rate = heavy_rate && un = "warn") mix
+   with
+  | None -> ()
+  | Some (_, _, (_, _, counts, _, _, _)) ->
+    Printf.printf "\ninjections at rate %.2f (corpus weight in parens):\n" heavy_rate;
+    List.iter
+      (fun (c, n) ->
+        Printf.printf "  %-22s %3d  (%d/126)\n" (Fault_corpus.to_string c) n
+          (match List.assoc_opt c Fault_corpus.weights with Some w -> w | None -> 0))
+      counts);
+  (* --- machine-readable output -------------------------------------- *)
+  let json_body =
+    let timeline_json tl =
+      String.concat ","
+        (List.map
+           (fun (now, lg, hj, unsafe_n, result) ->
+             Printf.sprintf
+               "{\"tick\":%d,\"victim\":\"%s\",\"hijack\":\"%s\",\"unsafe\":%d,\
+                \"vrps\":%d}"
+               now
+               (Origin_validation.state_to_string lg)
+               (Origin_validation.state_to_string hj)
+               unsafe_n
+               (List.length result.Relying_party.vrps))
+           tl)
+    in
+    let downgrade_json =
+      List.concat_map
+        (fun (fn, cells) ->
+          List.map
+            (fun (un, tl) ->
+              Printf.sprintf
+                "{\"fetch\":\"%s\",\"unsafe\":\"%s\",\"timeline\":[%s]}" fn un
+                (timeline_json tl))
+            cells)
+        grid
+    in
+    let mix_json =
+      List.map
+        (fun (rate, un, (inj, rep, counts, ipt, mu, vrps)) ->
+          Printf.sprintf
+            "{\"rate\":%.2f,\"unsafe\":\"%s\",\"injected\":%d,\"repaired\":%d,\
+             \"counts\":{%s},\"issues_per_tick\":%.2f,\"max_unsafe\":%d,\
+             \"final_vrps\":%d}"
+            rate un inj rep
+            (String.concat ","
+               (List.map
+                  (fun (c, n) ->
+                    Printf.sprintf "\"%s\":%d" (Fault_corpus.to_string c) n)
+                  counts))
+            ipt mu vrps)
+        mix
+    in
+    Printf.sprintf
+      "{\"experiment\":\"faultmix\",\"ticks\":%d,\"outage_at\":%d,\
+       \"mix_ticks\":%d,\"rate0_identical\":%b,\"downgrade\":[%s],\"mix\":[%s]}"
+      ticks outage_at mix_ticks rate0_identical
+      (String.concat "," downgrade_json)
+      (String.concat "," mix_json)
+  in
+  (* every swept axis must be present in the export *)
+  let must_contain needle =
+    let len_n = String.length needle and len_b = String.length json_body in
+    let rec scan i =
+      if i + len_n > len_b then
+        failwith (Printf.sprintf "faultmix: JSON export lacks %s" needle)
+      else if String.sub json_body i len_n = needle then ()
+      else scan (i + 1)
+    in
+    scan 0
+  in
+  List.iter must_contain
+    (List.map (fun (un, _) -> Printf.sprintf "\"unsafe\":\"%s\"" un) unsafe_policies
+    @ List.map (fun (fn, _) -> Printf.sprintf "\"fetch\":\"%s\"" fn) fetch_policies
+    @ List.map (fun rate -> Printf.sprintf "\"rate\":%.2f" rate) rates);
+  write_json ~name:"faultmix" json_body
+
 let all : (string * (unit -> unit)) list =
   [ ("fig2", fig2); ("fig3", fig3); ("tab4", tab4); ("fig5", fig5); ("tab6", tab6);
     ("se5", se5); ("se6", se6); ("se7", se7); ("campaign", campaign); ("adoption", adoption);
     ("depth", depth); ("sync-incremental", sync_incremental); ("stall", stall);
     ("transparency", transparency); ("restart", restart); ("multivantage", multivantage);
-    ("rtr", rtr); ("soak", soak); ("scale", scale) ]
+    ("rtr", rtr); ("soak", soak); ("scale", scale); ("faultmix", faultmix) ]

@@ -54,10 +54,20 @@ let validate_cmd =
     Printf.printf "issues (%d):\n" (List.length result.Relying_party.issues);
     List.iter
       (fun (i : Relying_party.issue) ->
-        Printf.printf "  %s %s: %s\n" i.Relying_party.uri
+        Printf.printf "  [%s] %s %s: %s\n"
+          (Validation.issue_kind_to_string i.Relying_party.kind)
+          i.Relying_party.uri
           (Option.value i.Relying_party.filename ~default:"-")
           i.Relying_party.reason)
-      result.Relying_party.issues
+      result.Relying_party.issues;
+    (match Relying_party.issue_counts result.Relying_party.issues with
+    | [] -> ()
+    | counts ->
+      Printf.printf "issues by category:\n";
+      List.iter
+        (fun (kind, n) ->
+          Printf.printf "  %-24s %d\n" (Validation.issue_kind_to_string kind) n)
+        counts)
   in
   Cmd.v (Cmd.info "validate" ~doc:"Sync a relying party against the model RPKI")
     Term.(const run $ fig5_right)
@@ -181,12 +191,89 @@ let sim_cmd =
          & info [ "policy" ] ~doc:"Relying-party policy: drop, depref or ignore.")
   in
   let run policy =
-    let _, hist = Rpki_sim.Loop.run_section6 ~policy () in
-    List.iter (fun r -> Format.printf "%a@." Rpki_sim.Loop.pp_record r) hist
+    let sc, hist = Rpki_sim.Loop.run_section6 ~policy () in
+    List.iter (fun r -> Format.printf "%a@." Rpki_sim.Loop.pp_record r) hist;
+    match Relying_party.last_result sc.Rpki_sim.Loop.sim.Rpki_sim.Loop.rp with
+    | None -> ()
+    | Some result -> (
+      match Relying_party.issue_counts result.Relying_party.issues with
+      | [] -> ()
+      | counts ->
+        Printf.printf "final sync issues by category:\n";
+        List.iter
+          (fun (kind, n) ->
+            Printf.printf "  %-24s %d\n" (Validation.issue_kind_to_string kind) n)
+          counts)
   in
   Cmd.v
     (Cmd.info "sim" ~doc:"Run the Section 6 transient-fault timeline")
     Term.(const run $ policy)
+
+(* --- faultmix --- *)
+
+let faultmix_cmd =
+  let rate =
+    Arg.(value & opt float 0.2
+         & info [ "rate" ] ~doc:"Per-authority per-tick fault probability, in [0,1].")
+  in
+  let ticks =
+    Arg.(value & opt int 12 & info [ "ticks" ] ~doc:"Simulation length, in ticks.")
+  in
+  let seed = Arg.(value & opt int 7 & info [ "seed" ] ~doc:"Sampler seed.") in
+  let unsafe =
+    let parse = function
+      | "accept" -> Ok Relying_party.Unsafe_accept
+      | "warn" -> Ok Relying_party.Unsafe_warn
+      | "reject" -> Ok Relying_party.Unsafe_reject
+      | s -> Error (`Msg (Printf.sprintf "bad unsafe policy %S (accept|warn|reject)" s))
+    in
+    let print fmt p =
+      Format.pp_print_string fmt (Relying_party.unsafe_policy_to_string p)
+    in
+    Arg.(value & opt (conv (parse, print)) Relying_party.Unsafe_warn
+         & info [ "unsafe" ] ~doc:"Unsafe-VRP policy: accept, warn or reject.")
+  in
+  let run rate ticks seed unsafe =
+    let rig = Rpki_sim.Loop.fault_mix_scenario ~seed ~rate ~unsafe () in
+    let all_issues = ref [] in
+    for now = 1 to ticks do
+      let injections, r = Rpki_sim.Loop.fault_mix_step rig ~now in
+      List.iter
+        (fun (inj : Fault_mix.injection) ->
+          Printf.printf "t%d inject %s: %s\n" now
+            (Fault_corpus.to_string inj.Fault_mix.inj_category)
+            inj.Fault_mix.inj_description)
+        injections;
+      Format.printf "%a (unsafe %d)@." Rpki_sim.Loop.pp_record r
+        r.Rpki_sim.Loop.unsafe_count;
+      match Relying_party.last_result rig.Rpki_sim.Loop.fm_sim.Rpki_sim.Loop.rp with
+      | Some result -> all_issues := result.Relying_party.issues @ !all_issues
+      | None -> ()
+    done;
+    let engine = rig.Rpki_sim.Loop.fm_engine in
+    Printf.printf "injected %d, repaired %d, still active %d\n"
+      (Fault_mix.injected engine) (Fault_mix.repaired engine)
+      (List.length (Fault_mix.active engine));
+    (match Fault_mix.counts engine with
+    | [] -> ()
+    | counts ->
+      Printf.printf "injections by category:\n";
+      List.iter
+        (fun (c, n) -> Printf.printf "  %-24s %d\n" (Fault_corpus.to_string c) n)
+        counts);
+    match Relying_party.issue_counts !all_issues with
+    | [] -> ()
+    | counts ->
+      Printf.printf "issues by category (all ticks):\n";
+      List.iter
+        (fun (kind, n) ->
+          Printf.printf "  %-24s %d\n" (Validation.issue_kind_to_string kind) n)
+        counts
+  in
+  Cmd.v
+    (Cmd.info "faultmix"
+       ~doc:"Run the closed loop under corpus-weighted background faults")
+    Term.(const run $ rate $ ticks $ seed $ unsafe)
 
 (* --- grid --- *)
 
@@ -651,5 +738,6 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ show_cmd; validate_cmd; ov_cmd; whack_cmd; monitor_cmd; sim_cmd; grid_cmd;
-            transparency_cmd; restart_cmd; rtr_cmd; soak_cmd; scale_cmd ]))
+          [ show_cmd; validate_cmd; ov_cmd; whack_cmd; monitor_cmd; sim_cmd;
+            faultmix_cmd; grid_cmd; transparency_cmd; restart_cmd; rtr_cmd; soak_cmd;
+            scale_cmd ]))

@@ -40,6 +40,84 @@ let pp_failure fmt = function
 
 let failure_to_string f = Format.asprintf "%a" pp_failure f
 
+(* The relying party's issue taxonomy.  Validation failures map onto it via
+   {!failure_kind}; the fetch path adds transport-shaped kinds of its own.
+   The categories mirror the real-world RP error corpus (SNIPPETS.md):
+   expired CRLs, missing manifests, seqnum gaps, expired / not-yet-valid
+   certificates, RFC 3779 violations, manifest-number regressions, and the
+   transport outcomes (DNS, refused, timeout, cross-origin redirect). *)
+type issue_kind =
+  | Ik_expired                (* certificate / ROA EE past notAfter *)
+  | Ik_not_yet_valid          (* forward-dated certificate *)
+  | Ik_expired_crl            (* CRL past nextUpdate *)
+  | Ik_stale_manifest         (* manifest past nextUpdate *)
+  | Ik_missing_manifest       (* no usable manifest at the point *)
+  | Ik_missing_crl            (* CRL absent or undecodable *)
+  | Ik_missing_object         (* listed on the manifest but not served *)
+  | Ik_hash_mismatch          (* served bytes disagree with manifest hash *)
+  | Ik_unlisted_object        (* served but not on the manifest *)
+  | Ik_seqnum_gap             (* manifest number jumped implausibly far *)
+  | Ik_manifest_regression    (* manifest number went backwards *)
+  | Ik_bad_signature
+  | Ik_wrong_issuer
+  | Ik_rfc3779_overclaim      (* resources not a subset of the parent's *)
+  | Ik_revoked
+  | Ik_bad_max_length
+  | Ik_profile                (* CA/EE role violation *)
+  | Ik_malformed
+  | Ik_transport_unreachable
+  | Ik_transport_refused
+  | Ik_transport_dns
+  | Ik_transport_timeout      (* stalled past the fetch timeout *)
+  | Ik_transport_redirect     (* cross-origin redirect, not followed *)
+  | Ik_budget_exhausted
+  | Ik_no_publication_point
+  | Ik_rrdp_desync
+  | Ik_grace_hold
+  | Ik_unsafe_vrp             (* VRP overlapping a failed CA's resources *)
+
+let issue_kind_to_string = function
+  | Ik_expired -> "expired-cert"
+  | Ik_not_yet_valid -> "not-yet-valid"
+  | Ik_expired_crl -> "expired-crl"
+  | Ik_stale_manifest -> "stale-manifest"
+  | Ik_missing_manifest -> "missing-manifest"
+  | Ik_missing_crl -> "missing-crl"
+  | Ik_missing_object -> "missing-object"
+  | Ik_hash_mismatch -> "hash-mismatch"
+  | Ik_unlisted_object -> "unlisted-object"
+  | Ik_seqnum_gap -> "seqnum-gap"
+  | Ik_manifest_regression -> "manifest-regression"
+  | Ik_bad_signature -> "bad-signature"
+  | Ik_wrong_issuer -> "wrong-issuer"
+  | Ik_rfc3779_overclaim -> "rfc3779-overclaim"
+  | Ik_revoked -> "revoked"
+  | Ik_bad_max_length -> "bad-max-length"
+  | Ik_profile -> "profile"
+  | Ik_malformed -> "malformed"
+  | Ik_transport_unreachable -> "transport-unreachable"
+  | Ik_transport_refused -> "transport-refused"
+  | Ik_transport_dns -> "transport-dns"
+  | Ik_transport_timeout -> "transport-timeout"
+  | Ik_transport_redirect -> "transport-redirect"
+  | Ik_budget_exhausted -> "budget-exhausted"
+  | Ik_no_publication_point -> "no-publication-point"
+  | Ik_rrdp_desync -> "rrdp-desync"
+  | Ik_grace_hold -> "grace-hold"
+  | Ik_unsafe_vrp -> "unsafe-vrp"
+
+let failure_kind = function
+  | Expired _ -> Ik_expired
+  | Not_yet_valid _ -> Ik_not_yet_valid
+  | Bad_signature _ -> Ik_bad_signature
+  | Wrong_issuer _ -> Ik_wrong_issuer
+  | Resource_overclaim _ -> Ik_rfc3779_overclaim
+  | Revoked _ -> Ik_revoked
+  | Stale_crl _ -> Ik_expired_crl
+  | Not_a_ca _ | Is_a_ca _ -> Ik_profile
+  | Bad_max_length _ -> Ik_bad_max_length
+  | Malformed _ -> Ik_malformed
+
 let ( let* ) = Result.bind
 
 let check_window ~now ~not_before ~not_after =

@@ -22,6 +22,53 @@ type failure =
 val pp_failure : Format.formatter -> failure -> unit
 val failure_to_string : failure -> string
 
+(** The relying party's issue taxonomy — every reportable sync problem as a
+    closed category, mirroring the real-world RP error corpus (SNIPPETS.md):
+    expired CRLs, missing manifests, seqnum gaps, expired / not-yet-valid
+    certificates, RFC 3779 violations, manifest-number regressions, plus the
+    transport outcomes (DNS failure, connection refused, timeout,
+    cross-origin redirect).  Free-form reason strings remain as human
+    detail; the kind is what counters and benches aggregate over. *)
+type issue_kind =
+  | Ik_expired
+  | Ik_not_yet_valid
+  | Ik_expired_crl
+  | Ik_stale_manifest
+  | Ik_missing_manifest
+  | Ik_missing_crl
+  | Ik_missing_object
+  | Ik_hash_mismatch
+  | Ik_unlisted_object
+  | Ik_seqnum_gap
+  | Ik_manifest_regression
+  | Ik_bad_signature
+  | Ik_wrong_issuer
+  | Ik_rfc3779_overclaim
+  | Ik_revoked
+  | Ik_bad_max_length
+  | Ik_profile
+  | Ik_malformed
+  | Ik_transport_unreachable
+  | Ik_transport_refused
+  | Ik_transport_dns
+  | Ik_transport_timeout
+  | Ik_transport_redirect
+  | Ik_budget_exhausted
+  | Ik_no_publication_point
+  | Ik_rrdp_desync
+  | Ik_grace_hold
+  | Ik_unsafe_vrp
+
+val issue_kind_to_string : issue_kind -> string
+(** Stable kebab-case label, e.g. ["expired-crl"] — used in run summaries
+    and bench JSON. *)
+
+val failure_kind : failure -> issue_kind
+(** Where a validation {!failure} falls in the taxonomy.  [Stale_crl] maps
+    to [Ik_expired_crl]; callers validating a {e manifest} window should
+    re-map it to [Ik_stale_manifest] themselves (the failure type is shared
+    between the two checks). *)
+
 type verifier = key:Rsa.public -> signature:string -> string -> bool
 (** The shape of a signature check.  Every validation function below takes
     an optional [?verify] with {!Rsa.verify} semantics as the default; a

@@ -56,12 +56,7 @@ let fresh_serial t =
    keeps its *own* publication point consistent — inconsistency only arises
    from third-party faults, which is the distinction the manifest exists to
    surface. *)
-let republish t ~now =
-  let crl =
-    Crl.issue ~ca_key:t.key.Rsa.private_ ~issuer:t.name ~this_update:now
-      ~next_update:(Rtime.add now t.refresh_interval) ~revoked_serials:t.revoked
-  in
-  Pub_point.put t.pub ~filename:(crl_filename t) (Crl.encode crl);
+let publish_manifest t ~now =
   t.manifest_number <- t.manifest_number + 1;
   let files =
     List.filter (fun (name, _) -> name <> manifest_filename t) (Pub_point.files t.pub)
@@ -72,6 +67,14 @@ let republish t ~now =
       ~next_update:(Rtime.add now t.refresh_interval) ~files ()
   in
   Pub_point.put t.pub ~filename:(manifest_filename t) (Manifest.encode mft)
+
+let republish t ~now =
+  let crl =
+    Crl.issue ~ca_key:t.key.Rsa.private_ ~issuer:t.name ~this_update:now
+      ~next_update:(Rtime.add now t.refresh_interval) ~revoked_serials:t.revoked
+  in
+  Pub_point.put t.pub ~filename:(crl_filename t) (Crl.encode crl);
+  publish_manifest t ~now
 
 let default_validity = Rtime.year
 let default_refresh = Rtime.day * 14
@@ -171,6 +174,102 @@ let renew_roa t ~filename ~now =
     Pub_point.put t.pub ~filename (Roa.encode roa');
     republish t ~now;
     roa'
+
+(* --- the fault corpus's authority-side misbehaviors ---
+
+   The real RPKI's background noise (SNIPPETS.md): operators who let their
+   CRL lapse, publish forward-dated certificates, skip or rewind manifest
+   numbers, overclaim resources, or stop serving a manifest entirely.  Each
+   is an authority keeping its point *self-consistent* while violating one
+   currency or containment rule — exactly the kind of misbehavior third-party
+   faults (delete/corrupt/wipe) cannot express. *)
+
+(* Backdated windows clamp at the epoch: times are encoded as naturals, and
+   an injection at an early tick only needs the window to be closed, not to
+   reach a particular depth into the past. *)
+let back now delta = max Rtime.epoch (Rtime.add now (-delta))
+
+(* Publish a CRL whose nextUpdate is already past (47x "CRL has expired").
+   The manifest is regenerated over the stale CRL, so hashes still match and
+   the lapsed window is the only fault. *)
+let expire_crl t ~now =
+  let crl =
+    Crl.issue ~ca_key:t.key.Rsa.private_ ~issuer:t.name
+      ~this_update:(back now t.refresh_interval)
+      ~next_update:(back now 1) ~revoked_serials:t.revoked
+  in
+  Pub_point.put t.pub ~filename:(crl_filename t) (Crl.encode crl);
+  publish_manifest t ~now
+
+(* Re-sign a ROA with an already-closed validity window (13x "certificate
+   has expired" — the EE certificate carries the window). *)
+let expire_roa t ~filename ~now =
+  match List.assoc_opt filename t.roas with
+  | None -> invalid_arg "Authority.expire_roa: unknown ROA"
+  | Some roa ->
+    let serial = fresh_serial t in
+    let roa' =
+      Roa.issue ~ca_key:t.key.Rsa.private_ ~ca_subject:t.name ~serial ~rng:t.rng
+        ~ee_key:t.ee_key ~asid:roa.Roa.asid ~v4_entries:roa.Roa.v4_entries
+        ~v6_entries:roa.Roa.v6_entries ~not_before:(back now t.validity)
+        ~not_after:(back now 1) ~crl_uri:(crl_filename t)
+        ~aia_uri:(Pub_point.uri t.pub) ()
+    in
+    t.roas <- List.map (fun (f, r) -> if f = filename then (f, roa') else (f, r)) t.roas;
+    Pub_point.put t.pub ~filename (Roa.encode roa');
+    republish t ~now
+
+(* Re-sign a ROA forward-dated by [delay] ticks (7x "not yet valid"). *)
+let postdate_roa t ~filename ~delay ~now =
+  match List.assoc_opt filename t.roas with
+  | None -> invalid_arg "Authority.postdate_roa: unknown ROA"
+  | Some roa ->
+    let serial = fresh_serial t in
+    let roa' =
+      Roa.issue ~ca_key:t.key.Rsa.private_ ~ca_subject:t.name ~serial ~rng:t.rng
+        ~ee_key:t.ee_key ~asid:roa.Roa.asid ~v4_entries:roa.Roa.v4_entries
+        ~v6_entries:roa.Roa.v6_entries ~not_before:(Rtime.add now delay)
+        ~not_after:(Rtime.add now (delay + t.validity)) ~crl_uri:(crl_filename t)
+        ~aia_uri:(Pub_point.uri t.pub) ()
+    in
+    t.roas <- List.map (fun (f, r) -> if f = filename then (f, roa') else (f, r)) t.roas;
+    Pub_point.put t.pub ~filename (Roa.encode roa');
+    republish t ~now
+
+(* Jump the manifest number forward by [gap] (18x "seqnum gap detected"):
+   the states in between were never published, so a relying party replaying
+   the point sees the number leap. *)
+let skip_manifest_numbers t ~gap ~now =
+  t.manifest_number <- t.manifest_number + max 0 gap;
+  republish t ~now
+
+(* Publish with a manifest number lower than the last one served (2x
+   "manifest numbers lower than expected").  [republish] adds one back, so
+   the net published number drops by [by]. *)
+let regress_manifest_number t ~by ~now =
+  t.manifest_number <- max 0 (t.manifest_number - max 0 by - 1);
+  republish t ~now
+
+(* Issue a ROA for space outside this authority's own certificate (7x
+   "RFC 3779 resource not subset of parent's resources").  Returns the
+   filename; [revoke_roa] is the repair. *)
+let overclaim_roa t ~asid ~prefix ~now =
+  let serial = fresh_serial t in
+  let roa =
+    Roa.issue ~ca_key:t.key.Rsa.private_ ~ca_subject:t.name ~serial ~rng:t.rng
+      ~ee_key:t.ee_key ~asid ~v4_entries:[ Roa.entry prefix ] ~v6_entries:[]
+      ~not_before:now ~not_after:(Rtime.add now t.validity) ~crl_uri:(crl_filename t)
+      ~aia_uri:(Pub_point.uri t.pub) ()
+  in
+  let filename = Printf.sprintf "roa-%d.roa" serial in
+  t.roas <- t.roas @ [ (filename, roa) ];
+  Pub_point.put t.pub ~filename (Roa.encode roa);
+  republish t ~now;
+  filename
+
+(* Stop serving a manifest (20x "no valid manifest available") without
+   touching anything else; [refresh] is the repair. *)
+let withhold_manifest t = Pub_point.delete t.pub ~filename:(manifest_filename t)
 
 (* --- the paper's manipulations (Section 3) --- *)
 

@@ -115,6 +115,42 @@ val roll_key : t -> now:Rtime.t -> unit
 (** RFC 6489 key rollover: new keypair, new RC from the parent (old serial
     revoked), every issued object re-signed.  Filenames persist. *)
 
+(** {2 The fault corpus's authority-side misbehaviors}
+
+    The real RPKI's background noise (the SNIPPETS.md RP error corpus):
+    authorities that keep their publication point self-consistent while
+    violating one currency or containment rule.  Fed by the weighted
+    sampler in {!Fault_corpus} / {!Fault_mix}. *)
+
+val expire_crl : t -> now:Rtime.t -> unit
+(** Publish a CRL whose nextUpdate is already past (47x "CRL has expired").
+    The manifest is regenerated over it, so the lapsed window is the only
+    fault.  {!refresh} repairs. *)
+
+val expire_roa : t -> filename:string -> now:Rtime.t -> unit
+(** Re-sign a ROA with an already-closed validity window (13x "certificate
+    has expired").  {!renew_roa} repairs. *)
+
+val postdate_roa : t -> filename:string -> delay:int -> now:Rtime.t -> unit
+(** Re-sign a ROA forward-dated by [delay] ticks (7x "not yet valid").
+    {!renew_roa} repairs. *)
+
+val skip_manifest_numbers : t -> gap:int -> now:Rtime.t -> unit
+(** Jump the manifest number forward by [gap] (18x "seqnum gap detected"). *)
+
+val regress_manifest_number : t -> by:int -> now:Rtime.t -> unit
+(** Publish with a manifest number [by] lower than the last one served (2x
+    "manifest numbers lower than expected"). *)
+
+val overclaim_roa : t -> asid:int -> prefix:Rpki_ip.V4.Prefix.t -> now:Rtime.t -> string
+(** Issue a ROA for space outside this authority's own certificate (7x
+    "RFC 3779 resource not subset of parent's resources").  Returns the
+    filename; {!revoke_roa} repairs. *)
+
+val withhold_manifest : t -> unit
+(** Stop serving a manifest (20x "no valid manifest available") without
+    touching anything else.  {!refresh} repairs. *)
+
 (** {2 The paper's manipulations (Section 3)} *)
 
 val revoke_child : t -> t -> now:Rtime.t -> unit

@@ -48,6 +48,21 @@ type fetch_status =
   | Stale_cache             (* all channels failed; last-known snapshot used *)
   | Unavailable             (* all channels failed and nothing cached *)
 
+(* Routinator-style unsafe-VRP handling: a VRP whose prefix overlaps the
+   resources of a CA that failed to validate this sync may be shielding —
+   or shadowing — announcements the failed CA would have spoken for.
+   [Unsafe_accept] skips the analysis entirely (the pre-existing behavior,
+   bit-for-bit); [Unsafe_warn] computes and reports the unsafe set;
+   [Unsafe_reject] additionally drops unsafe VRPs from the effective set —
+   which silently withdraws the covering ROA's protection (the downgrade
+   the faultmix bench measures). *)
+type unsafe_policy = Unsafe_accept | Unsafe_warn | Unsafe_reject
+
+let unsafe_policy_to_string = function
+  | Unsafe_accept -> "accept"
+  | Unsafe_warn -> "warn"
+  | Unsafe_reject -> "reject"
+
 (* How the RP spends transport time during one sync. *)
 type fetch_policy = {
   point_timeout : int;      (* cap on any single request *)
@@ -57,29 +72,54 @@ type fetch_policy = {
   use_mirrors : bool;
   use_rrdp : bool;
   use_stale : bool;         (* combined with the RP's own use_stale flag *)
+  unsafe : unsafe_policy;   (* what to do with VRPs overlapping failed CAs *)
 }
 
 let default_policy =
   { point_timeout = 64; sync_budget = 4096; retries = 2; backoff = 2;
-    use_mirrors = true; use_rrdp = true; use_stale = true }
+    use_mirrors = true; use_rrdp = true; use_stale = true; unsafe = Unsafe_accept }
 
 (* The Stalloris victim: patient timeouts, eager retries, no alternate
    channels — a stalling repository eats the whole budget. *)
 let naive_policy =
   { point_timeout = 512; sync_budget = 2048; retries = 8; backoff = 0;
-    use_mirrors = false; use_rrdp = false; use_stale = true }
+    use_mirrors = false; use_rrdp = false; use_stale = true; unsafe = Unsafe_accept }
 
 (* Short timeouts, one retry, every fallback channel: the damage-confining
    counter-policy. *)
 let resilient_policy =
   { point_timeout = 16; sync_budget = 1024; retries = 1; backoff = 2;
-    use_mirrors = true; use_rrdp = true; use_stale = true }
+    use_mirrors = true; use_rrdp = true; use_stale = true; unsafe = Unsafe_accept }
 
 type issue = {
   uri : string;
   filename : string option;
-  reason : string;
+  kind : Validation.issue_kind;
+  reason : string;          (* human detail; [kind] is what gets counted *)
 }
+
+(* Per-category issue counters: descending by count, then by label, so the
+   order is deterministic and the biggest problem reads first. *)
+let issue_counts issues =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun i ->
+      Hashtbl.replace tbl i.kind (1 + Option.value (Hashtbl.find_opt tbl i.kind) ~default:0))
+    issues;
+  Hashtbl.fold (fun k n acc -> (k, n) :: acc) tbl []
+  |> List.sort (fun (k1, n1) (k2, n2) ->
+         match compare n2 n1 with
+         | 0 ->
+           String.compare
+             (Validation.issue_kind_to_string k1)
+             (Validation.issue_kind_to_string k2)
+         | c -> c)
+
+(* Honest maintenance advances a point's manifest number once per republish
+   — one per ROA renewal plus one per refresh — so between two syncs the
+   number routinely jumps by the operation count.  Only leaps beyond this
+   threshold are flagged as corpus-style seqnum gaps. *)
+let seqnum_gap_threshold = 64
 
 (* The transport-level story of one publication point's fetch. *)
 type transfer = {
@@ -117,6 +157,12 @@ let regression_to_string = function
 
 type sync_result = {
   vrps : Vrp.t list;
+  unsafe_vrps : Vrp.t list;
+  (* VRPs overlapping resources of a CA that failed this sync.  Empty under
+     [Unsafe_accept] (the analysis is skipped); under [Unsafe_reject] these
+     are additionally absent from [vrps]. *)
+  failed_resources : Resources.t;
+  (* the union of resources claimed by CAs that failed to validate *)
   issues : issue list;
   fetches : (string * fetch_status) list;
   transfers : transfer list;
@@ -364,7 +410,14 @@ let sync t ~now ~universe ?reachable ?transport ?(policy = default_policy) ?valc
     | Some vc -> Some (Valcache.verify vc)
     | None -> None
   in
-  let problem ~uri ?filename reason = issues := { uri; filename; reason } :: !issues in
+  let problem ~uri ?filename kind reason =
+    issues := { uri; filename; kind; reason } :: !issues
+  in
+  (* resources claimed by CAs that failed to validate this sync — the
+     unsafe-VRP analysis' input.  Tracked unconditionally (it is cheap);
+     the per-VRP overlap scan only runs under Warn/Reject. *)
+  let failed_resources = ref Resources.empty in
+  let note_failed rs = failed_resources := Resources.union !failed_resources rs in
   let remember uri snap fp =
     Hashtbl.replace t.cache uri { cp_files = snap; cp_fp = fp; cp_at = now }
   in
@@ -386,7 +439,7 @@ let sync t ~now ~universe ?reachable ?transport ?(policy = default_policy) ?valc
     match Universe.find universe uri with
     | None ->
       record Unavailable "none" 0;
-      problem ~uri "no such publication point";
+      problem ~uri Validation.Ik_no_publication_point "no such publication point";
       None
     | Some pp ->
       (* channel 1: the live primary, with bounded retries on a stall *)
@@ -405,11 +458,24 @@ let sync t ~now ~universe ?reachable ?transport ?(policy = default_policy) ?valc
               spend (min (backoff_delay policy ~uri ~attempt) (max 0 (remaining ())));
               live (attempt + 1)
             end
-            else `Failed "stalled past the fetch timeout"
+            else `Failed (Validation.Ik_transport_timeout, "stalled past the fetch timeout")
           | Transport.Unroutable { elapsed } ->
-            (* no route: retrying within this sync cannot help *)
+            (* no route: retrying within this sync cannot help.  The fault
+               table tells refused / DNS / redirect failures apart — same
+               price, different attribution (the corpus records them as
+               distinct outcomes). *)
             spend elapsed;
-            `Failed "unreachable"
+            let attribution =
+              match Transport.fault_of transport ~uri with
+              | Transport.Refused -> (Validation.Ik_transport_refused, "connection refused")
+              | Transport.Dns_failure ->
+                (Validation.Ik_transport_dns, "no address associated with name")
+              | Transport.Redirect origin ->
+                ( Validation.Ik_transport_redirect,
+                  Printf.sprintf "cross-origin redirect to %s" origin )
+              | _ -> (Validation.Ik_transport_unreachable, "unreachable")
+            in
+            `Failed attribution
         end
       in
       (* channel 2: rsync mirrors, in registration order *)
@@ -463,7 +529,7 @@ let sync t ~now ~universe ?reachable ?transport ?(policy = default_policy) ?valc
                 in
                 match Rrdp.sync client server with
                 | exception Rrdp.Desync msg ->
-                  problem ~uri (Printf.sprintf "RRDP desync: %s" msg);
+                  problem ~uri Validation.Ik_rrdp_desync (Printf.sprintf "RRDP desync: %s" msg);
                   Hashtbl.remove t.rrdp_clients uri;
                   None
                 | _ ->
@@ -471,16 +537,19 @@ let sync t ~now ~universe ?reachable ?transport ?(policy = default_policy) ?valc
                   Some (Pub_point.uri endpoint, files, Pub_point.fingerprint_of_listing files))
             end
       in
-      (* channel 4: the stale local copy, its age on the record *)
-      let stale why =
+      (* channel 4: the stale local copy, its age on the record.  Fallback
+         issues keep the kind of the *primary* failure, so the per-category
+         counters attribute the underlying transport problem even when a
+         fallback channel saved the sync. *)
+      let stale (kind, why) =
         match Hashtbl.find_opt t.cache uri with
         | Some cp when allow_stale ->
           record Stale_cache "cache" (Rtime.diff now cp.cp_at);
-          problem ~uri (Printf.sprintf "publication point %s; using stale cache" why);
+          problem ~uri kind (Printf.sprintf "publication point %s; using stale cache" why);
           Some (cp.cp_files, cp.cp_fp)
         | _ ->
           record Unavailable "none" 0;
-          problem ~uri (Printf.sprintf "publication point %s" why);
+          problem ~uri kind (Printf.sprintf "publication point %s" why);
           None
       in
       (match live 0 with
@@ -489,16 +558,16 @@ let sync t ~now ~universe ?reachable ?transport ?(policy = default_policy) ?valc
         record Fetched "live" 0;
         Some (files, fp)
       | (`Failed _ | `Give_up) as failure -> (
-        let why =
+        let ((kind, why) as attribution) =
           match failure with
-          | `Failed reason -> reason
-          | `Give_up -> "skipped: sync budget exhausted"
+          | `Failed attribution -> attribution
+          | `Give_up -> (Validation.Ik_budget_exhausted, "skipped: sync budget exhausted")
         in
         match try_mirrors () with
         | Some (mirror, files, fp) ->
           remember uri files fp;
           record Fetched_mirror ("mirror:" ^ Pub_point.uri mirror) 0;
-          problem ~uri
+          problem ~uri kind
             (Printf.sprintf "primary %s; fetched mirror %s" why (Pub_point.uri mirror));
           Some (files, fp)
         | None -> (
@@ -506,9 +575,9 @@ let sync t ~now ~universe ?reachable ?transport ?(policy = default_policy) ?valc
           | Some (ep_uri, files, fp) ->
             remember uri files fp;
             record Fetched_rrdp ("rrdp:" ^ ep_uri) 0;
-            problem ~uri (Printf.sprintf "primary %s; synced via RRDP %s" why ep_uri);
+            problem ~uri kind (Printf.sprintf "primary %s; synced via RRDP %s" why ep_uri);
             Some (files, fp)
-          | None -> stale why)))
+          | None -> stale attribution)))
   in
   (* Validate and walk one CA's publication point. *)
   let rec process_ca (ca_cert : Cert.t) =
@@ -518,10 +587,17 @@ let sync t ~now ~universe ?reachable ?transport ?(policy = default_policy) ?valc
       Hashtbl.add seen_keys key ();
       cas := ca_cert.Cert.subject :: !cas;
       match ca_cert.Cert.repo_uri with
-      | None -> problem ~uri:"-" (Printf.sprintf "CA %s has no repository" ca_cert.Cert.subject)
+      | None ->
+        note_failed ca_cert.Cert.resources;
+        problem ~uri:"-" Validation.Ik_no_publication_point
+          (Printf.sprintf "CA %s has no repository" ca_cert.Cert.subject)
       | Some uri -> (
         match fetch uri with
-        | None -> ()
+        | None ->
+          (* every channel failed and nothing was cached: the CA's whole
+             subtree is invisible this sync, so its claimed resources join
+             the failed set the unsafe-VRP analysis scans against *)
+          note_failed ca_cert.Cert.resources
         | Some (snapshot, snap_fp) ->
           let memo_key = uri ^ "\x00" ^ key in
           let parent_fp = cert_fp ca_cert in
@@ -558,10 +634,11 @@ let sync t ~now ~universe ?reachable ?transport ?(policy = default_policy) ?valc
           in
           issues :=
             List.rev_append
-              (List.map (fun (filename, reason) -> { uri; filename; reason })
+              (List.map (fun (filename, kind, reason) -> { uri; filename; kind; reason })
                  entry.Valcache.o_issues)
               !issues;
           vrps := entry.Valcache.o_vrps @ !vrps;
+          note_failed entry.Valcache.o_failed_resources;
           (* transparency: record the state this point served us.  The leaf
              is content-addressed, so a memo replay of an unchanged point
              dedups to a no-op, while a split-view authority serving this
@@ -578,6 +655,26 @@ let sync t ~now ~universe ?reachable ?transport ?(policy = default_policy) ?valc
           (match Rpki_transparency.Log.append t.tlog ob with
           | `Appended _ ->
             incr appended;
+            (* corpus-style manifest-number anomalies, judged against this
+               run's own history for the point (serial 0 means "no manifest
+               served" and is excluded — that is already a missing-manifest
+               issue).  A leap past the honest-churn threshold is a seqnum
+               gap; any step backwards is a manifest-number regression. *)
+            (match prev with
+            | Some p
+              when ob.Rpki_transparency.Log.ob_serial > 0
+                   && p.Rpki_transparency.Log.ob_serial > 0 ->
+              let prev_serial = p.Rpki_transparency.Log.ob_serial in
+              let now_serial = ob.Rpki_transparency.Log.ob_serial in
+              if now_serial - prev_serial > seqnum_gap_threshold then
+                problem ~uri Validation.Ik_seqnum_gap
+                  (Printf.sprintf "seqnum gap detected: manifest #%d -> #%d" prev_serial
+                     now_serial)
+              else if now_serial < prev_serial then
+                problem ~uri Validation.Ik_manifest_regression
+                  (Printf.sprintf "manifest number lower than expected: #%d -> #%d"
+                     prev_serial now_serial)
+            | _ -> ());
             (* the point's state changed — does it contradict the history this
                instance *restored from disk*?  A lower manifest number than the
                restored baseline recorded is a served rollback; a different
@@ -621,9 +718,12 @@ let sync t ~now ~universe ?reachable ?transport ?(policy = default_policy) ?valc
     let local_issues = ref [] in
     let local_vrps = ref [] in
     let children = ref [] in
+    let failed = ref Resources.empty in
     let boundaries = ref [ ca_cert.Cert.not_before; ca_cert.Cert.not_after ] in
     let window (c : Cert.t) = boundaries := c.Cert.not_before :: c.Cert.not_after :: !boundaries in
-    let problem ?filename reason = local_issues := (filename, reason) :: !local_issues in
+    let problem ?filename kind reason =
+      local_issues := (filename, kind, reason) :: !local_issues
+    in
     let decode_file filename =
       match List.assoc_opt filename snapshot with
       | None -> None
@@ -639,7 +739,7 @@ let sync t ~now ~universe ?reachable ?transport ?(policy = default_policy) ?valc
             boundaries := m.Manifest.this_update :: m.Manifest.next_update :: !boundaries);
           Some o
         | Error e ->
-          problem ~filename e;
+          problem ~filename Validation.Ik_malformed e;
           None)
     in
     (* the CA's own manifest, if present and well-formed *)
@@ -661,13 +761,22 @@ let sync t ~now ~universe ?reachable ?transport ?(policy = default_policy) ?valc
         match Validation.validate_manifest ?verify ~now ~parent:ca_cert m with
         | Ok () -> Some m
         | Error f ->
-          problem ~filename:mft_name (Validation.failure_to_string f);
+          (* the shared Stale_crl failure means "window closed" here — on a
+             manifest that is staleness, not an expired CRL *)
+          let kind =
+            match f with
+            | Validation.Stale_crl _ -> Validation.Ik_stale_manifest
+            | f -> Validation.failure_kind f
+          in
+          problem ~filename:mft_name kind (Validation.failure_to_string f);
           None)
       | Some _ ->
-        problem ~filename:mft_name "manifest slot holds a different object";
+        problem ~filename:mft_name Validation.Ik_missing_manifest
+          "manifest slot holds a different object";
         None
       | None ->
-        problem ~filename:mft_name "manifest missing or undecodable";
+        problem ~filename:mft_name Validation.Ik_missing_manifest
+          "manifest missing or undecodable";
         None
     in
     (* manifest completeness / integrity check *)
@@ -677,15 +786,19 @@ let sync t ~now ~universe ?reachable ?transport ?(policy = default_policy) ?valc
       List.iter
         (fun (e : Manifest.entry) ->
           match List.assoc_opt e.Manifest.filename snapshot with
-          | None -> problem ~filename:e.Manifest.filename "listed on manifest but missing"
+          | None ->
+            problem ~filename:e.Manifest.filename Validation.Ik_missing_object
+              "listed on manifest but missing"
           | Some bytes ->
             if not (Rpki_crypto.Hmac.equal_digest (Rpki_crypto.Sha256.digest bytes) e.Manifest.hash)
-            then problem ~filename:e.Manifest.filename "hash mismatch with manifest")
+            then
+              problem ~filename:e.Manifest.filename Validation.Ik_hash_mismatch
+                "hash mismatch with manifest")
         m.Manifest.entries;
       List.iter
         (fun (filename, _) ->
           if filename <> mft_name && Manifest.find m filename = None then
-            problem ~filename "present but not listed on manifest")
+            problem ~filename Validation.Ik_unlisted_object "present but not listed on manifest")
         snapshot);
     (* the CA's CRL for the objects it issued *)
     let crl_name = ca_cert.Cert.subject ^ ".crl" in
@@ -695,10 +808,11 @@ let sync t ~now ~universe ?reachable ?transport ?(policy = default_policy) ?valc
         match Validation.validate_crl ?verify ~now ~parent:ca_cert c with
         | Ok () -> Some c
         | Error f ->
-          problem ~filename:crl_name (Validation.failure_to_string f);
+          problem ~filename:crl_name (Validation.failure_kind f)
+            (Validation.failure_to_string f);
           None)
       | Some _ | None ->
-        problem ~filename:crl_name "CRL missing or undecodable";
+        problem ~filename:crl_name Validation.Ik_missing_crl "CRL missing or undecodable";
         None
     in
     (* process every other object at the point *)
@@ -711,13 +825,20 @@ let sync t ~now ~universe ?reachable ?transport ?(policy = default_policy) ?valc
           | Some (Obj.Cert c) -> (
             match Validation.validate_cert ?verify ~now ~parent:ca_cert ?crl c with
             | Ok () -> if c.Cert.is_ca then children := c :: !children
-            | Error f -> problem ~filename (Validation.failure_to_string f))
+            | Error f ->
+              (* a child CA that fails here is a CA we cannot descend into:
+                 whatever it would have spoken for is dark, so its claimed
+                 resources feed the unsafe-VRP analysis *)
+              if c.Cert.is_ca then failed := Resources.union !failed c.Cert.resources;
+              problem ~filename (Validation.failure_kind f) (Validation.failure_to_string f))
           | Some (Obj.Roa r) -> (
             match Validation.validate_roa ?verify ~now ~parent:ca_cert ?crl r with
             | Ok vs -> local_vrps := vs @ !local_vrps
-            | Error f -> problem ~filename (Validation.failure_to_string f))
-          | Some (Obj.Crl _) -> problem ~filename "unexpected extra CRL"
-          | Some (Obj.Manifest _) -> problem ~filename "unexpected extra manifest"
+            | Error f ->
+              problem ~filename (Validation.failure_kind f) (Validation.failure_to_string f))
+          | Some (Obj.Crl _) -> problem ~filename Validation.Ik_unlisted_object "unexpected extra CRL"
+          | Some (Obj.Manifest _) ->
+            problem ~filename Validation.Ik_unlisted_object "unexpected extra manifest"
         end)
       snapshot;
     { Valcache.o_parent_fp = parent_fp;
@@ -727,6 +848,7 @@ let sync t ~now ~universe ?reachable ?transport ?(policy = default_policy) ?valc
       o_subject = ca_cert.Cert.subject;
       o_vrps = !local_vrps;
       o_issues = List.rev !local_issues;
+      o_failed_resources = !failed;
       o_children = List.rev !children;
       o_mft_number = !mft_number;
       o_mft_hash = mft_hash }
@@ -737,16 +859,19 @@ let sync t ~now ~universe ?reachable ?transport ?(policy = default_policy) ?valc
       | None -> ()
       | Some (snapshot, _) -> (
         match List.assoc_opt tal.ta_cert_filename snapshot with
-        | None -> problem ~uri:tal.ta_uri ~filename:tal.ta_cert_filename "TA certificate missing"
+        | None ->
+          problem ~uri:tal.ta_uri ~filename:tal.ta_cert_filename Validation.Ik_missing_object
+            "TA certificate missing"
         | Some bytes -> (
           match Cert.decode bytes with
-          | Error e -> problem ~uri:tal.ta_uri ~filename:tal.ta_cert_filename e
+          | Error e ->
+            problem ~uri:tal.ta_uri ~filename:tal.ta_cert_filename Validation.Ik_malformed e
           | Ok cert -> (
             match Validation.validate_trust_anchor ?verify ~now ~expected_key:tal.ta_key cert with
             | Ok () -> process_ca cert
             | Error f ->
               problem ~uri:tal.ta_uri ~filename:tal.ta_cert_filename
-                (Validation.failure_to_string f)))))
+                (Validation.failure_kind f) (Validation.failure_to_string f)))))
     t.tals;
   let current = List.sort_uniq Vrp.compare !vrps in
   let effective =
@@ -774,11 +899,42 @@ let sync t ~now ~universe ?reachable ?transport ?(policy = default_policy) ?valc
       List.iter
         (fun v ->
           issues :=
-            { uri = "-"; filename = None;
+            { uri = "-"; filename = None; kind = Validation.Ik_grace_hold;
               reason = Printf.sprintf "grace: holding disappeared VRP %s" (Vrp.to_string v) }
             :: !issues)
         held;
       List.sort_uniq Vrp.compare (current @ held)
+  in
+  (* Routinator-style unsafe-VRP analysis: a VRP whose prefix overlaps the
+     resources of a CA that failed this sync.  [Unsafe_accept] skips the
+     scan entirely — the pre-existing behavior, byte for byte.  Warn and
+     Reject both report the set; Reject additionally withdraws it from the
+     effective VRPs (and thus from the index, the diff and RTR). *)
+  let unsafe_vrps, effective =
+    match policy.unsafe with
+    | Unsafe_accept -> ([], effective)
+    | Unsafe_warn | Unsafe_reject ->
+      let failed = !failed_resources in
+      let unsafe =
+        if Resources.is_empty failed then []
+        else
+          List.filter
+            (fun (v : Vrp.t) ->
+              Resources.overlaps
+                (Resources.make ~v4:(Rpki_ip.V4.Set.of_prefix v.Vrp.prefix) ())
+                failed)
+            effective
+      in
+      List.iter
+        (fun v ->
+          problem ~uri:"-" Validation.Ik_unsafe_vrp
+            (Printf.sprintf "unsafe VRP %s: overlaps resources of a CA that failed to validate (%s)"
+               (Vrp.to_string v) (unsafe_policy_to_string policy.unsafe)))
+        unsafe;
+      ( unsafe,
+        if policy.unsafe = Unsafe_reject && unsafe <> [] then
+          List.filter (fun v -> not (List.exists (fun u -> Vrp.compare u v = 0) unsafe)) effective
+        else effective )
   in
   (* The diff against the previous sync is the currency everything
      downstream consumes: it patches the trie here and becomes the RTR
@@ -788,6 +944,8 @@ let sync t ~now ~universe ?reachable ?transport ?(policy = default_policy) ?valc
   t.effective_vrps <- effective;
   let result =
     { vrps = effective;
+      unsafe_vrps;
+      failed_resources = !failed_resources;
       issues = List.rev !issues;
       fetches = List.rev !fetches;
       transfers = List.rev !transfers;

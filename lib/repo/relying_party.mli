@@ -43,6 +43,19 @@ type fetch_status =
   | Stale_cache      (** all channels failed; last-known snapshot used *)
   | Unavailable      (** all channels failed and nothing cached *)
 
+(** What to do with {e unsafe} VRPs — VRPs whose prefix overlaps the
+    resources of a CA that failed to fetch or validate this sync
+    (Routinator's [--unsafe-vrps] analysis).  Such a VRP may be the last
+    surviving cover of address space whose more-specific ROAs just became
+    invisible: keeping it can flip routes of the failed CA's customers to
+    Invalid, dropping it abandons the covered space to hijack. *)
+type unsafe_policy =
+  | Unsafe_accept  (** use them unchanged; no analysis is run *)
+  | Unsafe_warn    (** use them, but report each as an {!issue} *)
+  | Unsafe_reject  (** drop them from the effective set (and report) *)
+
+val unsafe_policy_to_string : unsafe_policy -> string
+
 type fetch_policy = {
   point_timeout : int;  (** cap on any single request, in transport ticks *)
   sync_budget : int;    (** cap on the whole sync's transport time *)
@@ -51,6 +64,8 @@ type fetch_policy = {
   use_mirrors : bool;
   use_rrdp : bool;
   use_stale : bool;     (** ANDed with the RP's own [use_stale] flag *)
+  unsafe : unsafe_policy;  (** unsafe-VRP handling; [Unsafe_accept] in every
+                               canned policy *)
 }
 (** How the RP spends transport time during one sync. *)
 
@@ -68,9 +83,20 @@ val resilient_policy : fetch_policy
 type issue = {
   uri : string;
   filename : string option;
-  reason : string;
+  kind : Validation.issue_kind;  (** the corpus-aligned category *)
+  reason : string;               (** human-readable detail *)
 }
-(** One fetch or validation problem, attributed to a location. *)
+(** One fetch or validation problem, attributed to a location and
+    classified into the typed {!Validation.issue_kind} taxonomy. *)
+
+val issue_counts : issue list -> (Validation.issue_kind * int) list
+(** Per-category totals over a sync's issues, most frequent first (ties
+    broken by category label) — the run summary's histogram. *)
+
+val seqnum_gap_threshold : int
+(** Manifest-number jumps at most this large are treated as honest churn
+    (every republish advances the number); larger jumps raise
+    {!Validation.Ik_seqnum_gap}. *)
 
 type transfer = {
   t_uri : string;
@@ -106,6 +132,14 @@ val regression_to_string : regression -> string
 
 type sync_result = {
   vrps : Vrp.t list;                       (** the effective VRP set, sorted *)
+  unsafe_vrps : Vrp.t list;                (** VRPs overlapping a failed CA's
+                                               resources; [[]] under
+                                               [Unsafe_accept].  Under
+                                               [Unsafe_reject] they are also
+                                               excluded from [vrps]. *)
+  failed_resources : Resources.t;          (** union of resources of every CA
+                                               that failed to fetch or
+                                               validate this sync *)
   issues : issue list;
   fetches : (string * fetch_status) list;
   transfers : transfer list;               (** per-point transport accounting *)

@@ -24,13 +24,21 @@ type fault =
   | Healthy
   | Slow of int        (* additive latency on every request *)
   | Stalling of int    (* trickle-served: multiplies transfer time *)
-  | Unreachable        (* connection refused / black-holed *)
+  | Unreachable        (* black-holed: no route at all *)
+  | Refused            (* connection refused: the host answers, with a RST *)
+  | Dns_failure        (* no address associated with name *)
+  | Timing_out         (* connect timeout: every attempt outlives the budget *)
+  | Redirect of string (* cross-origin redirect; RPs refuse to follow *)
 
 let fault_to_string = function
   | Healthy -> "healthy"
   | Slow d -> Printf.sprintf "slow(+%d)" d
   | Stalling k -> Printf.sprintf "stalling(x%d)" k
   | Unreachable -> "unreachable"
+  | Refused -> "refused"
+  | Dns_failure -> "dns-failure"
+  | Timing_out -> "timing-out"
+  | Redirect origin -> Printf.sprintf "redirect(%s)" origin
 
 type t = {
   mutable latency_of : Pub_point.t -> int option;
@@ -80,11 +88,15 @@ let probe t ~(point : Pub_point.t) ~timeout =
   | None -> `Unroutable (min t.failure_cost timeout)
   | Some base -> (
     match fault_of t ~uri with
-    | Unreachable -> `Unroutable (min t.failure_cost timeout)
+    (* the corpus's fast failures all price alike — what differs is the
+       attribution the relying party records (see [fault_of]) *)
+    | Unreachable | Refused | Dns_failure | Redirect _ ->
+      `Unroutable (min t.failure_cost timeout)
+    | Timing_out -> `Stalled timeout
     | fault ->
       let dt =
         match fault with
-        | Healthy | Unreachable -> base
+        | Healthy | Unreachable | Refused | Dns_failure | Timing_out | Redirect _ -> base
         | Slow d -> base + d
         (* a stall multiplies the whole transfer; [base + 1] so that even a
            zero-latency link stalls once an adversary throttles it *)

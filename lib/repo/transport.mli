@@ -15,7 +15,14 @@ type fault =
   | Healthy
   | Slow of int        (** additive latency on every request *)
   | Stalling of int    (** Stalloris-style trickle: multiplies transfer time *)
-  | Unreachable        (** connection refused / black-holed *)
+  | Unreachable        (** black-holed: no route at all *)
+  | Refused            (** connection refused — fails as fast as unreachable,
+                           but the relying party attributes it differently *)
+  | Dns_failure        (** no address associated with name *)
+  | Timing_out         (** connect timeout: every attempt outlives the
+                           caller's timeout, like a total stall *)
+  | Redirect of string (** cross-origin redirect to the given origin; RPs
+                           refuse to follow, so the fetch fails fast *)
 
 val fault_to_string : fault -> string
 

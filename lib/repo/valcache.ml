@@ -36,7 +36,11 @@ type outcome = {
   o_boundaries : Rtime.t list;   (* every validity boundary consulted *)
   o_subject : string;
   o_vrps : Vrp.t list;           (* the point's direct VRP contribution *)
-  o_issues : (string option * string) list;  (* filename, reason — no URI *)
+  o_issues : (string option * Validation.issue_kind * string) list;
+                                 (* filename, kind, reason — no URI *)
+  o_failed_resources : Resources.t;
+                                 (* resources claimed by child CA certs that
+                                    failed validation here — unsafe-VRP input *)
   o_children : Cert.t list;      (* validated child CA certs, in file order *)
   o_mft_number : int;            (* manifest number as served; 0 if none *)
   o_mft_hash : string;           (* SHA-256 of the manifest bytes; "" if none *)

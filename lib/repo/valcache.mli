@@ -36,10 +36,14 @@ type outcome = {
   o_boundaries : Rtime.t list;  (** every validity boundary consulted *)
   o_subject : string;
   o_vrps : Vrp.t list;      (** the point's direct VRP contribution *)
-  o_issues : (string option * string) list;
-      (** (filename, reason) — deliberately URI-free: the outcome is a
+  o_issues : (string option * Validation.issue_kind * string) list;
+      (** (filename, kind, reason) — deliberately URI-free: the outcome is a
           function of content only, and each relying party re-attaches its
           own URI when replaying *)
+  o_failed_resources : Resources.t;
+      (** resources claimed by child CA certificates that failed validation
+          at this point — the unsafe-VRP analysis' per-point contribution,
+          a pure function of content like everything else here *)
   o_children : Cert.t list; (** validated child CA certs, in file order *)
   o_mft_number : int;       (** manifest number as served; 0 if none *)
   o_mft_hash : string;      (** SHA-256 of the manifest bytes; "" if none *)

@@ -61,6 +61,7 @@ type t = {
   mutable bytes_received : int;
   mutable replays : int;
   mutable resets : int;
+  mutable unsafe_count : int;       (* unsafe VRPs behind the published set *)
 }
 
 let of_cache cache =
@@ -68,7 +69,8 @@ let of_cache cache =
     reset_bytes = Pdu.encode Pdu.Cache_reset; dirty = false; bumps_pending = 0;
     publishes = 0;
     serial_bumps = 0; notify_batches = 0; coalesced = 0; encode_calls = 0;
-    bytes_encoded = 0; bytes_sent = 0; bytes_received = 0; replays = 0; resets = 0 }
+    bytes_encoded = 0; bytes_sent = 0; bytes_received = 0; replays = 0; resets = 0;
+    unsafe_count = 0 }
 
 let create ?session_id ?history_limit () =
   of_cache (Session.create_cache ?session_id ?history_limit ())
@@ -109,6 +111,11 @@ let publish_diff ?expect_base t diff =
   mutating t (fun () -> Session.publish_diff ?expect_base t.cache diff)
 
 let set_data_age t age = Session.set_data_age t.cache age
+
+(* Unsafe-VRP accounting rides next to data age: a pure annotation on the
+   published set, no PDU or buffer consequences. *)
+let set_unsafe t n = t.unsafe_count <- n
+let unsafe_count t = t.unsafe_count
 
 let hold t ~prefix ~vrps = mutating t (fun () -> Session.hold t.cache ~prefix ~vrps)
 let release t ~prefix = mutating t (fun () -> Session.release t.cache ~prefix)

@@ -63,6 +63,15 @@ val publish_diff : ?expect_base:int64 -> t -> Vrp.diff -> unit
     [expect_base] disagrees with the feed. *)
 
 val set_data_age : t -> int -> unit
+
+val set_unsafe : t -> int -> unit
+(** Record how many unsafe VRPs sit behind the published set (reported by
+    the relying party's unsafe-VRP analysis).  Pure annotation — routers
+    never see it on the wire, monitoring reads it off the serving plane
+    via {!unsafe_count}. *)
+
+val unsafe_count : t -> int
+
 val hold : t -> prefix:V4.Prefix.t -> vrps:Vrp.t list -> unit
 val release : t -> prefix:V4.Prefix.t -> unit
 

@@ -98,6 +98,7 @@ and tick_record = {
                                    sync phase, across all vantages *)
   sig_saved : int;              (* verifications answered by the shared
                                    validation plane's verdict memo; 0 without it *)
+  unsafe_count : int;           (* unsafe VRPs the primary's sync reported *)
 }
 
 (* Latency of one request to a publication point, from the data plane the
@@ -439,7 +440,8 @@ let step t ~now =
     in
     Rpki_rtr.Server.publish_diff ~expect_base:(Vrp.fingerprint base) t.rtr
       r.Relying_party.diff;
-    Rpki_rtr.Server.set_data_age t.rtr (Relying_party.max_data_age r)
+    Rpki_rtr.Server.set_data_age t.rtr (Relying_party.max_data_age r);
+    Rpki_rtr.Server.set_unsafe t.rtr (List.length r.Relying_party.unsafe_vrps)
   | None -> ());
   (* a sync that contradicted the primary's own restored history is local
      evidence — no gossip needed — and freezes the affected prefixes at the
@@ -613,7 +615,11 @@ let step t ~now =
       regressions;
       rtr_holds = List.length (Rpki_rtr.Session.cache_holds (rtr_cache t));
       sig_checks;
-      sig_saved }
+      sig_saved;
+      unsafe_count =
+        (match result with
+        | Some r -> List.length r.Relying_party.unsafe_vrps
+        | None -> 0) }
   in
   (* epoch-based eviction at the tick boundary: entries whose every
      consulted validity window has closed can never serve another hit *)
@@ -968,6 +974,75 @@ let world_scenario ?(policy = Policy.Drop_invalid) ?(grace = 4) ?(monitors = 2)
     wr_target_authority = World.victim_ca w;
     wr_monitors = List.map monitor_name monitor_asns; wr_disk = disk;
     wr_respawn = respawn }
+
+(* --- the canned fault-mix scenario --------------------------------------
+
+   Corpus-calibrated background noise over a closed loop: a
+   {!Rpki_repo.Fault_mix} engine rolls every authority each tick against a
+   fault rate, injecting the empirical RP error mix (expired CRLs, withheld
+   manifests, seqnum gaps, expired / forward-dated ROAs, RFC 3779
+   overclaims, manifest regressions, transport failures) while the primary
+   syncs under a configurable unsafe-VRP policy.  The rig also names the
+   sub-CA whose loss the graceful-degradation demo studies: whacking its
+   publication point makes its resources join the failed set, turning the
+   parent's covering ROA into an unsafe VRP. *)
+
+type fault_mix_rig = {
+  fm_sim : t;
+  fm_engine : Fault_mix.t;
+  fm_targets : Authority.t list;     (* authorities the engine rolls *)
+  fm_victim_authority : Authority.t; (* the sub-CA the downgrade demo whacks *)
+  fm_victim_uri : string;            (* its publication point *)
+  fm_victim_prefix : V4.Prefix.t;    (* the prefix its ROA protects *)
+  fm_victim_origin : int;            (* the legitimate origin AS *)
+  fm_model : Model.t option;         (* the canned fixture, when used *)
+  fm_world : World.world option;     (* the generated world, when used *)
+}
+
+let fault_mix_scenario ?(policy = Policy.Drop_invalid) ?grace
+    ?(unsafe = Relying_party.Unsafe_accept)
+    ?(fetch_policy = Relying_party.default_policy) ?(seed = 0x5eed)
+    ?(rate = 0.) ?repair_after ?world () =
+  let engine = Fault_mix.create ~seed ~rate ?repair_after () in
+  let fetch_policy = { fetch_policy with Relying_party.unsafe } in
+  match world with
+  | None ->
+    (* the Figure 5 (right) fixture: Continental's /20 ROA under Sprint's
+       covering /12-13 ROA — exactly the covering-ROA shape the unsafe
+       analysis is about *)
+    let sc = section6_scenario ~policy ?grace () in
+    set_fetch_policy sc.sim fetch_policy;
+    let m = sc.model in
+    { fm_sim = sc.sim; fm_engine = engine;
+      fm_targets =
+        [ m.Model.arin; m.Model.sprint; m.Model.etb; m.Model.continental ];
+      fm_victim_authority = m.Model.continental;
+      fm_victim_uri = Pub_point.uri (Authority.pub m.Model.continental);
+      fm_victim_prefix = V4.p "63.174.16.0/20";
+      fm_victim_origin = Model.as_continental;
+      fm_model = Some m; fm_world = None }
+  | Some spec ->
+    let rig = world_scenario ~policy ~monitors:0 ~fetch_policy ~world:spec () in
+    let w = rig.wr_world in
+    { fm_sim = rig.wr_sim; fm_engine = engine;
+      fm_targets = World.root w :: List.map snd (World.cas w);
+      fm_victim_authority = rig.wr_target_authority;
+      fm_victim_uri = Pub_point.uri (Authority.pub rig.wr_target_authority);
+      fm_victim_prefix = World.prefix_of w (World.victim w);
+      fm_victim_origin = World.victim w;
+      fm_model = None; fm_world = Some w }
+
+(* One fault-mix tick: roll the engine (repairs due faults, injects fresh
+   ones on the authorities and the primary's transport), then run the
+   ordinary loop step.  Returns the tick's fresh injections with its
+   record. *)
+let fault_mix_step rig ~now =
+  let injections =
+    Fault_mix.tick rig.fm_engine ~targets:rig.fm_targets
+      ~transports:[ transport rig.fm_sim ] ~now
+  in
+  let record = step rig.fm_sim ~now in
+  (injections, record)
 
 (* --- the canned long-run soak scenario ----------------------------------
 

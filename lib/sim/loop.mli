@@ -97,6 +97,10 @@ and tick_record = {
   sig_saved : int;              (** verifications answered by the shared
                                     validation plane's verdict memo this
                                     tick; 0 when it is disabled *)
+  unsafe_count : int;           (** unsafe VRPs the primary's sync reported
+                                    this tick (see
+                                    {!Relying_party.unsafe_policy}); also
+                                    annotated on the RTR serving plane *)
 }
 
 val create :
@@ -476,6 +480,54 @@ val world_scenario :
     scaled to the world's publication-point count.  [persist] (default
     false) adds end-of-tick snapshots on a fresh simulated disk and a
     respawn builder — the restart-scenario rigging. *)
+
+(** {2 The canned fault-mix scenario}
+
+    Corpus-calibrated background noise over a closed loop: a
+    {!Rpki_repo.Fault_mix} engine rolls every authority each tick against a
+    fault rate, injecting the empirical relying-party error mix while the
+    primary syncs under a configurable {!Relying_party.unsafe_policy}. *)
+
+type fault_mix_rig = {
+  fm_sim : t;
+  fm_engine : Rpki_repo.Fault_mix.t;
+  fm_targets : Rpki_repo.Authority.t list;
+      (** the authorities the engine rolls each tick *)
+  fm_victim_authority : Rpki_repo.Authority.t;
+      (** the sub-CA whose loss the graceful-degradation demo studies:
+          whack or unroute its point and its resources join the failed
+          set, turning the parent's covering ROA into an unsafe VRP *)
+  fm_victim_uri : string;          (** its publication point *)
+  fm_victim_prefix : Rpki_ip.V4.Prefix.t;  (** the prefix its ROA protects *)
+  fm_victim_origin : int;          (** the legitimate origin AS *)
+  fm_model : Model.t option;       (** the canned fixture, when used *)
+  fm_world : Rpki_world.Synthesis.world option;
+}
+
+val fault_mix_scenario :
+  ?policy:Policy.t ->
+  ?grace:int ->
+  ?unsafe:Relying_party.unsafe_policy ->
+  ?fetch_policy:Relying_party.fetch_policy ->
+  ?seed:int ->
+  ?rate:float ->
+  ?repair_after:int ->
+  ?world:Rpki_world.Synthesis.spec ->
+  unit ->
+  fault_mix_rig
+(** Without [world]: the {!section6_scenario} fixture (Continental's /20
+    ROA under Sprint's covering /12-13 ROA — exactly the covering-ROA
+    shape the unsafe analysis is about), victim = Continental.  With
+    [world]: a generated world via {!world_scenario} (no monitors),
+    victim = the world's designated victim CA.  [unsafe] (default
+    [Unsafe_accept]) is spliced into [fetch_policy] (default
+    {!Relying_party.default_policy}); [seed]/[rate]/[repair_after] go to
+    {!Rpki_repo.Fault_mix.create}. *)
+
+val fault_mix_step : fault_mix_rig -> now:Rtime.t -> Rpki_repo.Fault_mix.injection list * tick_record
+(** One fault-mix tick: {!Rpki_repo.Fault_mix.tick} the engine (repair due
+    faults, inject fresh ones on the targets and the primary's transport),
+    then {!step}. *)
 
 (** {2 The canned long-run soak scenario}
 

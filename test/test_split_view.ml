@@ -263,6 +263,73 @@ let test_late_fork_rolls_back_last_good () =
   Alcotest.(check bool) "suppressed VRP pinned at the honest state" true
     (has_target (Rpki_rtr.Session.cache_vrps (Loop.rtr_cache t)))
 
+(* The equivocation alarm, driven for real: a hand-built vantage pair where
+   the "equivocator" gossips one signed tree head, then is swapped for a
+   same-named RP (same deterministic signing key, same log id) synced on a
+   universe with one ROA's content changed — a head of the same size with a
+   different root, which no consistency proof can justify.  The monitor's
+   next pull must raise [Gossip.Inconsistent_heads] naming the peer, not a
+   log-reset (the log id never changed) and not a fork (no delta records
+   to cross-check). *)
+let test_equivocating_head_raises_inconsistent_heads () =
+  let endpoint name ip =
+    Pub_point.create ~uri:("rsync://" ^ name ^ ".example/log")
+      ~addr:(Rpki_ip.V4.addr_of_string_exn ip) ~host_asn:64600
+  in
+  let m_a = Model.build () in
+  let rp_eq = Model.relying_party ~name:"equivocator" m_a in
+  let rp_mon = Model.relying_party ~name:"monitor" m_a in
+  ignore (Relying_party.sync rp_eq ~now:1 ~universe:m_a.Model.universe ());
+  ignore (Relying_party.sync rp_mon ~now:1 ~universe:m_a.Model.universe ());
+  let v_eq =
+    { Gossip.v_name = "equivocator"; v_rp = rp_eq;
+      v_endpoint = endpoint "equivocator" "192.0.2.1";
+      v_transport = Transport.create () }
+  in
+  let v_mon =
+    { Gossip.v_name = "monitor"; v_rp = rp_mon;
+      v_endpoint = endpoint "monitor" "192.0.2.2";
+      v_transport = Transport.create () }
+  in
+  let g = Gossip.create [ v_eq; v_mon ] in
+  ignore (Gossip.round g ~now:1);
+  Alcotest.(check (list string)) "clean baseline round" []
+    (List.map Gossip.describe_alarm (Gossip.alarms g));
+  let m_b = Model.build () in
+  ignore (Model.add_fig5_right_roa m_b ~now:0);
+  let rp_eq' = Model.relying_party ~name:"equivocator" m_b in
+  ignore (Relying_party.sync rp_eq' ~now:2 ~universe:m_b.Model.universe ());
+  v_eq.Gossip.v_rp <- rp_eq';
+  ignore (Gossip.round g ~now:2);
+  let inconsistent =
+    List.filter
+      (function Gossip.Inconsistent_heads _ -> true | _ -> false)
+      (Gossip.alarms g)
+  in
+  (match inconsistent with
+   | [] ->
+     Alcotest.fail
+       (match Gossip.alarms g with
+        | [] -> "equivocating head raised no alarm at all"
+        | a :: _ -> "wrong alarm kind: " ^ Gossip.describe_alarm a)
+   | Gossip.Inconsistent_heads { ih_peer; ih_seen_by; ih_old; ih_new } :: _ ->
+     Alcotest.(check string) "alarm names the equivocator" "equivocator" ih_peer;
+     Alcotest.(check string) "seen by the monitor" "monitor" ih_seen_by;
+     Alcotest.(check string) "same log id across both heads"
+       ih_old.Rpki_transparency.Log.h_log_id ih_new.Rpki_transparency.Log.h_log_id;
+     Alcotest.(check bool) "the new head does not extend the old" false
+       (ih_old.Rpki_transparency.Log.h_size = ih_new.Rpki_transparency.Log.h_size
+        && String.equal ih_old.Rpki_transparency.Log.h_root
+             ih_new.Rpki_transparency.Log.h_root)
+   | _ -> assert false);
+  (* no collateral damage: the honest monitor is not accused *)
+  List.iter
+    (function
+      | Gossip.Inconsistent_heads { ih_peer; _ } ->
+        Alcotest.(check string) "only the equivocator is accused" "equivocator" ih_peer
+      | _ -> ())
+    (Gossip.alarms g)
+
 let () =
   Alcotest.run "split-view"
     [ ("detection",
@@ -278,6 +345,9 @@ let () =
            test_gossip_period_trades_latency;
          Alcotest.test_case "a late-proven fork rolls last-good back to honest state"
            `Quick test_late_fork_rolls_back_last_good ]);
+      ("equivocation",
+       [ Alcotest.test_case "a same-size different-root head raises Inconsistent_heads"
+           `Quick test_equivocating_head_raises_inconsistent_heads ]);
       ("false-positives",
        [ Alcotest.test_case "faulty-but-consistent transports never alarm" `Quick
            test_no_false_positives_under_faulty_transport ]) ]
