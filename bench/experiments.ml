@@ -2219,9 +2219,381 @@ let faultmix () =
     @ List.map (fun rate -> Printf.sprintf "\"rate\":%.2f" rate) rates);
   write_json ~name:"faultmix" json_body
 
+(* ------------------------------------------------------------------ *)
+(* Gossip at scale: overlays, round-level caching, Byzantine vantages   *)
+(* ------------------------------------------------------------------ *)
+
+(* Three arms.
+
+   Overlay grid (canned scenario): the loop's own gossip is parked beyond
+   the horizon — the same trick the multivantage arm uses to park it
+   entirely — so the bench can drive Gossip.round by hand and time it in
+   isolation from validation.  Sweeps overlay x vantage count under the
+   stealthy split view, measuring pulls per round, gossip wall-clock,
+   head verifications executed vs memoized, proof-cache hits and the
+   detection round.
+
+   Byzantine sweep: f equivocating monitors of n vantages, each serving
+   the victim a shadow log mirroring the victim's forked view while
+   honest peers keep seeing the honest one (Rpki_attack.Equivocator).
+   Detection is then pure reachability: it survives exactly while the
+   victim keeps at least one honest overlay neighbor — the BGP-Sentry
+   honest-majority threshold, checked cell by cell.
+
+   World arm (full mode): a PR 8 generated world re-run under a partial
+   mesh, so the overlay win is not an artifact of the canned topology. *)
+
+type gossip_cell = {
+  gc_n : int;
+  gc_overlay : Gossip.Overlay.spec;
+  gc_pulls : int;          (* per round, all vantages alive *)
+  gc_cold_ms : float;      (* round 1: lazy per-log keygen + first proofs *)
+  gc_ms : float;           (* warm gossip wall-clock, rounds 2..ticks *)
+  gc_fork : int option;    (* round of first Fork alarm *)
+  gc_verifies : int;
+  gc_verifies_saved : int;
+  gc_proofs_built : int;
+  gc_proofs_reused : int;
+  gc_proof_bytes : int;
+}
+
+let gossip () =
+  header "Gossip at scale: overlays, round caching, Byzantine equivocators";
+  let ticks = 6 and attack_at = 3 in
+  let rec take k = function
+    | [] -> []
+    | _ when k <= 0 -> []
+    | x :: tl -> x :: take (k - 1) tl
+  in
+  let overlay_label = Gossip.Overlay.to_string in
+  let fork_delta = function None -> "-" | Some tk -> string_of_int (tk - attack_at) in
+  (* --- arm 1: overlay x n on the canned scenario ------------------- *)
+  let counts = if !quick then [ 16; 64 ] else [ 16; 64; 128 ] in
+  let overlays =
+    if !quick then
+      [ Gossip.Overlay.Full_mesh; Gossip.Overlay.K_regular 2; Gossip.Overlay.K_regular 4 ]
+    else
+      [ Gossip.Overlay.Full_mesh; Gossip.Overlay.K_regular 2; Gossip.Overlay.K_regular 4;
+        Gossip.Overlay.Star 3; Gossip.Overlay.Random_peers 3 ]
+  in
+  let cell_of_reports ~n ~overlay reports ~cold_ms ~warm_ms fork =
+    let sum f = List.fold_left (fun acc r -> acc + f r) 0 reports in
+    { gc_n = n; gc_overlay = overlay;
+      gc_pulls = (match List.rev reports with last :: _ -> last.Gossip.r_pulls | [] -> 0);
+      gc_cold_ms = cold_ms; gc_ms = warm_ms; gc_fork = fork;
+      gc_verifies = sum (fun r -> r.Gossip.r_verifies);
+      gc_verifies_saved = sum (fun r -> r.Gossip.r_verifies_saved);
+      gc_proofs_built = sum (fun r -> r.Gossip.r_proofs_built);
+      gc_proofs_reused = sum (fun r -> r.Gossip.r_proofs_reused);
+      gc_proof_bytes = sum (fun r -> r.Gossip.r_proof_bytes) }
+  in
+  let run_overlay_cell ~n ~overlay =
+    let sv =
+      Rpki_sim.Loop.split_view_scenario ~monitors:(n - 1) ~gossip_period:(ticks + 1)
+        ~overlay ()
+    in
+    let sim = sv.Rpki_sim.Loop.sv_sim in
+    let g = Option.get (Rpki_sim.Loop.gossip_mesh sim) in
+    let atk =
+      Split_view.plan ~authority:sv.Rpki_sim.Loop.sv_model.Model.continental
+        ~target_filename:sv.Rpki_sim.Loop.sv_target_filename ~stealth:Split_view.Stealthy ()
+    in
+    (* round 1 pays the one-time lazy keygen for every vantage's log — the
+       same n signatures under any overlay — so it is reported apart from
+       the warm rounds the steady-state claim is about *)
+    let reports = ref [] and cold = ref 0. and warm = ref 0. and fork = ref None in
+    for now = 1 to ticks do
+      if now = attack_at then Split_view.apply atk (Rpki_sim.Loop.transport sim);
+      ignore (Rpki_sim.Loop.step sim ~now);
+      let rep, ms = time_ms (fun () -> Gossip.round g ~now) in
+      if now = 1 then cold := ms else warm := !warm +. ms;
+      if !fork = None && List.exists Gossip.is_fork rep.Gossip.r_alarms then fork := Some now;
+      reports := rep :: !reports
+    done;
+    cell_of_reports ~n ~overlay (List.rev !reports) ~cold_ms:!cold ~warm_ms:!warm !fork
+  in
+  let grid =
+    List.concat_map
+      (fun n -> List.map (fun overlay -> run_overlay_cell ~n ~overlay) overlays)
+      counts
+  in
+  let t =
+    Table.create
+      ~aligns:
+        [ Table.Right; Table.Left; Table.Right; Table.Right; Table.Right; Table.Right;
+          Table.Right; Table.Right; Table.Right; Table.Right ]
+      [ "n"; "overlay"; "pulls/round"; "detect +rounds"; "cold ms"; "warm ms"; "verifies";
+        "memoized"; "proofs built"; "reused" ]
+  in
+  List.iter
+    (fun c ->
+      Table.add_row t
+        [ string_of_int c.gc_n; overlay_label c.gc_overlay; string_of_int c.gc_pulls;
+          fork_delta c.gc_fork; Printf.sprintf "%.1f" c.gc_cold_ms;
+          Printf.sprintf "%.1f" c.gc_ms;
+          string_of_int c.gc_verifies; string_of_int c.gc_verifies_saved;
+          string_of_int c.gc_proofs_built; string_of_int c.gc_proofs_reused ])
+    grid;
+  Table.print t;
+  let cell n overlay =
+    List.find (fun c -> c.gc_n = n && c.gc_overlay = overlay) grid
+  in
+  (* structural pull counts: the full mesh is n(n-1); a k-regular overlay
+     with even k is exactly nk pulls a round — the O(n·k) claim *)
+  List.iter
+    (fun n ->
+      let mesh = cell n Gossip.Overlay.Full_mesh in
+      if mesh.gc_pulls <> n * (n - 1) then
+        failwith (Printf.sprintf "gossip: full mesh at n=%d ran %d pulls" n mesh.gc_pulls);
+      List.iter
+        (fun k ->
+          let c = cell n (Gossip.Overlay.K_regular k) in
+          if c.gc_pulls <> n * k then
+            failwith
+              (Printf.sprintf "gossip: k=%d at n=%d ran %d pulls, wanted %d" k n
+                 c.gc_pulls (n * k)))
+        [ 2; 4 ];
+      (* every overlay must still catch the stealth split view; the sparse
+         k-regular ring within 2 rounds of the attack *)
+      List.iter
+        (fun overlay ->
+          match (cell n overlay).gc_fork with
+          | None ->
+            failwith
+              (Printf.sprintf "gossip: %s at n=%d missed the split view"
+                 (overlay_label overlay) n)
+          | Some tk ->
+            if overlay = Gossip.Overlay.K_regular 2 && tk - attack_at > 2 then
+              failwith
+                (Printf.sprintf "gossip: k:2 at n=%d detected only %d rounds after attack"
+                   n (tk - attack_at)))
+        overlays)
+    counts;
+  (* the head-verify memo: one verification per served log per round
+     instead of one per edge *)
+  List.iter
+    (fun n ->
+      let mesh = cell n Gossip.Overlay.Full_mesh in
+      if mesh.gc_verifies > ticks * (n + 1) then
+        failwith
+          (Printf.sprintf "gossip: full mesh at n=%d verified %d heads (memo broken?)" n
+             mesh.gc_verifies))
+    counts;
+  (* the acceptance bar, full mode: at n=128 a k=4 overlay does >= 8x fewer
+     pulls and >= 5x less gossip wall-clock than the mesh, still detecting *)
+  if not !quick then begin
+    let mesh = cell 128 Gossip.Overlay.Full_mesh and k4 = cell 128 (Gossip.Overlay.K_regular 4) in
+    if mesh.gc_pulls < 8 * k4.gc_pulls then
+      failwith
+        (Printf.sprintf "gossip: k:4 pull reduction only %.1fx at n=128"
+           (float_of_int mesh.gc_pulls /. float_of_int k4.gc_pulls));
+    if mesh.gc_ms < 5. *. k4.gc_ms then
+      failwith
+        (Printf.sprintf
+           "gossip: k:4 warm wall-clock reduction only %.1fx at n=128 (%.1f vs %.1f ms)"
+           (mesh.gc_ms /. k4.gc_ms) mesh.gc_ms k4.gc_ms);
+    if k4.gc_fork = None then failwith "gossip: k:4 at n=128 missed the split view";
+    Printf.printf
+      "n=128: k:4 vs mesh — %.1fx fewer pulls, %.1fx less warm gossip wall-clock, detected +%s rounds\n"
+      (float_of_int mesh.gc_pulls /. float_of_int k4.gc_pulls)
+      (mesh.gc_ms /. k4.gc_ms) (fork_delta k4.gc_fork)
+  end;
+  (* --- arm 2: the Byzantine sweep ---------------------------------- *)
+  let byz_n = if !quick then 10 else 16 in
+  let byz_ticks = 8 in
+  let byz_overlays =
+    if !quick then [ Gossip.Overlay.Full_mesh; Gossip.Overlay.K_regular 2; Gossip.Overlay.Star 3 ]
+    else
+      [ Gossip.Overlay.Full_mesh; Gossip.Overlay.K_regular 4; Gossip.Overlay.Star 3;
+        Gossip.Overlay.Random_peers 3 ]
+  in
+  let byz_fs =
+    if !quick then [ 0; 2; 4 ] else [ 0; 3; 5; 7; 11; byz_n - 2 ]
+  in
+  (* the fork runs from the victim's FIRST sync: a victim with honest
+     pre-attack history is self-evidencing (its own first-seen record
+     conflicts with any mirrored shadow's delta and the victim itself
+     raises the Fork), so a mid-history fork defeats the equivocators by
+     construction.  From t1 the victim's log is forked from birth and
+     detection reduces to honest adjacency — the threshold under test. *)
+  let byz_attack_at = 1 in
+  let run_byz_cell ~overlay ~f =
+    let sv =
+      Rpki_sim.Loop.split_view_scenario ~monitors:(byz_n - 1) ~gossip_period:1 ~overlay ()
+    in
+    let sim = sv.Rpki_sim.Loop.sv_sim in
+    let model = sv.Rpki_sim.Loop.sv_model in
+    let g = Option.get (Rpki_sim.Loop.gossip_mesh sim) in
+    (* one fixed shuffle, first f: the Byzantine sets are nested, so the
+       sweep reads as a threshold *)
+    let byz =
+      take f (Rpki_util.Rng.shuffle (Rpki_util.Rng.create 0xb12a) sv.Rpki_sim.Loop.sv_monitors)
+    in
+    let atk =
+      Split_view.plan ~authority:model.Model.continental
+        ~target_filename:sv.Rpki_sim.Loop.sv_target_filename ~stealth:Split_view.Stealthy ()
+    in
+    let eqs =
+      List.map
+        (fun name ->
+          let v = Rpki_sim.Loop.vantage sim ~name in
+          let shadow =
+            Model.relying_party ~name ~asn:(Relying_party.asn v.Gossip.v_rp) model
+          in
+          let eq =
+            Equivocator.plan ~universe:model.Model.universe ~name ~shadow
+              ~fork_to:(fun r -> String.equal r "victim-rp") ()
+          in
+          Equivocator.apply eq g;
+          eq)
+        byz
+    in
+    for now = 1 to byz_ticks do
+      if now = byz_attack_at then begin
+        (* the victim's view forks — and every shadow forks with it, so the
+           logs served to the victim keep mirroring what the victim sees *)
+        Split_view.apply atk (Rpki_sim.Loop.transport sim);
+        List.iter (fun eq -> Split_view.apply atk (Equivocator.shadow_transport eq)) eqs
+      end;
+      ignore (Rpki_sim.Loop.step sim ~now)
+    done;
+    let detected = Rpki_sim.Loop.first_fork_tick sim in
+    let names = List.map (fun (v : Gossip.vantage) -> v.Gossip.v_name) (Gossip.vantages g) in
+    let honest_edge (a, b) =
+      let honest x = not (List.mem x byz) in
+      (String.equal a "victim-rp" && honest b && not (String.equal b "victim-rp"))
+      || (String.equal b "victim-rp" && honest a && not (String.equal a "victim-rp"))
+    in
+    let honest_adjacent =
+      List.exists
+        (fun now ->
+          List.exists honest_edge
+            (Gossip.Overlay.pulls overlay ~seed:Gossip.Overlay.default_seed ~round:now names))
+        (List.init (byz_ticks - byz_attack_at + 1) (fun i -> byz_attack_at + i))
+    in
+    (f, overlay, byz, detected, honest_adjacent)
+  in
+  let byz_cells =
+    List.concat_map
+      (fun overlay -> List.map (fun f -> run_byz_cell ~overlay ~f) byz_fs)
+      byz_overlays
+  in
+  let bt =
+    Table.create
+      ~aligns:[ Table.Left; Table.Right; Table.Right; Table.Left; Table.Left ]
+      [ "overlay"; "byzantine f"; "of n"; "honest neighbor"; "fork detected" ]
+  in
+  List.iter
+    (fun (f, overlay, _, detected, adj) ->
+      Table.add_row bt
+        [ overlay_label overlay; string_of_int f; string_of_int byz_n;
+          (if adj then "yes" else "no");
+          (match detected with Some tk -> Printf.sprintf "t%d" tk | None -> "missed") ])
+    byz_cells;
+  Printf.printf "\nByzantine equivocators: f of n=%d vantages serve the victim a forked shadow log\n"
+    byz_n;
+  Table.print bt;
+  List.iter
+    (fun (f, overlay, _, detected, adj) ->
+      (* detection is exactly honest adjacency of the victim *)
+      if adj && detected = None then
+        failwith
+          (Printf.sprintf "gossip: %s f=%d — honest neighbor but no detection"
+             (overlay_label overlay) f);
+      if (not adj) && detected <> None then
+        failwith
+          (Printf.sprintf "gossip: %s f=%d — detection without an honest neighbor?"
+             (overlay_label overlay) f);
+      if f = 0 && detected = None then
+        failwith (Printf.sprintf "gossip: %s f=0 undetected" (overlay_label overlay));
+      (* the honest-majority bar: under f < n/2 the mesh and the k-regular
+         ring keep the victim honest-connected, so detection must hold *)
+      if
+        f < byz_n / 2
+        && (overlay = Gossip.Overlay.Full_mesh
+           || overlay = Gossip.Overlay.K_regular 4
+           || overlay = Gossip.Overlay.K_regular 2)
+        && detected = None
+      then
+        failwith
+          (Printf.sprintf "gossip: %s f=%d < n/2 but detection failed"
+             (overlay_label overlay) f))
+    byz_cells;
+  (* --- arm 3 (full mode): a generated world under a partial mesh ---- *)
+  let world_cells =
+    if !quick then []
+    else begin
+      let monitors = 32 in
+      List.map
+        (fun overlay ->
+          let rig =
+            Rpki_sim.Loop.world_scenario ~monitors ~gossip_period:(ticks + 1) ~overlay ()
+          in
+          let sim = rig.Rpki_sim.Loop.wr_sim in
+          let g = Option.get (Rpki_sim.Loop.gossip_mesh sim) in
+          let atk =
+            Split_view.plan ~authority:rig.Rpki_sim.Loop.wr_target_authority
+              ~target_filename:rig.Rpki_sim.Loop.wr_target_filename ()
+          in
+          let reports = ref [] and cold = ref 0. and warm = ref 0. and fork = ref None in
+          for now = 1 to ticks do
+            if now = attack_at then Split_view.apply atk (Rpki_sim.Loop.transport sim);
+            ignore (Rpki_sim.Loop.step sim ~now);
+            let rep, ms = time_ms (fun () -> Gossip.round g ~now) in
+            if now = 1 then cold := ms else warm := !warm +. ms;
+            if !fork = None && List.exists Gossip.is_fork rep.Gossip.r_alarms then
+              fork := Some now;
+            reports := rep :: !reports
+          done;
+          cell_of_reports ~n:(monitors + 1) ~overlay (List.rev !reports) ~cold_ms:!cold
+            ~warm_ms:!warm !fork)
+        [ Gossip.Overlay.Full_mesh; Gossip.Overlay.K_regular 4 ]
+    end
+  in
+  List.iter
+    (fun c ->
+      Printf.printf
+        "world (n=%d, %s): %d pulls/round, %.1f warm gossip ms, detected +%s rounds\n"
+        c.gc_n (overlay_label c.gc_overlay) c.gc_pulls c.gc_ms (fork_delta c.gc_fork);
+      if c.gc_fork = None then
+        failwith
+          (Printf.sprintf "gossip: %s missed the split view on the generated world"
+             (overlay_label c.gc_overlay)))
+    world_cells;
+  (* --- JSON export -------------------------------------------------- *)
+  let cell_json c =
+    Printf.sprintf
+      "{\"n\":%d,\"overlay\":\"%s\",\"pulls_per_round\":%d,\"cold_ms\":%.2f,\
+       \"warm_gossip_ms\":%.2f,\"fork_round\":%s,\"detect_rounds_after_attack\":%s,\
+       \"verifies\":%d,\"verifies_saved\":%d,\"proofs_built\":%d,\"proofs_reused\":%d,\
+       \"proof_bytes\":%d}"
+      c.gc_n (overlay_label c.gc_overlay) c.gc_pulls c.gc_cold_ms c.gc_ms
+      (match c.gc_fork with Some tk -> string_of_int tk | None -> "null")
+      (match c.gc_fork with Some tk -> string_of_int (tk - attack_at) | None -> "null")
+      c.gc_verifies c.gc_verifies_saved c.gc_proofs_built c.gc_proofs_reused c.gc_proof_bytes
+  in
+  let byz_json (f, overlay, byz, detected, adj) =
+    Printf.sprintf
+      "{\"overlay\":\"%s\",\"f\":%d,\"n\":%d,\"byzantine\":[%s],\"honest_adjacent\":%b,\
+       \"fork_tick\":%s}"
+      (overlay_label overlay) f byz_n
+      (String.concat "," (List.map (Printf.sprintf "\"%s\"") byz))
+      adj
+      (match detected with Some tk -> string_of_int tk | None -> "null")
+  in
+  write_json ~name:"gossip"
+    (Printf.sprintf
+       "{\"experiment\":\"gossip\",\"ticks\":%d,\"attack_at\":%d,\"byzantine_attack_at\":%d,\
+        \"overlay_grid\":[%s],\"byzantine_sweep\":[%s],\"world\":[%s]}"
+       ticks attack_at byz_attack_at
+       (String.concat "," (List.map cell_json grid))
+       (String.concat "," (List.map byz_json byz_cells))
+       (String.concat "," (List.map cell_json world_cells)))
+
 let all : (string * (unit -> unit)) list =
   [ ("fig2", fig2); ("fig3", fig3); ("tab4", tab4); ("fig5", fig5); ("tab6", tab6);
     ("se5", se5); ("se6", se6); ("se7", se7); ("campaign", campaign); ("adoption", adoption);
     ("depth", depth); ("sync-incremental", sync_incremental); ("stall", stall);
     ("transparency", transparency); ("restart", restart); ("multivantage", multivantage);
-    ("rtr", rtr); ("soak", soak); ("scale", scale); ("faultmix", faultmix) ]
+    ("rtr", rtr); ("soak", soak); ("scale", scale); ("faultmix", faultmix);
+    ("gossip", gossip) ]

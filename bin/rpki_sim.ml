@@ -9,6 +9,7 @@
      sim      — run the Section 6 closed-loop timeline
      grid     — print the Figure 5 validity grid
      transparency — run the split-view attack under gossiping vantages
+     gossip   — partial-mesh overlays and Byzantine equivocating vantages
      soak     — long-run endurance: segmented persistence and eviction curves
      scale    — split-view detection on a generated internet-scale world *)
 
@@ -32,6 +33,22 @@ let sync_model m =
   let rp = Model.relying_party m in
   let r = Relying_party.sync rp ~now:1 ~universe:m.Model.universe () in
   (r, r.Relying_party.index)
+
+let overlay_conv =
+  let parse s =
+    match Gossip.Overlay.of_string s with
+    | Some o -> Ok o
+    | None ->
+      Error (`Msg (Printf.sprintf "unknown overlay %S (want full|k:N|star:N|random:N)" s))
+  in
+  Arg.conv (parse, fun ppf o -> Format.pp_print_string ppf (Gossip.Overlay.to_string o))
+
+let overlay_arg =
+  Arg.(value & opt overlay_conv Gossip.Overlay.Full_mesh
+       & info [ "overlay" ] ~docv:"SPEC"
+           ~doc:"Gossip overlay: $(b,full) (every pair), $(b,k:N) (seeded k-regular \
+                 ring+chords), $(b,star:N) (N monitor hubs), $(b,random:N) (fresh \
+                 N-peer sample each round).")
 
 (* --- show --- *)
 
@@ -326,11 +343,11 @@ let transparency_cmd =
              ~doc:"Disable the shared cross-vantage validation cache: every \
                    vantage verifies every signature itself.")
   in
-  let run monitors period grace overt vantages no_valcache =
+  let run monitors period grace overt vantages no_valcache overlay =
     let monitors = match vantages with Some n -> n - 1 | None -> monitors in
     let sv =
       Rpki_sim.Loop.split_view_scenario ~monitors ~grace ~gossip_period:period
-        ~valcache:(not no_valcache) ()
+        ~valcache:(not no_valcache) ~overlay ()
     in
     let t = sv.Rpki_sim.Loop.sv_sim in
     let stealth =
@@ -359,6 +376,19 @@ let transparency_cmd =
     match Rpki_sim.Loop.gossip_mesh t with
     | None -> print_endline "\nno gossip mesh: the fork goes undetected"
     | Some g ->
+      let pulls, skipped, verifies, saved =
+        List.fold_left
+          (fun (p, s, v, m) (r : Rpki_sim.Loop.tick_record) ->
+            match r.Rpki_sim.Loop.gossip_report with
+            | None -> (p, s, v, m)
+            | Some gr ->
+              ( p + gr.Gossip.r_pulls, s + gr.Gossip.r_skipped,
+                v + gr.Gossip.r_verifies, m + gr.Gossip.r_verifies_saved ))
+          (0, 0, 0, 0) (Rpki_sim.Loop.history t)
+      in
+      Printf.printf
+        "gossip (%s overlay): %d pulls, %d skipped, %d STH verifies (+%d memoized)\n"
+        (Gossip.Overlay.to_string (Gossip.overlay g)) pulls skipped verifies saved;
       print_endline "";
       List.iter
         (fun a ->
@@ -369,7 +399,124 @@ let transparency_cmd =
   Cmd.v
     (Cmd.info "transparency"
        ~doc:"Run a split-view (mirror world) attack under gossiping vantages")
-    Term.(const run $ monitors $ period $ grace $ overt $ vantages $ no_valcache)
+    Term.(const run $ monitors $ period $ grace $ overt $ vantages $ no_valcache
+          $ overlay_arg)
+
+(* --- gossip --- *)
+
+let gossip_cmd =
+  let vantages =
+    Arg.(value & opt int 16
+         & info [ "vantages" ] ~docv:"N"
+             ~doc:"Total relying-party vantages (victim + N-1 monitors).")
+  in
+  let period =
+    Arg.(value & opt int 1 & info [ "period" ] ~doc:"Gossip period in ticks.")
+  in
+  let byzantine =
+    Arg.(value & opt int 0
+         & info [ "byzantine" ] ~docv:"F"
+             ~doc:"F monitor vantages turn Byzantine: each serves the victim an \
+                   equivocating shadow log signed with its real log key, and stays \
+                   silent in gossip rounds.")
+  in
+  let ticks =
+    Arg.(value & opt int 8
+         & info [ "ticks" ]
+             ~doc:"Ticks to run.  The split view runs from t1 — the victim's first \
+                   sync — so its log is forked from birth and only an honest \
+                   cross-check can catch it.")
+  in
+  let run n period f ticks overlay =
+    (* from the victim's first sync: a victim with honest pre-attack history
+       self-detects any mirrored shadow (its first-seen record conflicts
+       with the shadow's delta), which would defeat the equivocators *)
+    let attack_at = 1 in
+    let rec take k = function
+      | [] -> []
+      | _ when k <= 0 -> []
+      | x :: tl -> x :: take (k - 1) tl
+    in
+    let sv =
+      Rpki_sim.Loop.split_view_scenario ~monitors:(n - 1) ~gossip_period:period ~overlay ()
+    in
+    let t = sv.Rpki_sim.Loop.sv_sim in
+    let model = sv.Rpki_sim.Loop.sv_model in
+    let g = Option.get (Rpki_sim.Loop.gossip_mesh t) in
+    let byz =
+      take f
+        (Rpki_util.Rng.shuffle (Rpki_util.Rng.create 0xb12a) sv.Rpki_sim.Loop.sv_monitors)
+    in
+    let atk =
+      Rpki_attack.Split_view.plan ~authority:model.Model.continental
+        ~target_filename:sv.Rpki_sim.Loop.sv_target_filename
+        ~stealth:Rpki_attack.Split_view.Stealthy ()
+    in
+    let eqs =
+      List.map
+        (fun name ->
+          let v = Rpki_sim.Loop.vantage t ~name in
+          let shadow =
+            Model.relying_party ~name ~asn:(Relying_party.asn v.Gossip.v_rp) model
+          in
+          let eq =
+            Rpki_attack.Equivocator.plan ~universe:model.Model.universe ~name ~shadow
+              ~fork_to:(fun r -> String.equal r "victim-rp") ()
+          in
+          Rpki_attack.Equivocator.apply eq g;
+          Printf.printf "byzantine: %s\n" (Rpki_attack.Equivocator.describe eq);
+          eq)
+        byz
+    in
+    Printf.printf "overlay %s over %d vantages, %d byzantine, gossip every %d tick(s)\n\n"
+      (Gossip.Overlay.to_string overlay) n f period;
+    for now = 1 to ticks do
+      if now = attack_at then begin
+        Printf.printf "t%d: %s\n" now (Rpki_attack.Split_view.describe atk);
+        Rpki_attack.Split_view.apply atk (Rpki_sim.Loop.transport t);
+        List.iter
+          (fun eq ->
+            Rpki_attack.Split_view.apply atk (Rpki_attack.Equivocator.shadow_transport eq))
+          eqs
+      end;
+      let r = Rpki_sim.Loop.step t ~now in
+      match r.Rpki_sim.Loop.gossip_report with
+      | Some gr -> Format.printf "t%d %a@." now Gossip.pp_report gr
+      | None -> ()
+    done;
+    let names =
+      List.map (fun (v : Gossip.vantage) -> v.Gossip.v_name) (Gossip.vantages g)
+    in
+    let honest_edge (a, b) =
+      let honest x = not (List.mem x byz) in
+      (String.equal a "victim-rp" && honest b && not (String.equal b "victim-rp"))
+      || (String.equal b "victim-rp" && honest a && not (String.equal a "victim-rp"))
+    in
+    let honest_adjacent =
+      List.exists
+        (fun now ->
+          List.exists honest_edge
+            (Gossip.Overlay.pulls overlay ~seed:Gossip.Overlay.default_seed ~round:now names))
+        (List.init (max 1 (ticks - attack_at + 1)) (fun i -> attack_at + i))
+    in
+    List.iter
+      (fun eq ->
+        Printf.printf "%s served the forked shadow %d time(s), the honest view %d\n"
+          (Rpki_attack.Equivocator.name eq)
+          (Rpki_attack.Equivocator.served_forked eq)
+          (Rpki_attack.Equivocator.served_honest eq))
+      eqs;
+    Printf.printf "victim honest-connected after the attack: %b\n" honest_adjacent;
+    (match Rpki_sim.Loop.first_fork_tick t with
+     | Some tk -> Printf.printf "fork detected at t%d (+%d rounds after the attack)\n" tk (tk - attack_at)
+     | None ->
+       Printf.printf "fork NOT detected%s\n"
+         (if honest_adjacent then "" else " — the victim's every neighbor is byzantine"))
+  in
+  Cmd.v
+    (Cmd.info "gossip"
+       ~doc:"Partial-mesh gossip overlays and Byzantine equivocating vantages")
+    Term.(const run $ vantages $ period $ byzantine $ ticks $ overlay_arg)
 
 (* --- restart --- *)
 
@@ -739,5 +886,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ show_cmd; validate_cmd; ov_cmd; whack_cmd; monitor_cmd; sim_cmd;
-            faultmix_cmd; grid_cmd; transparency_cmd; restart_cmd; rtr_cmd; soak_cmd;
-            scale_cmd ]))
+            faultmix_cmd; grid_cmd; transparency_cmd; gossip_cmd; restart_cmd; rtr_cmd;
+            soak_cmd; scale_cmd ]))

@@ -6,10 +6,136 @@
    does with it goes through the same verification a remote would run:
    signature, consistency from the last head it saw, inclusion of every
    delta record.  Only verified records are cross-checked, so a Fork alarm
-   is always backed by checkable evidence. *)
+   is always backed by checkable evidence.
 
+   Two layers keep a round cheap at scale:
+   - the Overlay selects O(n·k) edges instead of the full O(n²) mesh;
+   - a per-round cache signs each served head once, verifies each distinct
+     (peer, head, signature) once, and builds each Merkle proof once per
+     (tree root, range) — honest vantages hold identical logs, so the
+     same proof serves every receiver of the same delta. *)
+
+module Rng = Rpki_util.Rng
 module Log = Rpki_transparency.Log
 module Merkle = Rpki_transparency.Merkle
+
+module Overlay = struct
+  type spec =
+    | Full_mesh
+    | K_regular of int
+    | Star of int
+    | Random_peers of int
+
+  let default_seed = 0x6f5e1d
+
+  let validate = function
+    | Full_mesh -> ()
+    | K_regular k | Star k | Random_peers k ->
+      if k < 1 then invalid_arg "Gossip.Overlay: degree/hub count must be >= 1"
+
+  let to_string = function
+    | Full_mesh -> "full"
+    | K_regular k -> Printf.sprintf "k:%d" k
+    | Star h -> Printf.sprintf "star:%d" h
+    | Random_peers k -> Printf.sprintf "random:%d" k
+
+  let of_string s =
+    let num k f =
+      match int_of_string_opt k with Some v when v >= 1 -> Some (f v) | _ -> None
+    in
+    match String.split_on_char ':' (String.lowercase_ascii (String.trim s)) with
+    | [ ("full" | "full-mesh" | "mesh") ] -> Some Full_mesh
+    | [ ("k" | "k-regular" | "kregular"); k ] -> num k (fun v -> K_regular v)
+    | [ "star" ] -> Some (Star 1)
+    | [ "star"; h ] -> num h (fun v -> Star v)
+    | [ ("random" | "random-peers"); k ] -> num k (fun v -> Random_peers v)
+    | _ -> None
+
+  let rec take k = function
+    | [] -> []
+    | _ when k <= 0 -> []
+    | x :: tl -> x :: take (k - 1) tl
+
+  let pulls spec ~seed ~round names =
+    validate spec;
+    let arr = Array.of_list names in
+    let n = Array.length arr in
+    if n <= 1 then []
+    else
+      match spec with
+      | Full_mesh ->
+        (* receiver-outer in registration order: the legacy pairwise mesh *)
+        List.concat_map
+          (fun r ->
+            List.filter_map (fun p -> if String.equal p r then None else Some (r, p)) names)
+          names
+      | K_regular k ->
+        (* seeded Hamiltonian cycle + chords: put the vantages on a shuffled
+           ring and connect ring offsets 1..⌈k/2⌉ — a circulant graph,
+           connected by the cycle, undirected degree ≈ k *)
+        let perm = Array.of_list (Rng.shuffle (Rng.create (seed lxor 0x6b7265)) names) in
+        let m = (k + 1) / 2 in
+        let adj = Array.make n [] in
+        let seen = Hashtbl.create (n * m) in
+        for i = 0 to n - 1 do
+          for o = 1 to m do
+            let j = (i + o) mod n in
+            let e = (min i j, max i j) in
+            if j <> i && not (Hashtbl.mem seen e) then begin
+              Hashtbl.replace seen e ();
+              adj.(i) <- j :: adj.(i);
+              adj.(j) <- i :: adj.(j)
+            end
+          done
+        done;
+        List.concat
+          (List.init n (fun i ->
+               List.map
+                 (fun j -> (perm.(i), perm.(j)))
+                 (List.sort_uniq compare adj.(i))))
+      | Star h ->
+        (* hubs = the last h registered vantages (monitors register after
+           the primary); spokes pull hubs only, hubs pull everyone *)
+        let h = min h (n - 1) in
+        let is_hub i = i >= n - h in
+        List.concat
+          (List.init n (fun i ->
+               let peers =
+                 if is_hub i then List.init n (fun j -> j)
+                 else List.init h (fun o -> n - h + o)
+               in
+               List.filter_map
+                 (fun j -> if j = i then None else Some (arr.(i), arr.(j)))
+                 peers))
+      | Random_peers k ->
+        (* a fresh seeded sample per receiver per round *)
+        let rng = Rng.create (seed lxor ((round + 1) * 0x9e3779b9)) in
+        List.concat
+          (List.init n (fun i ->
+               let others = List.filter (fun p -> not (String.equal p arr.(i))) names in
+               List.map (fun p -> (arr.(i), p)) (take k (Rng.shuffle rng others))))
+
+  let connected pulls ~names =
+    match names with
+    | [] | [ _ ] -> true
+    | first :: _ ->
+      let adj = Hashtbl.create 64 in
+      let neighbors x = Option.value (Hashtbl.find_opt adj x) ~default:[] in
+      List.iter
+        (fun (a, b) ->
+          Hashtbl.replace adj a (b :: neighbors a);
+          Hashtbl.replace adj b (a :: neighbors b))
+        pulls;
+      let visited = Hashtbl.create 64 in
+      let rec dfs x =
+        if not (Hashtbl.mem visited x) then begin
+          Hashtbl.replace visited x ();
+          List.iter dfs (neighbors x)
+        end
+      in
+      dfs first;
+      List.for_all (Hashtbl.mem visited) names
+end
 
 type vantage = {
   v_name : string;
@@ -134,11 +260,28 @@ type round_report = {
   r_alarms : alarm list;
   r_proof_bytes : int;
   r_elapsed : int;
+  r_pulls : int;
+  r_skipped : int;
+  r_sths_signed : int;
+  r_verifies : int;
+  r_verifies_saved : int;
+  r_proofs_built : int;
+  r_proofs_reused : int;
+}
+
+(* A Byzantine serving override: what vantage [name] answers with, per
+   receiver.  While installed, the vantage also stops pulling. *)
+type server = {
+  srv_serve : receiver:string -> Relying_party.t;
+  srv_refresh : (now:int -> unit) option;
 }
 
 type t = {
   vantages : vantage list;
   timeout : int;
+  overlay : Overlay.spec;
+  overlay_seed : int;
+  servers : (string, server) Hashtbl.t;
   last_seen : (string * string, Log.head) Hashtbl.t;
       (* (receiver, peer) -> the peer head the receiver last verified *)
   best_serial : (string * string * string, int * Log.observation) Hashtbl.t;
@@ -149,20 +292,36 @@ type t = {
   reported : (string, unit) Hashtbl.t; (* dedup keys for raised alarms *)
 }
 
-let create ?(timeout = 32) vantages =
+let create ?(timeout = 32) ?(overlay = Overlay.Full_mesh)
+    ?(overlay_seed = Overlay.default_seed) vantages =
   (match vantages with
   | [] -> invalid_arg "Gossip.create: no vantages"
   | _ -> ());
+  Overlay.validate overlay;
   let names = List.map (fun v -> v.v_name) vantages in
   if List.length (List.sort_uniq compare names) <> List.length names then
     invalid_arg "Gossip.create: duplicate vantage names";
-  { vantages; timeout; last_seen = Hashtbl.create 16; best_serial = Hashtbl.create 32;
+  { vantages; timeout; overlay; overlay_seed; servers = Hashtbl.create 4;
+    last_seen = Hashtbl.create 16; best_serial = Hashtbl.create 32;
     alarm_log = []; reported = Hashtbl.create 16 }
 
 let vantages t = t.vantages
+let overlay t = t.overlay
 let alarms t = List.rev t.alarm_log
 let forks t = List.filter is_fork (alarms t)
 let rollbacks t = List.filter is_rollback (alarms t)
+
+let set_server t ~name ?refresh serve =
+  if not (List.exists (fun v -> String.equal v.v_name name) t.vantages) then
+    invalid_arg ("Gossip.set_server: unknown vantage " ^ name);
+  Hashtbl.replace t.servers name { srv_serve = serve; srv_refresh = refresh }
+
+let clear_server t ~name = Hashtbl.remove t.servers name
+
+let server_names t =
+  List.filter_map
+    (fun v -> if Hashtbl.mem t.servers v.v_name then Some v.v_name else None)
+    t.vantages
 
 (* A vantage's gossip-receiver state (what it verified about its peers) is
    process state: it dies with the process.  [forget_receiver] models that;
@@ -197,9 +356,77 @@ let fork_key uri serial a b =
   let x, y = if a < b then (a, b) else (b, a) in
   Printf.sprintf "fork:%s:%d:%s:%s" uri serial x y
 
-(* One pull: [receiver] fetches [peer]'s head + delta and verifies it.
+(* Per-round work sharing.  The STH memo is keyed on the RP *instance*
+   (physical equality) — an equivocator serves different instances under
+   one name, and each must sign its own head.  The verify memo is keyed on
+   the full (peer, head bytes, signature) triple, so two different heads
+   served under one name each get their own verification.  Proofs are
+   keyed on the committing root + range: a Merkle root pins the tree
+   content, so identical logs (every honest vantage) share proofs. *)
+type round_ctx = {
+  rc_sths : (Relying_party.t * Log.signed_head) list ref;
+  rc_heads : (string, bool) Hashtbl.t;
+  rc_proofs : (string, Merkle.proof) Hashtbl.t;
+  mutable rc_sths_signed : int;
+  mutable rc_verifies : int;
+  mutable rc_verifies_saved : int;
+  mutable rc_proofs_built : int;
+  mutable rc_proofs_reused : int;
+}
+
+let new_round_ctx () =
+  { rc_sths = ref []; rc_heads = Hashtbl.create 64; rc_proofs = Hashtbl.create 256;
+    rc_sths_signed = 0; rc_verifies = 0; rc_verifies_saved = 0;
+    rc_proofs_built = 0; rc_proofs_reused = 0 }
+
+let sth_once ctx ~now rp =
+  match List.find_opt (fun (r, _) -> r == rp) !(ctx.rc_sths) with
+  | Some (_, sth) -> sth
+  | None ->
+    let sth = Relying_party.signed_tree_head rp ~now in
+    ctx.rc_sths := (rp, sth) :: !(ctx.rc_sths);
+    ctx.rc_sths_signed <- ctx.rc_sths_signed + 1;
+    sth
+
+let verify_head_once ctx ~peer ~key sth =
+  let memo =
+    String.concat "\x00" [ peer; Log.encode_head sth.Log.sh_head; sth.Log.sh_sig ]
+  in
+  match Hashtbl.find_opt ctx.rc_heads memo with
+  | Some ok ->
+    ctx.rc_verifies_saved <- ctx.rc_verifies_saved + 1;
+    ok
+  | None ->
+    let ok = Log.verify_head ~key sth in
+    ctx.rc_verifies <- ctx.rc_verifies + 1;
+    Hashtbl.replace ctx.rc_heads memo ok;
+    ok
+
+let proof_once ctx ~kind ~root ~a ~b build =
+  let key = Printf.sprintf "%s\x00%s\x00%d\x00%d" kind root a b in
+  match Hashtbl.find_opt ctx.rc_proofs key with
+  | Some p ->
+    ctx.rc_proofs_reused <- ctx.rc_proofs_reused + 1;
+    p
+  | None ->
+    let p = build () in
+    ctx.rc_proofs_built <- ctx.rc_proofs_built + 1;
+    Hashtbl.replace ctx.rc_proofs key p;
+    p
+
+let consistency_once ctx log ~root ~old_size ~size =
+  proof_once ctx ~kind:"c" ~root ~a:old_size ~b:size (fun () ->
+      Log.consistency_proof log ~old_size ~size)
+
+let inclusion_once ctx log ~root ~index ~size =
+  proof_once ctx ~kind:"i" ~root ~a:index ~b:size (fun () ->
+      Log.inclusion_proof log ~index ~size)
+
+(* One pull: [receiver] fetches [served]'s head + delta over [peer]'s
+   endpoint and verifies it.  [served] is [peer.v_rp] unless a Byzantine
+   override chose a different log for this receiver.
    Returns (exchange, new alarms). *)
-let pull t ~now ~(receiver : vantage) ~(peer : vantage) =
+let pull t ctx ~now ~(receiver : vantage) ~(peer : vantage) ~served =
   match Transport.probe receiver.v_transport ~point:peer.v_endpoint ~timeout:t.timeout with
   | `Stalled dt ->
     ({ ex_from = peer.v_name; ex_to = receiver.v_name; ex_outcome = `Stalled;
@@ -208,9 +435,9 @@ let pull t ~now ~(receiver : vantage) ~(peer : vantage) =
     ({ ex_from = peer.v_name; ex_to = receiver.v_name; ex_outcome = `Unroutable;
        ex_elapsed = dt; ex_proof_bytes = 0 }, [])
   | `Ok dt ->
-    let peer_log = Relying_party.transparency_log peer.v_rp in
+    let peer_log = Relying_party.transparency_log served in
     let own_log = Relying_party.transparency_log receiver.v_rp in
-    let sth = Relying_party.signed_tree_head peer.v_rp ~now in
+    let sth = sth_once ctx ~now served in
     let new_head = sth.Log.sh_head in
     let seen_key = (receiver.v_name, peer.v_name) in
     let prior_head = Hashtbl.find_opt t.last_seen seen_key in
@@ -229,13 +456,18 @@ let pull t ~now ~(receiver : vantage) ~(peer : vantage) =
        plus every record appended since, each with an inclusion proof *)
     let consistency =
       if old_size = 0 || old_size > new_head.Log.h_size then []
-      else Log.consistency_proof peer_log ~old_size ~size:new_head.Log.h_size
+      else
+        consistency_once ctx peer_log ~root:new_head.Log.h_root ~old_size
+          ~size:new_head.Log.h_size
     in
     let delta =
       if new_head.Log.h_size <= old_size then []
       else
         List.map
-          (fun (i, ob) -> (i, ob, Log.inclusion_proof peer_log ~index:i ~size:new_head.Log.h_size))
+          (fun (i, ob) ->
+            ( i, ob,
+              inclusion_once ctx peer_log ~root:new_head.Log.h_root ~index:i
+                ~size:new_head.Log.h_size ))
           (Log.since peer_log old_size)
     in
     let proof_bytes =
@@ -246,7 +478,11 @@ let pull t ~now ~(receiver : vantage) ~(peer : vantage) =
     let alarms = ref [] in
     let note ~key a = alarms := raise_alarm t ~key a !alarms in
     (* 1. the head must be the peer's statement *)
-    if not (Log.verify_head ~key:(Relying_party.transparency_key peer.v_rp) sth) then
+    if
+      not
+        (verify_head_once ctx ~peer:peer.v_name
+           ~key:(Relying_party.transparency_key served) sth)
+    then
       note ~key:(Printf.sprintf "badsig:%s:%s:%d" receiver.v_name peer.v_name now)
         (Bad_head_signature { bs_peer = peer.v_name; bs_seen_by = receiver.v_name })
     else begin
@@ -293,13 +529,14 @@ let pull t ~now ~(receiver : vantage) ~(peer : vantage) =
                  point, same manifest number, different content = fork *)
               (match Log.find own_log ~uri:ob.Log.ob_uri ~serial:ob.Log.ob_serial with
               | Some (own_i, own_ob) when not (Log.observation_equal own_ob ob) ->
-                let own_sth = Relying_party.signed_tree_head receiver.v_rp ~now in
+                let own_sth = sth_once ctx ~now receiver.v_rp in
                 let own_head = own_sth.Log.sh_head in
                 let left =
                   { att_vantage = receiver.v_name; att_obs = own_ob; att_index = own_i;
                     att_head = own_sth;
                     att_proof =
-                      Log.inclusion_proof own_log ~index:own_i ~size:own_head.Log.h_size }
+                      inclusion_once ctx own_log ~root:own_head.Log.h_root ~index:own_i
+                        ~size:own_head.Log.h_size }
                 in
                 let right =
                   { att_vantage = peer.v_name; att_obs = ob; att_index = i;
@@ -323,7 +560,8 @@ let pull t ~now ~(receiver : vantage) ~(peer : vantage) =
                   { att_vantage = peer.v_name; att_obs = obs; att_index = index;
                     att_head = sth;
                     att_proof =
-                      Log.inclusion_proof peer_log ~index ~size:new_head.Log.h_size }
+                      inclusion_once ctx peer_log ~root:new_head.Log.h_root ~index
+                        ~size:new_head.Log.h_size }
                 in
                 note
                   ~key:
@@ -345,34 +583,62 @@ let pull t ~now ~(receiver : vantage) ~(peer : vantage) =
        ex_elapsed = dt; ex_proof_bytes = proof_bytes }, List.rev !alarms)
 
 let round ?(alive = fun _ -> true) t ~now =
-  let exchanges = ref [] and alarms = ref [] in
+  (* Byzantine shadow state syncs first: an equivocator refreshes the view
+     it is about to serve this round *)
   List.iter
-    (fun receiver ->
-      List.iter
-        (fun peer ->
-          if peer.v_name <> receiver.v_name && alive receiver.v_name && alive peer.v_name
-          then begin
-            let ex, al = pull t ~now ~receiver ~peer in
-            exchanges := ex :: !exchanges;
-            alarms := !alarms @ al
-          end)
-        t.vantages)
+    (fun v ->
+      if alive v.v_name then
+        match Hashtbl.find_opt t.servers v.v_name with
+        | Some { srv_refresh = Some f; _ } -> f ~now
+        | _ -> ())
     t.vantages;
+  let names = List.map (fun v -> v.v_name) t.vantages in
+  let by_name = Hashtbl.create (List.length names) in
+  List.iter (fun v -> Hashtbl.replace by_name v.v_name v) t.vantages;
+  let ctx = new_round_ctx () in
+  let exchanges = ref [] and alarms = ref [] in
+  let pulls = ref 0 and skipped = ref 0 in
+  List.iter
+    (fun (rname, pname) ->
+      if (not (alive rname)) || (not (alive pname)) || Hashtbl.mem t.servers rname then
+        (* dead endpoint, or a Byzantine receiver: a traitor pulls nothing —
+           it would not report what it finds *)
+        incr skipped
+      else begin
+        incr pulls;
+        let receiver = Hashtbl.find by_name rname and peer = Hashtbl.find by_name pname in
+        let served =
+          match Hashtbl.find_opt t.servers pname with
+          | Some srv -> srv.srv_serve ~receiver:rname
+          | None -> peer.v_rp
+        in
+        let ex, al = pull t ctx ~now ~receiver ~peer ~served in
+        exchanges := ex :: !exchanges;
+        alarms := !alarms @ al
+      end)
+    (Overlay.pulls t.overlay ~seed:t.overlay_seed ~round:now names);
   let exchanges = List.rev !exchanges in
   { r_at = now;
     r_exchanges = exchanges;
     r_alarms = !alarms;
     r_proof_bytes = List.fold_left (fun acc e -> acc + e.ex_proof_bytes) 0 exchanges;
-    r_elapsed = List.fold_left (fun acc e -> acc + e.ex_elapsed) 0 exchanges }
+    r_elapsed = List.fold_left (fun acc e -> acc + e.ex_elapsed) 0 exchanges;
+    r_pulls = !pulls;
+    r_skipped = !skipped;
+    r_sths_signed = ctx.rc_sths_signed;
+    r_verifies = ctx.rc_verifies;
+    r_verifies_saved = ctx.rc_verifies_saved;
+    r_proofs_built = ctx.rc_proofs_built;
+    r_proofs_reused = ctx.rc_proofs_reused }
 
 let pp_report fmt r =
   let ok, failed =
     List.partition (fun e -> match e.ex_outcome with `Ok _ -> true | _ -> false) r.r_exchanges
   in
-  Format.fprintf fmt "gossip@t%d: %d/%d exchanges ok, %d proof bytes, %d alarm(s)%s" r.r_at
-    (List.length ok)
-    (List.length r.r_exchanges)
-    r.r_proof_bytes
+  Format.fprintf fmt
+    "gossip@t%d: %d/%d pulls ok (%d skipped), %d proof bytes, %d verifies (+%d memoized), %d alarm(s)%s"
+    r.r_at (List.length ok) r.r_pulls r.r_skipped r.r_proof_bytes r.r_verifies
+    r.r_verifies_saved
     (List.length r.r_alarms)
     (if failed = [] then ""
      else

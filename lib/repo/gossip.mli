@@ -8,15 +8,15 @@
     commit to everything it saw ({!Relying_party.transparency_log}) and
     compare commitments with peers.  This module is that comparison.
 
-    Protocol (pull-based, one round = every ordered vantage pair):
-    each receiver fetches from each peer — over the receiver's own
-    {!Transport}, so gossip pays latency and can itself be stalled or
-    partitioned — a message containing the peer's current signed tree
-    head, a Merkle consistency proof from the head the receiver last saw,
-    and the observation records appended since, each with an inclusion
-    proof.  The receiver verifies signature, consistency and inclusions,
-    then cross-checks every received observation against its own log under
-    the (publication point, manifest number) key.
+    Protocol (pull-based; one round = every (receiver, peer) edge the
+    {!Overlay} selects): each receiver fetches from each of its peers —
+    over the receiver's own {!Transport}, so gossip pays latency and can
+    itself be stalled or partitioned — a message containing the peer's
+    current signed tree head, a Merkle consistency proof from the head the
+    receiver last saw, and the observation records appended since, each
+    with an inclusion proof.  The receiver verifies signature, consistency
+    and inclusions, then cross-checks every received observation against
+    its own log under the (publication point, manifest number) key.
 
     Outcomes, as typed {!alarm}s:
     - {!alarm.Fork}: the same (point, manifest number) maps to different
@@ -33,12 +33,89 @@
     partitioned) never produce {!alarm.Fork} or
     {!alarm.Inconsistent_heads}: delays postpone exchanges and stale
     caches dedup to nothing, but no honest sequence of observations can
-    fork a log. *)
+    fork a log.
+
+    {1 Scaling}
+
+    A full pairwise mesh is O(n²) pulls per round — the per-tick hot path
+    at high vantage counts.  {!Overlay} replaces it with partial meshes
+    (O(n·k) pulls), and a round-level cache makes each pull cheaper: every
+    served log signs its head once per round, every distinct (peer, head,
+    signature) triple is verified once per round, and Merkle proofs are
+    built once per (tree root, range) and shared across receivers —
+    honest vantages hold identical logs, so proof generation collapses to
+    one per distinct range instead of one per edge.  All of it is
+    observational: the alarms raised are exactly those of uncached pulls.
+
+    Detection under a partial mesh is a {e reachability} property: a
+    receiver only cross-checks a peer's delta against its own log, so a
+    fork against vantage v is caught in the first round where v exchanges
+    with any honest vantage that saw the honest side.  All honest vantages
+    log the same honest observations, so any honest neighbor of the victim
+    raises the same (uri, serial) fork — which is why any connected
+    overlay eventually raises the same forks as the full mesh, only later.
+
+    {1 Byzantine vantages}
+
+    {!set_server} lets an adversary take over what a vantage {e serves}:
+    a per-receiver choice of relying party, i.e. equivocation inside
+    gossip itself (different signed heads to different peers — see
+    {!Rpki_attack.Equivocator}).  A Byzantine vantage also stops pulling:
+    a traitor would not report what it finds, so its selected edges are
+    skipped (counted in {!round_report.r_skipped}).  Detection then needs
+    the victim to be overlay-adjacent to at least one {e honest} vantage —
+    the BGP-Sentry-style honest-majority threshold quantified in
+    [bench gossip]. *)
 
 open Rpki_core
 open Rpki_crypto
 module Log = Rpki_transparency.Log
 module Merkle = Rpki_transparency.Merkle
+
+(** Who pulls from whom each round.  Every generator is deterministic in
+    [(spec, seed, names, round)] — re-running a round re-selects the same
+    edges. *)
+module Overlay : sig
+  type spec =
+    | Full_mesh
+        (** every ordered pair, the legacy O(n²) mesh *)
+    | K_regular of int
+        (** [K_regular k]: a seeded circulant graph — the vantages on a
+            shuffled Hamiltonian cycle plus chords at ring offsets
+            [2..⌈k/2⌉] — so every vantage has ≈k undirected neighbors and
+            the cycle keeps it connected by construction.  Pulls run both
+            directions of every edge: O(n·k) per round. *)
+    | Star of int
+        (** [Star h]: the {e last} [h] vantages in registration order are
+            hubs (monitors register after the primary, so hubs are
+            monitors).  Spokes pull from hubs only; hubs pull from
+            everyone.  Connected for any [h ≥ 1], but detection dies with
+            the hubs — the Byzantine sweep shows the cliff. *)
+    | Random_peers of int
+        (** [Random_peers k]: each receiver pulls from a fresh seeded
+            sample of [k] peers every round (the round number is mixed
+            into the seed).  Any single round may be disconnected; the
+            union over rounds covers the mesh quickly. *)
+
+  val default_seed : int
+
+  val to_string : spec -> string
+  (** ["full"], ["k:4"], ["star:2"], ["random:3"] — inverse of
+      {!of_string}. *)
+
+  val of_string : string -> spec option
+  (** Accepts ["full"]/["full-mesh"]/["mesh"], ["k:N"]/["k-regular:N"],
+      ["star"]/["star:N"], ["random:N"]/["random-peers:N"]. *)
+
+  val pulls :
+    spec -> seed:int -> round:int -> string list -> (string * string) list
+  (** The ordered (receiver, peer) pulls of one round over the given
+      vantage names.  Deterministic; [round] only matters for
+      [Random_peers].  Raises [Invalid_argument] on a degree < 1. *)
+
+  val connected : (string * string) list -> names:string list -> bool
+  (** Whether the pulls, read as undirected edges, connect all [names]. *)
+end
 
 type vantage = {
   v_name : string;
@@ -124,23 +201,57 @@ type round_report = {
   r_at : int;
   r_exchanges : exchange list;
   r_alarms : alarm list;     (** new alarms this round only *)
-  r_proof_bytes : int;       (** total proof payload this round *)
+  r_proof_bytes : int;       (** total proof payload this round — wire
+                                 bytes: proof sharing saves generation
+                                 cost, not transfer volume *)
   r_elapsed : int;           (** total transport time this round *)
+  r_pulls : int;             (** pulls executed (overlay edges that ran) *)
+  r_skipped : int;           (** overlay edges dropped: a dead endpoint, or
+                                 a Byzantine receiver that stays silent *)
+  r_sths_signed : int;       (** tree heads signed — one per served log *)
+  r_verifies : int;          (** head-signature verifications executed *)
+  r_verifies_saved : int;    (** verifications answered by the round memo *)
+  r_proofs_built : int;      (** Merkle proofs generated this round *)
+  r_proofs_reused : int;     (** proofs served from the round cache *)
 }
 
 type t
 
-val create : ?timeout:int -> vantage list -> t
+val create :
+  ?timeout:int -> ?overlay:Overlay.spec -> ?overlay_seed:int ->
+  vantage list -> t
 (** A gossip mesh over the given vantages.  [timeout] (default 32) caps
-    each pull, like a fetch-policy point timeout. *)
+    each pull, like a fetch-policy point timeout.  [overlay] (default
+    {!Overlay.spec.Full_mesh}) selects who pulls from whom each round;
+    [overlay_seed] (default {!Overlay.default_seed}) fixes the shuffle. *)
 
 val vantages : t -> vantage list
 
+val overlay : t -> Overlay.spec
+
+val set_server :
+  t -> name:string -> ?refresh:(now:Rtime.t -> unit) ->
+  (receiver:string -> Relying_party.t) -> unit
+(** Make vantage [name] Byzantine: what it serves to [receiver] is whatever
+    relying party the callback returns — its own for some receivers, a
+    same-named shadow for others, i.e. gossip-level equivocation.  The
+    optional [refresh] runs at the start of every round [name] is alive in
+    (sync the shadow's view before serving it).  While overridden, [name]
+    stops pulling — a traitor would not report what it finds.  Raises
+    [Invalid_argument] for an unknown vantage. *)
+
+val clear_server : t -> name:string -> unit
+(** Return vantage [name] to honest serving (and pulling). *)
+
+val server_names : t -> string list
+(** The currently Byzantine vantages, in registration order. *)
+
 val round : ?alive:(string -> bool) -> t -> now:Rtime.t -> round_report
-(** Run one full round of pairwise exchanges.  [alive] (default: everyone)
-    filters participants — a killed vantage neither pulls nor answers.
-    Alarms deduplicate across rounds: a fork already reported for a
-    (uri, serial, pair) key stays reported but is not re-raised. *)
+(** Run one gossip round over the overlay's selected edges.  [alive]
+    (default: everyone) filters participants — a killed vantage neither
+    pulls nor answers.  Alarms deduplicate across rounds: a fork already
+    reported for a (uri, serial, pair) key stays reported but is not
+    re-raised. *)
 
 val forget_receiver : t -> name:string -> unit
 (** Drop every verified-peer-state entry where [name] is the receiver.  A

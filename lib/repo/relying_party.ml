@@ -249,6 +249,10 @@ type t = {
                                  (Side Effect 7), handled by validation and
                                  gossip — never a rollback alarm. *)
   mutable tkey : Rpki_crypto.Rsa.keypair option; (* lazy tree-head signing key *)
+  mutable sth_cache : Rpki_transparency.Log.signed_head option;
+  (* the last head signed: reused while the tree (log id, size, root) is
+     unchanged — a static log keeps serving one STH to every pull instead
+     of paying an RSA signature per serve *)
   persist_marks : (string, persist_mark) Hashtbl.t; (* store name -> mark *)
   point_history : (string, point_state list) Hashtbl.t;
   (* bounded per-uri history (newest first) of the VRP contributions this
@@ -270,7 +274,7 @@ let create ~name ~asn ~tals ?(use_stale = true) ?grace ?(log_epoch = 0) () =
     vrp_memory = Hashtbl.create 64; last_result = None; effective_vrps = [];
     index = Origin_validation.empty_index; log_epoch;
     tlog = Rpki_transparency.Log.create ~log_id:(log_id_for ~name ~epoch:log_epoch);
-    peer_heads = []; log_baseline = 0; tkey = None;
+    peer_heads = []; log_baseline = 0; tkey = None; sth_cache = None;
     persist_marks = Hashtbl.create 4; point_history = Hashtbl.create 16 }
 
 let name t = t.name
@@ -320,8 +324,22 @@ let transparency_key t = (transparency_keypair t).Rpki_crypto.Rsa.public
 let tree_head t ~now = Rpki_transparency.Log.head t.tlog ~at:now
 
 let signed_tree_head t ~now =
-  Rpki_transparency.Log.sign_head
-    ~key:(transparency_keypair t).Rpki_crypto.Rsa.private_ (tree_head t ~now)
+  let h = tree_head t ~now in
+  let same (c : Rpki_transparency.Log.signed_head) =
+    let ch = c.Rpki_transparency.Log.sh_head in
+    ch.Rpki_transparency.Log.h_size = h.Rpki_transparency.Log.h_size
+    && String.equal ch.Rpki_transparency.Log.h_root h.Rpki_transparency.Log.h_root
+    && String.equal ch.Rpki_transparency.Log.h_log_id h.Rpki_transparency.Log.h_log_id
+  in
+  match t.sth_cache with
+  | Some c when same c -> c
+  | _ ->
+    let sth =
+      Rpki_transparency.Log.sign_head
+        ~key:(transparency_keypair t).Rpki_crypto.Rsa.private_ h
+    in
+    t.sth_cache <- Some sth;
+    sth
 
 (* Drop cached snapshots, memoized validations and grace memory (manual
    operator intervention; the paper notes recovery from Side Effect 7

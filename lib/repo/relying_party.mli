@@ -223,7 +223,11 @@ val tree_head : t -> now:Rtime.t -> Rpki_transparency.Log.head
 
 val signed_tree_head : t -> now:Rtime.t -> Rpki_transparency.Log.signed_head
 (** The current head under this vantage's signing key (generated
-    deterministically from the RP name on first use). *)
+    deterministically from the RP name on first use).  While the tree is
+    unchanged (same log id, size and root) the last signed head is served
+    as-is — like a CT log answering every pull with its current STH — so
+    a static log costs one signature total, not one per serve; its
+    [h_at] is the time of the last tree change. *)
 
 val transparency_key : t -> Rpki_crypto.Rsa.public
 (** The key {!signed_tree_head} signs with — what peers verify against.

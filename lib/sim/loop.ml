@@ -183,9 +183,9 @@ let vantage t ~name =
 
 let vantage_transport t ~name = (vantage t ~name).Gossip.v_transport
 
-let enable_gossip ?(period = 1) ?timeout t =
+let enable_gossip ?(period = 1) ?timeout ?overlay ?overlay_seed t =
   check_not_gossiping t "Loop.enable_gossip";
-  t.gossip <- Some (Gossip.create ?timeout t.vantages);
+  t.gossip <- Some (Gossip.create ?timeout ?overlay ?overlay_seed t.vantages);
   t.gossip_period <- max 1 period
 
 let gossip_mesh t = t.gossip
@@ -219,6 +219,8 @@ module Config = struct
     vantages : vantage_spec list;
     gossip_period : int option;
     gossip_timeout : int option;
+    gossip_overlay : Gossip.Overlay.spec;
+    gossip_overlay_seed : int;
     persistence : Rpki_persist.Disk.t option;
     compact_every : int;
     save_full : bool;
@@ -229,7 +231,9 @@ module Config = struct
     { fetch_policy = Relying_party.default_policy; per_hop_latency = 1;
       valcache = true; valcache_evict = true; rtr_domains = 1;
       primary_endpoint = None; vantages = [];
-      gossip_period = None; gossip_timeout = None; persistence = None;
+      gossip_period = None; gossip_timeout = None;
+      gossip_overlay = Gossip.Overlay.Full_mesh;
+      gossip_overlay_seed = Gossip.Overlay.default_seed; persistence = None;
       compact_every = 0; save_full = false; keep_history = true }
 end
 
@@ -251,7 +255,9 @@ let configure t (c : Config.t) =
       register_vantage t ~name:v.Config.name ~rp:v.Config.rp ~endpoint:v.Config.endpoint)
     c.Config.vantages;
   Option.iter
-    (fun period -> enable_gossip ~period ?timeout:c.Config.gossip_timeout t)
+    (fun period ->
+      enable_gossip ~period ?timeout:c.Config.gossip_timeout
+        ~overlay:c.Config.gossip_overlay ~overlay_seed:c.Config.gossip_overlay_seed t)
     c.Config.gossip_period;
   Option.iter (fun disk -> enable_persistence t disk) c.Config.persistence
 
@@ -805,7 +811,9 @@ let monitor_spec i =
        Model.as_arin_host))
 
 let split_view_scenario ?(policy = Policy.Drop_invalid) ?(grace = 4) ?(monitors = 2)
-    ?(gossip_period = 1) ?(fetch_policy = Relying_party.resilient_policy)
+    ?(gossip_period = 1) ?(overlay = Gossip.Overlay.Full_mesh)
+    ?(overlay_seed = Gossip.Overlay.default_seed)
+    ?(fetch_policy = Relying_party.resilient_policy)
     ?validity ?refresh_interval ?(valcache = true) () =
   if monitors < 0 then invalid_arg "Loop.split_view_scenario: negative monitors";
   let model = Model.build ?validity ?refresh_interval () in
@@ -851,7 +859,8 @@ let split_view_scenario ?(policy = Policy.Drop_invalid) ?(grace = 4) ?(monitors 
                   ~uri:("rsync://" ^ name ^ ".example/log")
                   ~addr:(V4.addr_of_string_exn addr) ~host_asn:asn })
           chosen;
-      gossip_period = (if monitors > 0 then Some gossip_period else None) };
+      gossip_period = (if monitors > 0 then Some gossip_period else None);
+      gossip_overlay = overlay; gossip_overlay_seed = overlay_seed };
   { sv_sim = sim; sv_model = model; sv_target_filename = model.Model.roa_target20;
     sv_monitors = List.map (fun (n, _, _) -> n) chosen }
 
@@ -911,7 +920,9 @@ let world_fetch_policy (w : World.world) =
       max Relying_party.resilient_policy.Relying_party.sync_budget (64 * points) }
 
 let world_scenario ?(policy = Policy.Drop_invalid) ?(grace = 4) ?(monitors = 2)
-    ?(placement = Placement.By_degree) ?(gossip_period = 1) ?fetch_policy
+    ?(placement = Placement.By_degree) ?(gossip_period = 1)
+    ?(overlay = Gossip.Overlay.Full_mesh)
+    ?(overlay_seed = Gossip.Overlay.default_seed) ?fetch_policy
     ?(valcache = true) ?(persist = false) ?(world = World.default_spec) () =
   if monitors < 0 then invalid_arg "Loop.world_scenario: negative monitors";
   let w = World.build world in
@@ -958,7 +969,8 @@ let world_scenario ?(policy = Policy.Drop_invalid) ?(grace = 4) ?(monitors = 2)
                   ~uri:(Printf.sprintf "rsync://%s.world/log" name)
                   ~addr:(World.host_addr w ~asn ~host:9) ~host_asn:asn })
           monitor_asns;
-      gossip_period = (if monitors > 0 then Some gossip_period else None) };
+      gossip_period = (if monitors > 0 then Some gossip_period else None);
+      gossip_overlay = overlay; gossip_overlay_seed = overlay_seed };
   let disk, respawn =
     if persist then begin
       let disk = Rpki_persist.Disk.create () in

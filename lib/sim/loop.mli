@@ -144,6 +144,10 @@ module Config : sig
         (** [Some p] freezes the vantages into a gossip mesh, one round every
             [p] ticks; [None] (default) = no gossip *)
     gossip_timeout : int option;   (** per-pull cap, see {!Gossip.create} *)
+    gossip_overlay : Gossip.Overlay.spec;
+        (** who pulls from whom each round; default
+            {!Gossip.Overlay.spec.Full_mesh} *)
+    gossip_overlay_seed : int;     (** default {!Gossip.Overlay.default_seed} *)
     persistence : Rpki_persist.Disk.t option;
         (** [Some disk] snapshots every live vantage each tick *)
     compact_every : int;     (** fold persistence chains every this many
@@ -249,11 +253,13 @@ val vantage_transport : t -> name:string -> Transport.t
 (** The named vantage's transport — where adversaries install per-vantage
     faults or {!Transport.set_view} forks. *)
 
-val enable_gossip : ?period:int -> ?timeout:int -> t -> unit
+val enable_gossip :
+  ?period:int -> ?timeout:int -> ?overlay:Gossip.Overlay.spec ->
+  ?overlay_seed:int -> t -> unit
 (** Freeze the registered vantages into a gossip mesh; a round runs every
-    [period] ticks (default 1).  [timeout] caps each pull
-    (see {!Gossip.create}).  Deprecated wrapper: prefer
-    {!Config.gossip_period}. *)
+    [period] ticks (default 1).  [timeout] caps each pull and [overlay]
+    selects who pulls from whom (see {!Gossip.create}).  Deprecated
+    wrapper: prefer {!Config.gossip_period}. *)
 
 val gossip_mesh : t -> Gossip.t option
 
@@ -379,6 +385,8 @@ val split_view_scenario :
   ?grace:int ->
   ?monitors:int ->
   ?gossip_period:int ->
+  ?overlay:Gossip.Overlay.spec ->
+  ?overlay_seed:int ->
   ?fetch_policy:Relying_party.fetch_policy ->
   ?validity:int ->
   ?refresh_interval:int ->
@@ -390,7 +398,8 @@ val split_view_scenario :
     4 — and [fetch_policy] — default {!Relying_party.resilient_policy})
     plus [monitors] (default 2) monitor vantages at the repository-hosting
     ASes (Sprint, ETB, ARIN's host), all gossiping every [gossip_period]
-    ticks.  Beyond three, monitors are synthesized round-robin over the
+    ticks over [overlay] (default full mesh — see {!Gossip.Overlay}).
+    Beyond three, monitors are synthesized round-robin over the
     same three ASes with their own in-prefix log endpoints — the scaling
     configuration for the multi-vantage experiments.  With [monitors = 0]
     no gossip mesh is built — the single-vantage baseline that cannot
@@ -465,6 +474,8 @@ val world_scenario :
   ?monitors:int ->
   ?placement:Rpki_world.Placement.policy ->
   ?gossip_period:int ->
+  ?overlay:Gossip.Overlay.spec ->
+  ?overlay_seed:int ->
   ?fetch_policy:Relying_party.fetch_policy ->
   ?valcache:bool ->
   ?persist:bool ->
